@@ -1,0 +1,32 @@
+"""Benchmark support: persist each figure/table's output for review.
+
+Every benchmark prints its reproduced table/series and also writes it to
+``benchmarks/results/<name>.txt`` so the numbers survive pytest's output
+capture; EXPERIMENTS.md is written against these files.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_result():
+    """Callable(name, text): print and persist an experiment's output."""
+
+    def _record(name, text):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, name + ".txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,22 @@
+"""Fig 2 — CephFS random traversal vs client metadata cache size.
+
+Regenerates the motivating curve of §2.3: read throughput falls and MDS
+requests (lookups) rise as the client cache shrinks from 100 % to 10 % of
+the directory working set.
+"""
+
+from conftest import run_once
+
+from repro.experiments import cache_sweep
+
+
+def test_fig02_cache_sweep(benchmark, record_result):
+    rows = run_once(benchmark, lambda: cache_sweep.run(
+        budgets=(0.1, 0.25, 0.5, 0.75, 1.0), threads=256, max_files=4000,
+    ))
+    record_result("fig02_cache_sweep", cache_sweep.format_rows(rows))
+    tight, full = rows[0], rows[-1]
+    # Paper: full cache ~1.46x the 10% throughput; amplification shrinks.
+    assert full["files_per_sec"] > 1.2 * tight["files_per_sec"]
+    assert tight["lookups_per_open"] > full["lookups_per_open"]
+    assert full["lookups_per_open"] <= 1.05

@@ -1,0 +1,21 @@
+"""Fig 4 — CephFS burst file access: throughput and MDS load variance.
+
+Regenerates §2.4's motivating result: read/write throughput degrades as
+the burst size approaches and exceeds the IO parallelism, because bursts
+to one directory congest the single MDS that owns it (Fig 4b's variance).
+"""
+
+from conftest import run_once
+
+from repro.experiments import burst
+
+
+def test_fig04_ceph_burst(benchmark, record_result):
+    rows = run_once(benchmark, lambda: burst.run(
+        systems=("cephfs",), bursts=(1, 10, 100), ops=("read", "write"),
+        num_dirs=32, files_per_dir=100, threads=256,
+    ))
+    record_result("fig04_ceph_burst", burst.format_rows(rows))
+    reads = {row["burst"]: row for row in rows if row["op"] == "read"}
+    assert reads[100]["files_per_sec"] < reads[1]["files_per_sec"]
+    assert reads[100]["server_load_cv"] > reads[1]["server_load_cv"]

@@ -1,0 +1,22 @@
+"""Fig 11 — latency of metadata operations (single client thread).
+
+Regenerates the latency comparison: FalconFS trades a little latency for
+throughput (batching window), sitting above Lustre but below the heavier
+CephFS and JuiceFS stacks.
+"""
+
+from conftest import run_once
+
+from repro.experiments import metadata_latency
+
+
+def test_fig11_latency(benchmark, record_result):
+    rows = run_once(benchmark, lambda: metadata_latency.run(num_ops=200))
+    record_result("fig11_latency", metadata_latency.format_rows(rows))
+    mean = {
+        (row["op"], row["system"]): row["mean_us"] for row in rows
+    }
+    for op in ("create", "getattr"):
+        assert mean[(op, "lustre")] < mean[(op, "falconfs")]
+        assert mean[(op, "falconfs")] < mean[(op, "cephfs")]
+        assert mean[(op, "falconfs")] < mean[(op, "juicefs")]

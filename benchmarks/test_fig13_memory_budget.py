@@ -1,0 +1,45 @@
+"""Fig 13 — random file traversal under client memory budgets.
+
+Regenerates the traversal throughput (13a) and request composition (13b)
+across 10-100 % cache budgets for FalconFS, FalconFS-NoBypass, CephFS and
+Lustre.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import memory_budget
+
+
+def _series(rows, system):
+    return {
+        row["budget_pct"]: row for row in rows if row["system"] == system
+    }
+
+
+def test_fig13_memory_budget(benchmark, record_result):
+    rows = run_once(benchmark, lambda: memory_budget.run(
+        budgets=(0.1, 0.4, 0.7, 1.0), threads=256, max_files=4000,
+    ))
+    record_result("fig13_memory_budget", memory_budget.format_rows(rows))
+    falcon = _series(rows, "falconfs")
+    nobypass = _series(rows, "falconfs-nobypass")
+    ceph = _series(rows, "cephfs")
+    lustre = _series(rows, "lustre")
+    # FalconFS: constant requests, budget-insensitive throughput.
+    assert all(row["requests_per_file"] == pytest.approx(1.0)
+               for row in falcon.values())
+    spread = (max(r["files_per_sec"] for r in falcon.values())
+              - min(r["files_per_sec"] for r in falcon.values()))
+    assert spread / falcon[100]["files_per_sec"] < 0.1
+    # Stateful systems amplify and slow down as the budget shrinks.
+    for series in (nobypass, ceph, lustre):
+        assert series[10]["requests_per_file"] > \
+            series[100]["requests_per_file"]
+        assert series[10]["files_per_sec"] <= \
+            series[100]["files_per_sec"] * 1.05
+    # FalconFS beats NoBypass under pressure, and both baselines always.
+    assert falcon[10]["files_per_sec"] >= \
+        0.95 * nobypass[10]["files_per_sec"]
+    assert falcon[10]["files_per_sec"] > ceph[10]["files_per_sec"]
+    assert falcon[10]["files_per_sec"] > lustre[10]["files_per_sec"]

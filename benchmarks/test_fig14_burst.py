@@ -1,0 +1,39 @@
+"""Fig 14 — burst file IO across all four systems.
+
+Regenerates §6.5: CephFS degrades on read and write and Lustre on read
+as the burst size grows (same-directory metadata co-location), while
+FalconFS's filename hashing is burst-insensitive and JuiceFS is flat
+(constantly imbalanced either way).
+"""
+
+from conftest import run_once
+
+from repro.experiments import burst
+
+
+def _series(rows, system, op):
+    return {
+        row["burst"]: row for row in rows
+        if row["system"] == system and row["op"] == op
+    }
+
+
+def test_fig14_burst(benchmark, record_result):
+    rows = run_once(benchmark, lambda: burst.run(
+        bursts=(1, 10, 100), num_dirs=32, files_per_dir=100, threads=256,
+    ))
+    record_result("fig14_burst", burst.format_rows(rows))
+    ceph_read = _series(rows, "cephfs", "read")
+    assert ceph_read[100]["files_per_sec"] < ceph_read[1]["files_per_sec"]
+    ceph_write = _series(rows, "cephfs", "write")
+    assert ceph_write[100]["files_per_sec"] < \
+        1.05 * ceph_write[1]["files_per_sec"]
+    lustre_read = _series(rows, "lustre", "read")
+    assert lustre_read[100]["files_per_sec"] < \
+        lustre_read[1]["files_per_sec"]
+    falcon_read = _series(rows, "falconfs", "read")
+    assert falcon_read[100]["files_per_sec"] > \
+        0.85 * falcon_read[1]["files_per_sec"]
+    juice_read = _series(rows, "juicefs", "read")
+    assert juice_read[100]["files_per_sec"] > \
+        0.8 * juice_read[1]["files_per_sec"]

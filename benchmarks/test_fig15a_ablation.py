@@ -1,0 +1,23 @@
+"""Fig 15a — design contribution breakdown (mkdir throughput).
+
+Regenerates the ablation: full FalconFS vs *no inv* (eager 2PC dentry
+replication) vs *no merge* (single-request dispatch with shared-queue
+contention).  The paper reports 13.1 % and 1.1 % of full throughput.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablation
+
+
+def test_fig15a_ablation(benchmark, record_result):
+    rows = run_once(benchmark, lambda: ablation.run(
+        num_ops=1500, threads=256,
+    ))
+    record_result("fig15a_ablation", ablation.format_rows(rows))
+    by_config = {row["config"]: row for row in rows}
+    assert by_config["FalconFS"]["relative"] == 1.0
+    assert by_config["no inv"]["relative"] < 0.5
+    assert by_config["no merge"]["relative"] < \
+        by_config["no inv"]["relative"]
+    assert by_config["no merge"]["relative"] < 0.1

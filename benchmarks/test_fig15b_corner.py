@@ -1,0 +1,24 @@
+"""Fig 15b — corner-case analysis for hybrid indexing (getattr).
+
+Regenerates the two-hop penalties: non-existent paths, path-walk
+redirected filenames, and stale exception tables all cost an extra hop
+versus the one-hop common case (the paper reports a 36.8-49.6 % drop).
+"""
+
+from conftest import run_once
+
+from repro.experiments import corner_cases
+
+
+def test_fig15b_corner_cases(benchmark, record_result):
+    rows = run_once(benchmark, lambda: corner_cases.run(
+        num_ops=1200, threads=64,
+    ))
+    record_result("fig15b_corner", corner_cases.format_rows(rows))
+    by_scenario = {row["scenario"]: row for row in rows}
+    assert by_scenario["one-hop"]["relative"] == 1.0
+    for scenario in ("non-existent", "pathwalk", "stale-table"):
+        assert 0.2 < by_scenario[scenario]["relative"] < 0.85, scenario
+    assert by_scenario["pathwalk"]["forwarded"] > 0
+    assert by_scenario["stale-table"]["forwarded"] > 0
+    assert by_scenario["non-existent"]["server_lookups"] > 0

@@ -1,0 +1,36 @@
+"""Fig 16 — labeling-task trace replay.
+
+Regenerates the file-size mix (16a) and the normalized trace runtime
+(16b): FalconFS finishes first; the paper reports 23.8-86.4 % runtime
+reductions over the baselines.
+"""
+
+from conftest import run_once
+
+from repro.experiments import labeling
+
+
+def test_fig16_labeling(benchmark, record_result):
+    def experiment():
+        histogram = labeling.size_histogram()
+        rows = labeling.run(num_tasks=1200, threads=256)
+        return histogram, rows
+
+    histogram, rows = run_once(benchmark, experiment)
+    text = "Fig 16a: file size distribution\n"
+    text += "\n".join(
+        "  {:<8} {:5.1f}%".format(bucket, share * 100)
+        for bucket, share in histogram.items()
+    )
+    text += "\n\n" + labeling.format_rows(rows)
+    record_result("fig16_labeling", text)
+
+    by_system = {row["system"]: row for row in rows}
+    assert by_system["falconfs"]["normalized_runtime"] == 1.0
+    for system in ("cephfs", "lustre", "juicefs"):
+        assert by_system[system]["normalized_runtime"] > 1.0, system
+    # CephFS/JuiceFS suffer far more than Lustre, as in the paper.
+    assert by_system["cephfs"]["normalized_runtime"] > \
+        by_system["lustre"]["normalized_runtime"]
+    # Fig 16a: the 64 KiB-1 MiB range dominates.
+    assert histogram["64-256K"] + histogram["256K-1M"] > 0.5

@@ -1,0 +1,30 @@
+"""Fig 17 — accelerator utilization for ResNet-50-style training.
+
+Regenerates the MLPerf-Storage-style AU curves: FalconFS sustains >= 90 %
+AU to several times more GPUs than Lustre, and CephFS falls off almost
+immediately (the paper: 80 vs 32 GPUs, CephFS below threshold).
+"""
+
+from conftest import run_once
+
+from repro.experiments import training
+
+
+def test_fig17_training(benchmark, record_result):
+    rows = run_once(benchmark, lambda: training.run(
+        gpu_counts=(8, 32, 64, 80, 96), num_files=6000,
+    ))
+    supported = training.supported_gpus(rows, threshold=0.9)
+    text = training.format_rows(rows)
+    text += "\n\nGPUs supported at >=90% AU: {}".format(supported)
+    record_result("fig17_training", text)
+
+    assert supported["falconfs"] >= 2 * supported["lustre"]
+    assert supported["lustre"] >= supported["cephfs"]
+    by_key = {
+        (row["system"], row["gpus"]): row["accelerator_utilization"]
+        for row in rows
+    }
+    # At scale, FalconFS's AU advantage over CephFS is large.
+    assert by_key[("falconfs", 96)] > 2.5 * by_key[("cephfs", 96)]
+    assert by_key[("falconfs", 96)] > by_key[("lustre", 96)]

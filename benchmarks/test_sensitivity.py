@@ -1,0 +1,44 @@
+"""Design-parameter sensitivity sweeps (DESIGN.md's ablation list).
+
+Not a paper figure — these sweep the knobs behind FalconFS's design
+choices: the batching window (throughput vs latency, the Fig 11 trade),
+the batch-size cap (how far coalescing helps), and the load-balance
+epsilon (exception-table size vs bound tightness).
+"""
+
+from conftest import run_once
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_sweeps(benchmark, record_result):
+    rows = run_once(benchmark, lambda: sensitivity.run(
+        num_ops=1500, threads=256,
+    ))
+    record_result("sensitivity", sensitivity.format_rows(rows))
+
+    linger = {row["value"]: row for row in rows
+              if row["param"] == "merge_linger_us"}
+    lingers = sorted(linger)
+    # Longer windows: latency strictly grows, batches do not shrink.
+    assert (linger[lingers[-1]]["mean_latency_us"]
+            > linger[lingers[0]]["mean_latency_us"])
+    assert (linger[lingers[-1]]["avg_batch"]
+            >= linger[lingers[0]]["avg_batch"])
+
+    batch = {row["value"]: row for row in rows
+             if row["param"] == "max_batch"}
+    # Merging pays: batch cap 16 far outruns cap 1, and WAL coalescing
+    # deepens with the cap.
+    assert batch[16]["create_per_sec"] > 2 * batch[1]["create_per_sec"]
+    assert (batch[64]["wal_records_per_flush"]
+            > batch[1]["wal_records_per_flush"])
+
+    epsilon = {row["value"]: row for row in rows
+               if row["param"] == "epsilon"}
+    values = sorted(epsilon)
+    # Tighter bounds cannot need fewer entries or allow a larger max.
+    assert (epsilon[values[0]]["table_entries"]
+            >= epsilon[values[-1]]["table_entries"])
+    assert (epsilon[values[0]]["max_share_pct"]
+            <= epsilon[values[-1]]["max_share_pct"] + 0.5)

@@ -1,0 +1,13 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "FalconFS reproduction: a DL-pipeline-optimized distributed file "
+        "system on a discrete-event simulated cluster"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

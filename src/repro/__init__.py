@@ -1,0 +1,28 @@
+"""FalconFS reproduction.
+
+A discrete-event-simulated implementation of *FalconFS: Distributed File
+System for Large-Scale Deep Learning Pipeline* (NSDI 2026), including the
+stateless-client architecture (hybrid metadata indexing, lazy namespace
+replication, concurrent request merging, VFS shortcut), the CephFS /
+Lustre / JuiceFS baseline models, and the full evaluation harness.
+
+Quickstart
+----------
+>>> from repro import FalconCluster
+>>> fs = FalconCluster().fs()
+>>> fs.mkdir("/data")
+>>> fs.write("/data/img.jpg", size=112 * 1024)
+>>> fs.read("/data/img.jpg")
+114688
+"""
+
+from repro.core import FalconCluster, FalconConfig, FalconFilesystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FalconCluster",
+    "FalconConfig",
+    "FalconFilesystem",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Result analysis: compile benchmark outputs into one report."""
+
+from repro.analysis.report import RESULT_ORDER, compile_report
+
+__all__ = ["RESULT_ORDER", "compile_report"]

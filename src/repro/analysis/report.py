@@ -1,0 +1,80 @@
+"""Compile the persisted benchmark outputs into one markdown report.
+
+``pytest benchmarks/ --benchmark-only`` writes each regenerated table to
+``benchmarks/results/<name>.txt``; :func:`compile_report` stitches them
+into a single document in the paper's figure order, ready to diff against
+EXPERIMENTS.md or attach to a run.
+
+Usage::
+
+    python -m repro.analysis.report [results_dir] [output.md]
+"""
+
+import os
+import sys
+
+#: Result files in the paper's presentation order, with display titles.
+RESULT_ORDER = (
+    ("fig02_cache_sweep", "Figure 2 — CephFS traversal vs cache size"),
+    ("fig04_ceph_burst", "Figure 4 — CephFS burst access"),
+    ("fig10_metadata_scaling", "Figure 10 — metadata scalability"),
+    ("fig11_latency", "Figure 11 — metadata latency"),
+    ("fig12_small_file", "Figure 12 — small-file IO"),
+    ("fig13_memory_budget", "Figure 13 — client memory budget"),
+    ("fig14_burst", "Figure 14 — burst IO, all systems"),
+    ("tab03_load_balance", "Table 3 — inode distribution"),
+    ("fig15a_ablation", "Figure 15a — design ablation"),
+    ("fig15b_corner", "Figure 15b — corner cases"),
+    ("fig16_labeling", "Figure 16 — labeling trace replay"),
+    ("fig17_training", "Figure 17 — training accelerator utilization"),
+    ("sensitivity", "Extension — design-parameter sensitivity"),
+)
+
+
+def compile_report(results_dir, title="FalconFS reproduction results"):
+    """Return one markdown document from the persisted result tables.
+
+    Missing files are reported as not-yet-regenerated rather than
+    failing, so partial benchmark runs still produce a useful report.
+    """
+    sections = ["# {}\n".format(title)]
+    present = 0
+    for name, heading in RESULT_ORDER:
+        path = os.path.join(results_dir, name + ".txt")
+        sections.append("## {}\n".format(heading))
+        if os.path.exists(path):
+            with open(path) as handle:
+                body = handle.read().rstrip()
+            sections.append("```\n{}\n```\n".format(body))
+            present += 1
+        else:
+            sections.append(
+                "*(not regenerated yet — run `pytest benchmarks/"
+                "{} --benchmark-only`)*\n".format("test_" + name + ".py")
+            )
+    sections.append(
+        "---\n{} of {} results present.\n".format(present,
+                                                  len(RESULT_ORDER))
+    )
+    return "\n".join(sections)
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    default_dir = os.path.join(
+        os.path.dirname(__file__), "..", "..", "..", "benchmarks",
+        "results",
+    )
+    results_dir = argv[0] if argv else os.path.normpath(default_dir)
+    report = compile_report(results_dir)
+    if len(argv) > 1:
+        with open(argv[1], "w") as handle:
+            handle.write(report)
+        print("wrote {}".format(argv[1]))
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

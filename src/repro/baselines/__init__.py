@@ -1,0 +1,33 @@
+"""Baseline distributed file systems (§6.1's comparison points).
+
+Protocol-level models of the three systems the paper evaluates against,
+built on the same simulation substrates as FalconFS so that performance
+differences come from protocol structure only:
+
+* :class:`CephCluster` — CephFS-style: directory-locality metadata
+  placement (all entries of one directory on one MDS), stateful clients
+  with capability coherence, metadata journaled to remote OSDs.
+* :class:`LustreCluster` — Lustre-style: DNE directory placement, intent
+  locks, fast local journaling with group commit.
+* :class:`JuiceCluster` — JuiceFS-style: TiKV-like metadata engine with
+  Percolator-style two-round transactional commits, a constant leader
+  imbalance, and object-store data-path overhead.
+
+All three share :class:`BaselineCluster`'s stateful client: VFS path walk
+through an LRU dentry cache with per-component ``lookup`` RPCs on misses —
+the *lookup tax* of §2.3.
+"""
+
+from repro.baselines.common import BaselineClient, BaselineCluster, MetaServer
+from repro.baselines.cephfs import CephCluster
+from repro.baselines.juicefs import JuiceCluster
+from repro.baselines.lustre import LustreCluster
+
+__all__ = [
+    "BaselineClient",
+    "BaselineCluster",
+    "CephCluster",
+    "JuiceCluster",
+    "LustreCluster",
+    "MetaServer",
+]

@@ -1,0 +1,34 @@
+"""Lustre-style baseline.
+
+Modeled properties:
+
+* **DNE directory placement** — each directory lives on one MDT; files'
+  metadata is on the parent directory's MDT (same-directory read bursts
+  congest one MDT, Fig 14);
+* **intent locks** — a modest server-side DLM cost per lookup/open (the
+  cache-coherence locking FalconFS's stateless clients avoid, §6.2);
+* **fast local journaling** — group-committed local WAL, which is why
+  Lustre is the strongest baseline throughout the paper's evaluation;
+* mutations also update the parent directory's metadata, with a
+  cross-MDT RPC when the parent inode lives elsewhere.
+"""
+
+from repro.baselines.common import BaselineCluster, SystemProfile
+
+
+class LustreCluster(BaselineCluster):
+    """Lustre-style deployment."""
+
+    profile = SystemProfile(
+        name="lustre",
+        stack_factor=1.0,
+        open_extra_us=25.0,
+        coherence_lock_us=6.0,
+        journal_remote=False,
+        update_dir_metadata=True,
+        two_round_commit=False,
+        leader_fraction=1.0,
+        open_via_lookup=False,
+        close_releases_caps=True,
+        data_overhead_us=0.0,
+    )

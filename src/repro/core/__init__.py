@@ -1,0 +1,35 @@
+"""FalconFS: the paper's primary contribution.
+
+The package wires the substrates (:mod:`repro.sim`, :mod:`repro.net`,
+:mod:`repro.storage`, :mod:`repro.vfs`) into the stateless-client DFS of
+the paper:
+
+* :mod:`repro.core.indexing` — hybrid metadata indexing (§4.2): filename
+  hashing in the common case, selective redirection (path-walk and
+  overriding) via a versioned exception table.
+* :mod:`repro.core.mnode` — metadata nodes: lazily replicated namespace,
+  sharded inode table, invalidation-based concurrency control (§4.3) and
+  concurrent request merging (§4.4).
+* :mod:`repro.core.coordinator` — namespace-change coordination (rmdir,
+  chmod, rename via 2PL/2PC) and statistical load balancing (§4.2.2).
+* :mod:`repro.core.client` — the stateless client with VFS shortcut (§5)
+  and the stateful FalconFS-NoBypass variant used in the ablations.
+* :mod:`repro.core.filestore` — the hash-placed block store (data path).
+* :mod:`repro.core.cluster` — cluster assembly plus a synchronous
+  POSIX-like facade for examples and tests.
+"""
+
+from repro.core.cluster import FalconCluster, FalconConfig, FalconFilesystem
+from repro.core.indexing import ExceptionTable, HybridIndex, stable_hash
+from repro.core.verify import InvariantViolation, check_cluster_invariants
+
+__all__ = [
+    "ExceptionTable",
+    "FalconCluster",
+    "FalconConfig",
+    "FalconFilesystem",
+    "HybridIndex",
+    "InvariantViolation",
+    "check_cluster_invariants",
+    "stable_hash",
+]

@@ -1,0 +1,335 @@
+"""The FalconFS client module.
+
+Three client modes reproduce the paper's configurations:
+
+* ``"vfs"`` — the stateless client with **VFS shortcut** (§5): path walks
+  satisfy intermediate components from the dentry cache with *fake*
+  attributes (mode 0777, reserved uid/gid), and the final component's
+  operation is sent with the full path to the MNode chosen by hybrid
+  indexing.  Exactly one metadata request per operation in the common
+  case, independent of the client's cache budget.
+* ``"libfs"`` — the LibFS interface used to saturate servers in the
+  paper's throughput experiments: same single-request protocol, no VFS
+  layer at all.
+* ``"nobypass"`` — FalconFS-NoBypass (§6.4): the unmodified VFS performs
+  client-side path resolution, so every dcache miss on an intermediate
+  component costs a real ``lookup`` RPC; the client is *stateful* and its
+  performance depends on the cache budget.
+
+Every client keeps a lazily refreshed exception-table copy: requests carry
+the client's table version, responses piggyback a newer table when the
+client is stale, and misrouted requests are forwarded server-side in the
+meantime (§4.2.1).
+"""
+
+from repro.core.filestore import BlockClient
+from repro.core.indexing import (
+    ROUTE_PATHWALK,
+    ExceptionTable,
+    HybridIndex,
+)
+from repro.core.mnode import exception_table_from_wire
+from repro.net import Node
+from repro.net.rpc import RpcError, RpcFailure
+from repro.vfs import DentryCache, InodeAttrs, ROOT_INO
+from repro.vfs.attrs import make_fake_dir_attrs
+from repro.vfs.pathwalk import split_path
+
+#: Give-up threshold for ERETRY (migration window / invalidation races).
+MAX_OP_RETRIES = 64
+
+CLIENT_MODES = ("vfs", "libfs", "nobypass")
+
+
+class FalconClient(Node):
+    """One FalconFS client (a mount point or a LibFS instance)."""
+
+    def __init__(self, env, network, shared, name, mode="vfs",
+                 cache_budget_bytes=None):
+        if mode not in CLIENT_MODES:
+            raise ValueError("unknown client mode: {!r}".format(mode))
+        super().__init__(env, network, name, cores=1024)
+        self.shared = shared
+        self.mode = mode
+        self.xt = ExceptionTable()
+        self.index = HybridIndex(shared.config.num_mnodes, self.xt)
+        self.rng = shared.streams.stream("client." + name)
+        self.dcache = DentryCache(budget_bytes=cache_budget_bytes)
+        self.blocks = BlockClient(self, shared)
+        self.root_attrs = InodeAttrs(ino=ROOT_INO, is_dir=True, mode=0o777)
+        #: Lazy exception-table refresh off responses (§4.2.1).  The
+        #: stale-table corner-case experiment disables it to hold the
+        #: client at an old version.
+        self.auto_refresh_xt = True
+        self._fake_inos = {}
+        self._fake_next = -2
+
+    # ------------------------------------------------------------------
+    # public API (generators; drive via the cluster facade or env.process)
+    # ------------------------------------------------------------------
+
+    def mkdir(self, path, mode=0o755):
+        data = yield from self._meta_op("mkdir", path, {"mode": mode})
+        return data["ino"]
+
+    def create(self, path, mode=0o644, exclusive=True):
+        data = yield from self._meta_op(
+            "create", path, {"mode": mode, "exclusive": exclusive}
+        )
+        return data["ino"]
+
+    def open_file(self, path):
+        """Open for reading; returns the attrs dict (ino, size, ...)."""
+        data = yield from self._meta_op("open", path, {})
+        return data["attrs"]
+
+    def getattr(self, path):
+        if split_path(path) == []:
+            return {
+                "ino": ROOT_INO, "is_dir": True, "mode": 0o777,
+                "uid": 0, "gid": 0, "size": 0, "mtime": 0.0, "nlink": 1,
+            }
+        data = yield from self._meta_op("getattr", path, {})
+        return data["attrs"]
+
+    def close(self, path, size):
+        """Close after writing: persists size/mtime on the owner MNode."""
+        yield from self._meta_op("close", path, {"size": size})
+
+    def unlink(self, path):
+        yield from self._meta_op("unlink", path, {})
+
+    def chmod(self, path, mode):
+        """chmod; files at their owner MNode, directories via coordinator."""
+        try:
+            yield from self._meta_op("setattr", path, {"mode": mode})
+        except RpcFailure as failure:
+            if failure.code != RpcError.EISDIR:
+                raise
+            yield from self._coordinator_op(
+                "chmod_dir", {"path": path, "mode": mode}
+            )
+            self._drop_cached(path)
+
+    def rmdir(self, path):
+        yield from self._coordinator_op("rmdir", {"path": path})
+        self._drop_cached(path)
+
+    def rename(self, src, dst):
+        yield from self._coordinator_op("rename", {"src": src, "dst": dst})
+        self._drop_cached(src)
+
+    def readdir(self, path):
+        """List a directory; returns a sorted list of (name, is_dir)."""
+        name = split_path(path)[-1] if split_path(path) else "/"
+        target, _ = self.index.client_target(name, self.rng)
+        data = yield from self._request(
+            self.shared.mnode_name(target), "readdir", {"path": path}
+        )
+        return [tuple(entry) for entry in data["entries"]]
+
+    def read_file(self, path):
+        """open + read all blocks (+ client-local close); returns size."""
+        attrs = yield from self.open_file(path)
+        yield from self.blocks.read(attrs["ino"], attrs["size"])
+        self.metrics.counter("files").inc("read")
+        return attrs["size"]
+
+    def write_file(self, path, size, mode=0o644, exclusive=True):
+        """create + write all blocks + close; returns the new ino."""
+        ino = yield from self.create(path, mode=mode, exclusive=exclusive)
+        yield from self.blocks.write(ino, size)
+        yield from self.close(path, size)
+        self.metrics.counter("files").inc("written")
+        return ino
+
+    def symlink(self, target, link_path):
+        """Symbolic links are unsupported: the VFS shortcut cannot follow
+        links client-side (§5's stated limitation)."""
+        raise RpcFailure(RpcError.EINVAL,
+                         "symlinks unsupported by the VFS shortcut")
+        yield  # pragma: no cover
+
+    def exists(self, path):
+        try:
+            yield from self.getattr(path)
+        except RpcFailure as failure:
+            if failure.code in (RpcError.ENOENT, RpcError.ENOTDIR):
+                return False
+            raise
+        return True
+
+    # ------------------------------------------------------------------
+    # metadata request path
+    # ------------------------------------------------------------------
+
+    def _meta_op(self, op, path, extra):
+        """Generator: walk according to the client mode, send the op."""
+        if self.costs.client_op_us:
+            yield self.env.timeout(self.costs.client_op_us)
+        components = split_path(path)
+        if not components:
+            raise RpcFailure(RpcError.EINVAL, "operation on /")
+        if self.mode == "vfs":
+            yield from self._vfs_shortcut_walk(components)
+        elif self.mode == "nobypass":
+            yield from self._stateful_walk(components)
+        payload = dict(extra)
+        payload["path"] = path
+        data = yield from self._send_routed(op, components[-1], payload)
+        self._cache_final(components, data)
+        return data
+
+    def _vfs_shortcut_walk(self, components):
+        """Intermediate components resolve to cached fake attrs — no RPCs.
+
+        Mirrors §5: ``lookup()`` is called with LOOKUP_PARENT for
+        non-final components and returns fake attributes; on a dcache hit
+        ``d_revalidate`` accepts fake entries only while LOOKUP_PARENT is
+        set, so a fake entry hit as the *final* component is refreshed by
+        the operation's own full-path request (sent by the caller).
+        """
+        current = ROOT_INO
+        for name in components[:-1]:
+            if self.costs.cache_probe_us:
+                yield self.env.timeout(self.costs.cache_probe_us)
+            entry = self.dcache.lookup(current, name)
+            if entry is None:
+                attrs = make_fake_dir_attrs(self._fake_ino(current, name))
+                entry = self.dcache.insert(current, name, attrs)
+            current = entry.attrs.ino
+        final = self.dcache.peek(current, components[-1])
+        if final is not None and final.attrs.is_fake:
+            # d_revalidate: fake attrs must never satisfy a final lookup.
+            self.metrics.counter("revalidate_fake").inc()
+            self.dcache.invalidate(current, components[-1])
+
+    def _stateful_walk(self, components):
+        """NoBypass: real client-side resolution through the dcache."""
+        current = self.root_attrs
+        for name in components[:-1]:
+            if self.costs.cache_probe_us:
+                yield self.env.timeout(self.costs.cache_probe_us)
+            if not current.is_dir:
+                raise RpcFailure(RpcError.ENOTDIR, name)
+            if not current.allows_exec():
+                raise RpcFailure(RpcError.EACCES, name)
+            entry = self.dcache.lookup(current.ino, name)
+            if entry is None:
+                data = yield from self._send_routed(
+                    "lookup", name, {"pid": current.ino, "name": name}
+                )
+                wire = data["attrs"]
+                attrs = InodeAttrs(
+                    ino=wire["ino"], is_dir=wire["is_dir"],
+                    mode=wire["mode"], uid=wire["uid"], gid=wire["gid"],
+                    size=wire["size"], mtime=wire["mtime"],
+                )
+                entry = self.dcache.insert(current.ino, name, attrs)
+            current = entry.attrs
+
+    def _send_routed(self, op, name, payload):
+        """Generator: route by hybrid indexing, retry on ERETRY."""
+        payload["xt_version"] = self.xt.version
+        backoff = self.shared.config.retry_backoff_us
+        for attempt in range(MAX_OP_RETRIES):
+            if op == "lookup" and "pid" in payload:
+                target = self.index.locate(payload["pid"], name)
+            else:
+                target, _ = self.index.client_target(name, self.rng)
+            try:
+                data = yield from self._request(
+                    self.shared.mnode_name(target), op, payload
+                )
+            except RpcFailure as failure:
+                if failure.code == RpcError.ERETRY:
+                    yield self.env.timeout(backoff * (attempt + 1))
+                    payload["xt_version"] = self.xt.version
+                    continue
+                raise
+            return data
+        raise RpcFailure(RpcError.ERETRY, name)
+
+    def _request(self, target, op, payload):
+        """Generator: one RPC, with lazy exception-table refresh."""
+        self.metrics.counter("requests").inc(op)
+        body = yield self.call(target, op, payload)
+        if isinstance(body, dict):
+            table = body.get("xt")
+            if table is not None:
+                self._install_xt(exception_table_from_wire(table))
+            if "data" in body:
+                return body["data"]
+        return body
+
+    def _coordinator_op(self, op, payload):
+        self.metrics.counter("requests").inc(op)
+        if self.costs.client_op_us:
+            yield self.env.timeout(self.costs.client_op_us)
+        body = yield self.call(self.shared.coordinator_name, op, payload)
+        return body
+
+    def _install_xt(self, table):
+        if not self.auto_refresh_xt:
+            return
+        if table.version > self.xt.version:
+            self.xt.version = table.version
+            self.xt.pathwalk = table.pathwalk
+            self.xt.override = table.override
+            self.metrics.counter("xt_refreshes").inc()
+
+    # ------------------------------------------------------------------
+    # cache helpers
+    # ------------------------------------------------------------------
+
+    def _fake_ino(self, parent_ino, name):
+        """Stable client-local ids for fake dentries (negative range)."""
+        key = (parent_ino, name)
+        ino = self._fake_inos.get(key)
+        if ino is None:
+            ino = self._fake_next
+            self._fake_next -= 1
+            self._fake_inos[key] = ino
+        return ino
+
+    def _cache_final(self, components, data):
+        """Cache real final-component attrs (both client modes)."""
+        if self.mode == "libfs" or not isinstance(data, dict):
+            return
+        wire = data.get("attrs")
+        if wire is None:
+            return
+        parent_ino = self._cached_parent_ino(components)
+        if parent_ino is None:
+            return
+        attrs = InodeAttrs(
+            ino=wire["ino"], is_dir=wire["is_dir"], mode=wire["mode"],
+            uid=wire["uid"], gid=wire["gid"], size=wire["size"],
+            mtime=wire["mtime"],
+        )
+        self.dcache.insert(parent_ino, components[-1], attrs,
+                           cold=not attrs.is_dir)
+
+    def _cached_parent_ino(self, components):
+        current = ROOT_INO
+        for name in components[:-1]:
+            entry = self.dcache.peek(current, name)
+            if entry is None:
+                return None
+            current = entry.attrs.ino
+        return current
+
+    def _drop_cached(self, path):
+        """Best-effort local eviction after a namespace change we made."""
+        components = split_path(path)
+        if not components:
+            return
+        parent_ino = self._cached_parent_ino(components)
+        if parent_ino is not None:
+            self.dcache.invalidate(parent_ino, components[-1])
+
+    def handle(self, message):
+        raise RuntimeError(
+            "client {} received unexpected {!r}".format(self.name, message)
+        )
+        yield  # pragma: no cover

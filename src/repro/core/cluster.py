@@ -1,0 +1,285 @@
+"""Cluster assembly and the synchronous facade.
+
+:class:`FalconCluster` wires MNodes, the coordinator, storage nodes and
+clients onto one simulated network.  :class:`FalconFilesystem` is a
+synchronous POSIX-like view for examples and tests: each call spawns the
+client operation as a simulation process and runs the event loop until it
+completes, so callers never see generators.
+
+Example
+-------
+>>> from repro.core import FalconCluster
+>>> cluster = FalconCluster()
+>>> fs = cluster.fs()
+>>> fs.mkdir("/data")
+>>> fs.write("/data/sample.bin", size=64 * 1024)
+>>> fs.read("/data/sample.bin")
+65536
+"""
+
+from repro.core.client import FalconClient
+from repro.core.coordinator import Coordinator
+from repro.core.filestore import StorageNode
+from repro.core.mnode import MNode
+from repro.core.records import DentryRecord, InodeRecord
+from repro.core.shared import ClusterShared, FalconConfig
+from repro.net import CostModel, Network
+from repro.net.rpc import RpcError, RpcFailure
+from repro.sim import Environment
+from repro.vfs.attrs import ROOT_INO
+from repro.vfs.pathwalk import basename, join_path, parent_path, split_path
+
+
+class FalconCluster:
+    """A complete simulated FalconFS deployment."""
+
+    def __init__(self, config=None, costs=None, env=None):
+        self.config = config or FalconConfig()
+        self.env = env or Environment()
+        self.costs = costs or CostModel()
+        self.costs.server_cores = self.config.server_cores
+        self.shared = ClusterShared(self.env, self.costs, self.config)
+        self.network = Network(self.env, self.costs)
+        self.mnodes = [
+            MNode(self.env, self.network, self.shared, i)
+            for i in range(self.config.num_mnodes)
+        ]
+        self.coordinator = Coordinator(self.env, self.network, self.shared)
+        self.standbys = []
+        if self.config.replication:
+            from repro.storage.replication import Standby
+
+            for mnode in self.mnodes:
+                standby = Standby(self.env, self.network,
+                                  mnode.name + "-standby")
+                mnode.attach_standby(standby.name)
+                self.standbys.append(standby)
+        self.storage = [
+            StorageNode(self.env, self.network, name)
+            for name in self.shared.storage_names
+        ]
+        self.clients = []
+
+    # -- clients -----------------------------------------------------------
+
+    def add_client(self, mode="vfs", cache_budget_bytes=None, name=None):
+        """Attach a new client; returns the :class:`FalconClient`."""
+        if name is None:
+            name = "client-{}".format(len(self.clients))
+        client = FalconClient(
+            self.env, self.network, self.shared, name,
+            mode=mode, cache_budget_bytes=cache_budget_bytes,
+        )
+        self.clients.append(client)
+        return client
+
+    def fs(self, client=None, **client_kwargs):
+        """A synchronous filesystem view bound to ``client`` (or a new one)."""
+        if client is None:
+            client = self.add_client(**client_kwargs)
+        return FalconFilesystem(self, client)
+
+    # -- execution helpers ---------------------------------------------------
+
+    def run_process(self, generator):
+        """Run a client/coordinator generator to completion; return its value."""
+        process = self.env.process(generator)
+        return self.env.run(until=process)
+
+    def run_for(self, duration_us):
+        """Advance simulated time by ``duration_us``."""
+        self.env.run(until=self.env.now + duration_us)
+
+    # -- cluster management ---------------------------------------------------
+
+    def rebalance(self):
+        """Run the coordinator's load-balancing loop synchronously."""
+        return self.run_process(self.coordinator.rebalance())
+
+    def shrink_exception_table(self):
+        return self.run_process(self.coordinator.shrink())
+
+    def inode_distribution(self):
+        """Per-MNode inode counts (files + directories)."""
+        return [len(mnode.inodes) for mnode in self.mnodes]
+
+    def verify(self):
+        """Audit cluster invariants (placement, replica coherence,
+        reachability, statistics); raises
+        :class:`~repro.core.verify.InvariantViolation` on corruption."""
+        from repro.core.verify import check_cluster_invariants
+
+        return check_cluster_invariants(self)
+
+    @property
+    def exception_table(self):
+        return self.coordinator.xt
+
+    def replication_divergence(self):
+        """Per-MNode primary/standby differences (requires replication).
+
+        Run the simulation until quiescent first (e.g. ``run_for``) so
+        in-flight shipments drain; an all-empty result means every
+        standby has converged.
+        """
+        from repro.storage.replication import divergence
+
+        if not self.standbys:
+            raise RuntimeError("replication is not enabled")
+        return {
+            mnode.name: divergence(mnode, standby)
+            for mnode, standby in zip(self.mnodes, self.standbys)
+        }
+
+    def install_exception_table(self, pathwalk=(), override=None,
+                                include_clients=True):
+        """Set redirection entries everywhere at once (offline).
+
+        Test/experiment helper: equivalent to the coordinator having
+        pushed the table and every client having refreshed.  Call before
+        :meth:`bulk_load` so placement honours the entries.
+        """
+        holders = [self.coordinator] + self.mnodes
+        if include_clients:
+            holders += self.clients
+        for holder in holders:
+            table = holder.xt
+            for name in pathwalk:
+                table.pathwalk.add(name)
+            for name, target in (override or {}).items():
+                table.override[name] = target
+            table.version += 1
+
+    # -- bulk loading -------------------------------------------------------
+
+    def bulk_load(self, tree, replicate_dentries=True):
+        """Install a :class:`~repro.workloads.trees.TreeSpec` directly into
+        the MNode tables, bypassing the protocol.
+
+        Used to initialize the large trees of the traversal and
+        load-balance experiments (the paper pre-creates its datasets too).
+        Placement honours the coordinator's current exception table.
+        With ``replicate_dentries`` every MNode's namespace replica starts
+        complete — the steady state lazy replication converges to; pass
+        False to start replicas cold (only owners populated).
+        Returns a ``path -> ino`` map.
+        """
+        index = self.coordinator.index
+        path_ino = {"/": ROOT_INO}
+        for dpath in tree.dirs:
+            pid = path_ino[parent_path(dpath)]
+            name = basename(dpath)
+            ino = self.shared.allocator.allocate()
+            owner = self.mnodes[index.locate(pid, name)]
+            key = (pid, name)
+            owner.inodes.put(key, InodeRecord(ino=ino, is_dir=True,
+                                              mode=0o755))
+            owner._track_name(key, +1)
+            self._bulk_standby(owner, key, owner.inodes.get(key), True)
+            if replicate_dentries:
+                for mnode in self.mnodes:
+                    mnode.dentries.put(key, DentryRecord(ino=ino,
+                                                         mode=0o755))
+            else:
+                owner.dentries.put(key, DentryRecord(ino=ino, mode=0o755))
+            path_ino[dpath] = ino
+        for fpath, size in tree.files:
+            pid = path_ino[parent_path(fpath)]
+            name = basename(fpath)
+            ino = self.shared.allocator.allocate()
+            owner = self.mnodes[index.locate(pid, name)]
+            key = (pid, name)
+            owner.inodes.put(key, InodeRecord(ino=ino, is_dir=False,
+                                              size=size))
+            owner._track_name(key, +1)
+            self._bulk_standby(owner, key, owner.inodes.get(key), False)
+            path_ino[fpath] = ino
+        return path_ino
+
+    def _bulk_standby(self, owner, key, record, is_dir):
+        """Mirror a bulk-loaded record into the owner's standby."""
+        if not self.standbys:
+            return
+        standby = self.standbys[self.mnodes.index(owner)]
+        standby.table("inode").put(key, record.copy())
+        if is_dir:
+            standby.table("dentry").put(
+                key, DentryRecord(ino=record.ino, mode=record.mode,
+                                  uid=record.uid, gid=record.gid),
+            )
+
+
+class FalconFilesystem:
+    """Synchronous POSIX-like facade over one client."""
+
+    def __init__(self, cluster, client):
+        self.cluster = cluster
+        self.client = client
+
+    def _run(self, generator):
+        return self.cluster.run_process(generator)
+
+    # -- namespace ------------------------------------------------------
+
+    def mkdir(self, path, mode=0o755):
+        return self._run(self.client.mkdir(path, mode))
+
+    def makedirs(self, path, mode=0o755, exist_ok=True):
+        """Create ``path`` and any missing ancestors."""
+        current = "/"
+        for name in split_path(path):
+            current = join_path(current, name)
+            try:
+                self._run(self.client.mkdir(current, mode))
+            except RpcFailure as failure:
+                if not (exist_ok and failure.code == RpcError.EEXIST):
+                    raise
+
+    def rmdir(self, path):
+        self._run(self.client.rmdir(path))
+
+    def rename(self, src, dst):
+        self._run(self.client.rename(src, dst))
+
+    def chmod(self, path, mode):
+        self._run(self.client.chmod(path, mode))
+
+    def listdir(self, path):
+        """Sorted child names of a directory."""
+        return [name for name, _ in self._run(self.client.readdir(path))]
+
+    def readdir(self, path):
+        """Sorted list of (name, is_dir) pairs."""
+        return self._run(self.client.readdir(path))
+
+    # -- files ------------------------------------------------------------
+
+    def create(self, path, mode=0o644, exclusive=True):
+        return self._run(self.client.create(path, mode, exclusive))
+
+    def write(self, path, size, mode=0o644, exclusive=True):
+        """Create a file and store ``size`` bytes; returns the ino."""
+        return self._run(
+            self.client.write_file(path, size, mode, exclusive)
+        )
+
+    def read(self, path):
+        """Read a whole file; returns its size."""
+        return self._run(self.client.read_file(path))
+
+    def unlink(self, path):
+        self._run(self.client.unlink(path))
+
+    def getattr(self, path):
+        return self._run(self.client.getattr(path))
+
+    def exists(self, path):
+        return self._run(self.client.exists(path))
+
+    def is_dir(self, path):
+        try:
+            return self.getattr(path)["is_dir"]
+        except RpcFailure as failure:
+            if failure.code == RpcError.ENOENT:
+                return False
+            raise

@@ -1,0 +1,450 @@
+"""The FalconFS coordinator.
+
+The coordinator owns namespace *changes* and cluster load balance:
+
+* **rmdir / directory chmod** — it resolves the path on its own namespace
+  replica, takes shared locks on the ancestors and an exclusive lock on
+  the target, and forwards execution to the directory inode's owner MNode,
+  which drives the invalidation broadcast (§4.3).
+* **rename** — classic 2PL + 2PC across the source and destination owner
+  MNodes, with an invalidation broadcast for directory renames.
+* **statistical load balancing** (§4.2.2) — it gathers per-MNode inode
+  counts and top-k filename frequencies, then iteratively redirects the
+  most frequent filename on the most loaded node, choosing between
+  path-walk and overriding redirection by whichever minimizes the new
+  maximum.  It also shrinks the exception table when entries are no
+  longer needed.
+"""
+
+import math
+from itertools import count
+
+from repro.core.indexing import ExceptionTable, HybridIndex
+from repro.core.mnode import exception_table_to_wire
+from repro.core.replica import NamespaceReplicaMixin
+from repro.net import Node
+from repro.net.rpc import RpcError, RpcFailure
+from repro.storage import LockMode
+from repro.sim import Resource
+from repro.vfs.pathwalk import split_path
+
+
+class Coordinator(NamespaceReplicaMixin, Node):
+    """The central coordinator node."""
+
+    def __init__(self, env, network, shared):
+        super().__init__(
+            env, network, shared.coordinator_name,
+            cores=shared.config.server_cores,
+        )
+        self.shared = shared
+        self.init_replica()
+        self.xt = ExceptionTable()
+        self.index = HybridIndex(shared.config.num_mnodes, self.xt)
+        self._txids = count(1)
+        #: Serializes rename 2PC rounds (prevents cross-rename deadlock).
+        self._rename_mutex = Resource(env, capacity=1)
+        self.rebalance_log = []
+
+    def handle(self, message):
+        handler = getattr(self, "_on_" + message.kind, None)
+        if handler is None:
+            raise RuntimeError(
+                "coordinator cannot handle {!r}".format(message)
+            )
+        yield from handler(message)
+
+    # ------------------------------------------------------------------
+    # path helpers
+    # ------------------------------------------------------------------
+
+    def _resolve_and_lock(self, components):
+        """Resolve the parent chain and lock it (S ancestors, X target).
+
+        Returns ``(pid, grants)``; the caller must release the grants.
+        """
+        parents = components[:-1]
+        name = components[-1]
+        resolved = yield from self.resolve_dir(parents)
+        grants = []
+        try:
+            for dkey, _, _ in resolved.chain:
+                grant = self.locks.acquire(dkey, LockMode.SHARED)
+                yield grant.event
+                grants.append(grant)
+            target = self.locks.acquire(
+                ("d", resolved.ino, name), LockMode.EXCLUSIVE
+            )
+            yield target.event
+            grants.append(target)
+        except BaseException:
+            for grant in grants:
+                self.locks.release(grant)
+            raise
+        yield from self.execute(
+            self.costs.resolve_component_us * len(components)
+            + len(grants) * self.costs.lock_acquire_us
+        )
+        return resolved.ino, grants
+
+    def _release(self, grants):
+        for grant in grants:
+            self.locks.release(grant)
+
+    def _owner(self, pid, name):
+        return self.shared.mnode_name(self.index.locate(pid, name))
+
+    # ------------------------------------------------------------------
+    # client-facing namespace changes
+    # ------------------------------------------------------------------
+
+    def _on_rmdir(self, message):
+        payload = message.payload
+        try:
+            components = split_path(payload["path"])
+            if not components:
+                raise RpcFailure(RpcError.EINVAL, "rmdir /")
+            pid, grants = yield from self._resolve_and_lock(components)
+        except (ValueError, RpcFailure) as failure:
+            if not isinstance(failure, RpcFailure):
+                failure = RpcFailure(RpcError.EINVAL, payload["path"])
+            self.respond_error(message, failure)
+            return
+        name = components[-1]
+        try:
+            # Per-MNode invalidation bookkeeping at the coordinator: the
+            # cluster-size-proportional share of rmdir's overhead (§6.2).
+            yield from self.execute(
+                self.costs.invalidate_apply_us * 2
+                * self.shared.config.num_mnodes
+            )
+            yield self.call(self._owner(pid, name), "rmdir_exec", {
+                "pid": pid, "name": name, "path": payload["path"],
+            })
+        except RpcFailure as failure:
+            self.respond_error(message, failure)
+            return
+        finally:
+            self._release(grants)
+        # Our own replica entry is gone from the authoritative store.
+        self.dentries.delete((pid, name))
+        self.inval_seq[("d", pid, name)] += 1
+        self.metrics.counter("ops").inc("rmdir")
+        self.respond(message, {"ok": True})
+
+    def _on_chmod_dir(self, message):
+        payload = message.payload
+        try:
+            components = split_path(payload["path"])
+            if not components:
+                raise RpcFailure(RpcError.EINVAL, "chmod /")
+            pid, grants = yield from self._resolve_and_lock(components)
+        except (ValueError, RpcFailure) as failure:
+            if not isinstance(failure, RpcFailure):
+                failure = RpcFailure(RpcError.EINVAL, payload["path"])
+            self.respond_error(message, failure)
+            return
+        name = components[-1]
+        try:
+            yield self.call(self._owner(pid, name), "chmod_exec", {
+                "pid": pid, "name": name, "path": payload["path"],
+                "mode": payload["mode"],
+            })
+        except RpcFailure as failure:
+            self.respond_error(message, failure)
+            return
+        finally:
+            self._release(grants)
+        record = self.dentries.get((pid, name))
+        if record is not None:
+            record.mode = payload["mode"]
+        self.metrics.counter("ops").inc("chmod_dir")
+        self.respond(message, {"ok": True})
+
+    def _on_rename(self, message):
+        payload = message.payload
+        mutex = self._rename_mutex.request()
+        yield mutex
+        grants = []
+        try:
+            src = split_path(payload["src"])
+            dst = split_path(payload["dst"])
+            if not src or not dst:
+                raise RpcFailure(RpcError.EINVAL, "rename involving /")
+            if dst[:len(src)] == src:
+                # Moving a directory into its own subtree would orphan
+                # the whole subtree (classic EINVAL).
+                raise RpcFailure(
+                    RpcError.EINVAL, "rename into own subtree"
+                )
+            spid_res = yield from self.resolve_dir(src[:-1])
+            dpid_res = yield from self.resolve_dir(dst[:-1])
+            spid, dpid = spid_res.ino, dpid_res.ino
+            sname, dname = src[-1], dst[-1]
+            skey, dkey = (spid, sname), (dpid, dname)
+            if skey == dkey:
+                raise RpcFailure(RpcError.EINVAL, "rename onto itself")
+            lock_keys = {("d",) + skey: LockMode.EXCLUSIVE,
+                         ("d",) + dkey: LockMode.EXCLUSIVE}
+            for chain in (spid_res.chain, dpid_res.chain):
+                for key, _, _ in chain:
+                    lock_keys.setdefault(key, LockMode.SHARED)
+            for key in sorted(lock_keys):
+                grant = self.locks.acquire(key, lock_keys[key])
+                yield grant.event
+                grants.append(grant)
+            yield from self.execute(
+                len(grants) * self.costs.lock_acquire_us
+                + 2 * self.costs.two_phase_round_us
+            )
+            yield from self._rename_2pc(message, skey, dkey)
+        except RpcFailure as failure:
+            self.respond_error(message, failure)
+        except ValueError:
+            self.respond_error(
+                message, RpcFailure(RpcError.EINVAL, str(payload))
+            )
+        finally:
+            self._release(grants)
+            self._rename_mutex.release(mutex)
+
+    def _rename_2pc(self, message, skey, dkey):
+        txid = "rn-{}".format(next(self._txids))
+        src_owner = self._owner(*skey)
+        dst_owner = self._owner(*dkey)
+        vote = yield self.call(src_owner, "rename_prepare", {
+            "txid": txid, "action": "delete", "key": list(skey),
+        })
+        if not vote["ok"]:
+            yield self.call(src_owner, "rename_abort", {"txid": txid})
+            raise RpcFailure(RpcError.ENOENT, skey)
+        record = vote["record"]
+        vote = yield self.call(dst_owner, "rename_prepare", {
+            "txid": txid, "action": "insert", "key": list(dkey),
+            "record": record,
+        })
+        if not vote["ok"]:
+            # One abort per participant releases everything staged.
+            for owner in {src_owner, dst_owner}:
+                yield self.call(owner, "rename_abort", {"txid": txid})
+            raise RpcFailure(RpcError.EEXIST, dkey)
+        if record["is_dir"]:
+            # Invalidate the source dentry everywhere; the two owners
+            # already hold it locked and update their replicas at commit.
+            peers = [
+                peer for peer in self.shared.mnode_names
+                if peer not in (src_owner, dst_owner)
+            ]
+            if peers:
+                yield self.env.all_of([
+                    self.call(peer, "invalidate", {"keys": [list(skey)]})
+                    for peer in peers
+                ])
+            self.dentries.delete(skey)
+            self.inval_seq[("d",) + skey] += 1
+        for owner in {src_owner, dst_owner}:
+            yield self.call(owner, "rename_commit", {"txid": txid})
+        self.metrics.counter("ops").inc("rename")
+        self.respond(message, {"ok": True})
+
+    # ------------------------------------------------------------------
+    # statistical load balancing (§4.2.2)
+    # ------------------------------------------------------------------
+
+    def _top_k(self):
+        n = self.shared.config.num_mnodes
+        return max(8, int(math.ceil(n * math.log2(max(2, n)))))
+
+    def _gather_stats(self):
+        replies = yield self.env.all_of([
+            self.call(name, "stats", {"top_k": self._top_k()})
+            for name in self.shared.mnode_names
+        ])
+        return replies
+
+    def _bound(self, total):
+        n = self.shared.config.num_mnodes
+        return (1.0 / n + self.shared.config.epsilon) * total
+
+    def rebalance(self, max_rounds=64):
+        """Generator: run the load-balancing loop until no node exceeds
+        the (1/n + epsilon) bound or no candidate move makes progress.
+
+        Each round redirects the most frequent filename on the most
+        loaded node, choosing the method that minimizes the new maximum
+        (§4.2.2), with two convergence safeguards: a move must strictly
+        improve the maximum, and a filename whose frequency exceeds a
+        node's fair share escalates to path-walk redirection even when a
+        pin looks locally better — the §A.1 regime where only spreading
+        the name can balance the namespace.  Returns a report dict.
+        """
+        moves = []
+        counts = []
+        attempted = set()
+        for _ in range(max_rounds):
+            stats = yield from self._gather_stats()
+            counts = [s["inode_count"] for s in stats]
+            total = sum(counts)
+            if total == 0:
+                break
+            imax = max(range(len(counts)), key=counts.__getitem__)
+            if counts[imax] <= self._bound(total):
+                break
+            imin = min(range(len(counts)), key=counts.__getitem__)
+            move = self._plan_move(stats, counts, imax, imin, total,
+                                   attempted)
+            if move is None:
+                break
+            name, freq, method = move
+            attempted.add((name, method))
+            yield from self._apply_redirection(name, method, imin)
+            moves.append({"name": name, "method": method, "count": freq,
+                          "from": imax, "to": imin})
+        self.rebalance_log.extend(moves)
+        return {"moves": moves, "counts": counts}
+
+    def _plan_move(self, stats, counts, imax, imin, total, attempted):
+        """The best (name, freq, method) for this round, or None."""
+        fair_share = total / len(counts)
+        for name, freq in stats[imax]["top_filenames"]:
+            if name in self.xt.pathwalk:
+                continue
+            method, estimate = self._choose_method(counts, imax, imin,
+                                                   freq)
+            if estimate < counts[imax] and (name, method) not in attempted:
+                return name, freq, method
+            if (freq >= fair_share
+                    and (name, "pathwalk") not in attempted):
+                # A single filename larger than a node's fair share can
+                # only be balanced by spreading it (§A.1).
+                return name, freq, "pathwalk"
+        return None
+
+    def _choose_method(self, counts, imax, imin, freq):
+        """Redirection minimizing the post-move maximum count.
+
+        Returns ``(method, estimated_new_max)``.  Ties favor overriding
+        redirection: it keeps one-hop access, while path-walk redirection
+        costs an extra hop per operation.
+        """
+        n = len(counts)
+        pathwalk_counts = [
+            c - freq + freq / n if i == imax else c + freq / n
+            for i, c in enumerate(counts)
+        ]
+        override_counts = list(counts)
+        override_counts[imax] -= freq
+        override_counts[imin] += freq
+        if max(override_counts) <= max(pathwalk_counts):
+            return "override", max(override_counts)
+        return "pathwalk", max(pathwalk_counts)
+
+    def _apply_redirection(self, name, method, target_index):
+        """Generator: block, migrate and repoint one filename."""
+        yield from self._migrate(name, lambda: self._update_table(
+            name, method, target_index
+        ))
+
+    def _update_table(self, name, method, target_index):
+        if method == "pathwalk":
+            self.xt.add_pathwalk(name)
+        elif method == "override":
+            self.xt.add_override(name, target_index)
+        else:
+            self.xt.remove(name)
+
+    def _migrate(self, name, update_table):
+        """Generator: the shared migrate protocol.
+
+        1. block access to ``name`` on every MNode, 2. collect its inodes,
+        3. apply the table change and push it eagerly, 4. install inodes
+        at their new owners, 5. unblock.
+        """
+        names = {"names": [name]}
+        mnodes = self.shared.mnode_names
+        yield self.env.all_of([
+            self.call(node, "migrate_begin", names) for node in mnodes
+        ])
+        replies = yield self.env.all_of([
+            self.call(node, "migrate_collect", {"name": name})
+            for node in mnodes
+        ])
+        entries = [e for reply in replies for e in reply["entries"]]
+        update_table()
+        yield from self.push_exception_table()
+        by_target = {}
+        for entry in entries:
+            pid = entry["key"][0]
+            target = self.index.locate(pid, name)
+            by_target.setdefault(target, []).append(entry)
+        if by_target:
+            yield self.env.all_of([
+                self.call(self.shared.mnode_name(target),
+                          "migrate_install", {"entries": group})
+                for target, group in by_target.items()
+            ])
+        yield self.env.all_of([
+            self.call(node, "migrate_end", names) for node in mnodes
+        ])
+        self.metrics.counter("migrations").inc(amount=len(entries))
+
+    def push_exception_table(self):
+        """Generator: eagerly distribute the table to all MNodes."""
+        wire = {"table": exception_table_to_wire(self.xt)}
+        yield self.env.all_of([
+            self.call(node, "xt_update", wire)
+            for node in self.shared.mnode_names
+        ])
+
+    # ------------------------------------------------------------------
+    # exception-table shrinking
+    # ------------------------------------------------------------------
+
+    def shrink(self):
+        """Generator: drop redirection entries that are no longer needed.
+
+        Iterates path-walk entries then overriding entries in random
+        order, removing each whose removal keeps every node within the
+        load bound (§4.2.2).
+        """
+        rng = self.shared.streams.stream("coordinator.shrink")
+        removed = []
+        for group in (sorted(self.xt.pathwalk), sorted(self.xt.override)):
+            group = list(group)
+            rng.shuffle(group)
+            for name in group:
+                stats = yield from self._gather_stats()
+                counts = [s["inode_count"] for s in stats]
+                total = sum(counts)
+                if total == 0:
+                    continue
+                name_counts = yield self.env.all_of([
+                    self.call(node, "name_count", {"name": name})
+                    for node in self.shared.mnode_names
+                ])
+                per_node = [reply["count"] for reply in name_counts]
+                freq = sum(per_node)
+                target = self.index.hash_name(name)
+                projected = [
+                    c - per_node[i] for i, c in enumerate(counts)
+                ]
+                projected[target] += freq
+                if max(projected) <= self._bound(total):
+                    yield from self._migrate(
+                        name, lambda name=name: self.xt.remove(name)
+                    )
+                    removed.append(name)
+        return removed
+
+    # ------------------------------------------------------------------
+    # optional periodic balancing
+    # ------------------------------------------------------------------
+
+    def start_auto_balance(self, interval_us):
+        """Kick off periodic rebalance + shrink, as production does."""
+        def loop():
+            while True:
+                yield self.env.timeout(interval_us)
+                yield from self.rebalance()
+                yield from self.shrink()
+        return self.env.process(loop())

@@ -1,0 +1,911 @@
+"""The FalconFS metadata node (MNode).
+
+An MNode is the paper's PostgreSQL-with-extensions metadata server.  It
+holds:
+
+* a **namespace replica** — lazily synchronized directory dentries
+  (:mod:`repro.core.replica`), enabling local path resolution;
+* an **inode table shard** — the file/directory attribute records hybrid
+  indexing places here;
+* the **concurrent request merging** machinery (§4.4): typed request
+  queues drained in batches, with lock coalescing (one acquisition per
+  distinct lock per batch) and WAL coalescing (one transaction, hence one
+  group-committed log append, per batch).
+
+Client-facing operations (`create`, `open`, `close`, `getattr`, `setattr`,
+`unlink`, `mkdir`) flow through the worker pool.  Control-plane traffic
+(dentry lookups serving other replicas, invalidations, rmdir/chmod/rename
+execution for the coordinator, statistics, migration) is handled by
+directly spawned processes so that replica maintenance can never be
+starved by a full worker pool.
+"""
+
+import heapq
+from collections import defaultdict
+
+from repro.core.indexing import ROUTE_PATHWALK, ExceptionTable, HybridIndex
+from repro.core.merging import WorkerPool
+from repro.core.records import (
+    INVALID,
+    DentryRecord,
+    InodeRecord,
+    inode_from_wire,
+    inode_to_wire,
+)
+from repro.core.replica import NamespaceReplicaMixin
+from repro.net import Node
+from repro.net.message import Message
+from repro.net.rpc import RpcError, RpcFailure
+from repro.storage import LockMode, Table, Transaction, WriteAheadLog
+from repro.vfs.pathwalk import split_path
+
+#: Operations that flow through the merging worker pool.
+MERGEABLE_OPS = frozenset(
+    ("create", "open", "close", "getattr", "setattr", "unlink", "mkdir",
+     "lookup")
+)
+
+#: Operations that mutate the inode table (X lock on the target).
+WRITE_OPS = frozenset(("create", "close", "unlink", "mkdir", "setattr"))
+
+#: Operations that require write permission on the parent directory.
+PARENT_WRITE_OPS = frozenset(("create", "unlink", "mkdir"))
+
+
+class _Plan:
+    """A validated, resolved request ready for batch execution."""
+
+    __slots__ = ("message", "op", "payload", "pid", "name", "chain",
+                 "lock_specs", "cpu_us")
+
+    def __init__(self, message, pid, name, chain):
+        self.message = message
+        self.op = message.kind
+        self.payload = message.payload
+        self.pid = pid
+        self.name = name
+        self.chain = chain
+        self.lock_specs = {}
+        self.cpu_us = 0.0
+
+    @property
+    def inode_key(self):
+        return (self.pid, self.name)
+
+
+class MNode(NamespaceReplicaMixin, Node):
+    """One metadata server."""
+
+    def __init__(self, env, network, shared, index):
+        super().__init__(
+            env, network, shared.mnode_name(index),
+            cores=shared.config.server_cores,
+        )
+        self.shared = shared
+        self.my_index = index
+        self.init_replica()
+        self.inodes = Table("inode")
+        self.wal = WriteAheadLog(env, self.costs, self.metrics)
+        self.xt = ExceptionTable()
+        self.index = HybridIndex(shared.config.num_mnodes, self.xt)
+        #: filename -> number of local inodes with that name (load stats).
+        self.filename_counts = defaultdict(int)
+        #: filename -> set of parent ids (secondary index for migration).
+        self._name_parents = defaultdict(set)
+        #: Filenames whose inodes are blocked mid-migration.
+        self.migrating = set()
+        #: txid -> list of staged 2PC actions (rename / eager replication).
+        self._staged = {}
+        #: Log shipper when primary-standby replication is enabled.
+        self.shipper = None
+        cfg = shared.config
+        self.pool = WorkerPool(
+            env, self._execute_batch, workers=cfg.server_cores,
+            max_batch=cfg.max_batch, linger_us=cfg.merge_linger_us,
+            merging=cfg.merging,
+        )
+
+    # ------------------------------------------------------------------
+    # message intake
+    # ------------------------------------------------------------------
+
+    def deliver(self, message):
+        self.metrics.counter("received").inc(message.kind)
+        if message.kind in MERGEABLE_OPS:
+            self.pool.submit(message.kind, message)
+        else:
+            self.env.process(self._handle_guard(message))
+
+    def handle(self, message):
+        handler = getattr(self, "_on_" + message.kind, None)
+        if handler is None:
+            raise RuntimeError(
+                "{} cannot handle {!r}".format(self.name, message)
+            )
+        yield from handler(message)
+
+    def _owns_dentry(self, key):
+        return self.index.locate(key[0], key[1]) == self.my_index
+
+    def attach_standby(self, standby_name):
+        from repro.storage.replication import LogShipper
+
+        self.shipper = LogShipper(self, standby_name)
+
+    def _txn(self):
+        on_commit = self.shipper.ship if self.shipper else None
+        return Transaction(self.env, self.wal, self.costs,
+                           on_commit=on_commit)
+
+    # ------------------------------------------------------------------
+    # batch execution (concurrent request merging, §4.4)
+    # ------------------------------------------------------------------
+
+    def _execute_batch(self, kind, batch):
+        cfg = self.shared.config
+        if cfg.merging:
+            # One dispatch per batch: the queue hand-off is amortized.
+            yield from self.execute(self.costs.dispatch_us)
+        else:
+            # Every request individually contends on the shared queue;
+            # under high concurrency the cache-line bouncing inflates the
+            # dispatch cost well beyond the uncontended slice (§6.7).
+            req = self.pool.dispatch_lock.request()
+            yield req
+            try:
+                yield from self.execute(
+                    self.costs.dispatch_us * cfg.unmerged_dispatch_factor
+                )
+            finally:
+                self.pool.dispatch_lock.release(req)
+        self.metrics.histogram("batch_size").observe(len(batch))
+
+        plans = []
+        for message in batch:
+            plan = yield from self._plan(message)
+            if plan is not None:
+                plans.append(plan)
+        if not plans:
+            return
+        if kind == "mkdir" and cfg.eager_replication:
+            # Eager 2PC replication: independent directories proceed in
+            # parallel (the *no inv* ablation measures 2PC cost, not an
+            # artificial serialization).
+            yield self.env.all_of([
+                self.env.process(self._mkdir_eager(plan)) for plan in plans
+            ])
+            return
+
+        # -- lock coalescing: one acquisition per distinct key per batch.
+        lock_modes = {}
+        for plan in plans:
+            for key, mode in plan.lock_specs.items():
+                if lock_modes.get(key) != LockMode.EXCLUSIVE:
+                    lock_modes[key] = mode
+        grants = []
+        for key in sorted(lock_modes):
+            grant = self.locks.acquire(key, lock_modes[key])
+            yield grant.event
+            grants.append(grant)
+
+        # -- revalidate: a concurrent invalidation between resolution and
+        # locking forces a client retry (rare; namespace changes only).
+        live = []
+        for plan in plans:
+            if self._plan_still_valid(plan):
+                live.append(plan)
+            else:
+                self._respond_error(
+                    plan.message, RpcFailure(RpcError.ERETRY, plan.name)
+                )
+        if not live:
+            for grant in grants:
+                self.locks.release(grant)
+            return
+
+        # -- aggregate CPU charge: coalesced locks + per-op work + one txn.
+        costs = self.costs
+        cpu = len(grants) * (costs.lock_acquire_us + costs.lock_release_us)
+        cpu += sum(plan.cpu_us for plan in live)
+        cpu += costs.txn_begin_us + costs.txn_commit_us
+        yield from self.execute(cpu)
+
+        txn = self._txn()
+        outcomes = []
+        for plan in live:
+            try:
+                outcomes.append((plan, self._apply(plan, txn)))
+            except RpcFailure as failure:
+                outcomes.append((plan, failure))
+        if txn.write_count:
+            yield from txn.commit()
+        for grant in grants:
+            self.locks.release(grant)
+        for plan, outcome in outcomes:
+            if isinstance(outcome, RpcFailure):
+                self._respond_error(plan.message, outcome)
+            else:
+                self.metrics.counter("ops").inc(plan.op)
+                self._respond_ok(plan.message, outcome)
+
+    def _plan(self, message):
+        """Generator: validate routing and resolve the parent directory.
+
+        Returns a :class:`_Plan`, or None when the request was forwarded
+        or answered with an error.
+        """
+        payload = message.payload
+        if message.kind == "lookup":
+            # Stateful-client component lookup: keyed (pid, name) access,
+            # no path resolution (the client is doing the walking).
+            return self._plan_keyed_lookup(message)
+        try:
+            components = split_path(payload["path"])
+        except ValueError:
+            self._respond_error(
+                message, RpcFailure(RpcError.EINVAL, payload.get("path"))
+            )
+            return None
+        if not components:
+            self._respond_error(
+                message, RpcFailure(RpcError.EINVAL, "operation on /")
+            )
+            return None
+        name = components[-1]
+
+        # -- routing validation against the local exception table.  A
+        # client with a stale table is corrected by forwarding (§4.2.1).
+        route_kind, target = self.index.route(name)
+        if route_kind != ROUTE_PATHWALK and target != self.my_index:
+            # Misdirected (stale client table): decoding it here was not
+            # amortizable, and the correct node pays dispatch again.
+            yield from self.execute(self.costs.dispatch_us)
+            self._forward(message, target)
+            return None
+
+        try:
+            resolved = yield from self.resolve_dir(components[:-1])
+        except RpcFailure as failure:
+            self._respond_error(message, failure)
+            return None
+
+        if route_kind == ROUTE_PATHWALK:
+            target = self.index.hash_parent_name(resolved.ino, name)
+            if target != self.my_index:
+                yield from self.execute(self.costs.dispatch_us)
+                self._forward(message, target)
+                return None
+
+        if name in self.migrating:
+            self._respond_error(message, RpcFailure(RpcError.ERETRY, name))
+            return None
+
+        parent_mode = (
+            resolved.chain[-1][1].mode if resolved.chain
+            else self.root_dentry.mode
+        )
+        # Search permission on the parent is required for any access to
+        # its entries; write permission for mutations.
+        if not parent_mode & 0o111 or (
+            message.kind in PARENT_WRITE_OPS and not parent_mode & 0o222
+        ):
+            self._respond_error(
+                message, RpcFailure(RpcError.EACCES, payload["path"])
+            )
+            return None
+
+        plan = _Plan(message, resolved.ino, name, resolved.chain)
+        for dkey, _, _ in resolved.chain:
+            plan.lock_specs.setdefault(dkey, LockMode.SHARED)
+        ikey = ("i", plan.pid, name)
+        plan.lock_specs[ikey] = (
+            LockMode.EXCLUSIVE if message.kind in WRITE_OPS
+            else LockMode.SHARED
+        )
+        if message.kind == "mkdir":
+            # We will also insert the local replica dentry.
+            plan.lock_specs[("d", plan.pid, name)] = LockMode.EXCLUSIVE
+        plan.cpu_us = self._plan_cpu(message.kind, len(components))
+        return plan
+
+    def _plan_keyed_lookup(self, message):
+        payload = message.payload
+        pid, name = payload["pid"], payload["name"]
+        target = self.index.locate(pid, name)
+        if target != self.my_index:
+            self._forward(message, target)
+            return None
+        if name in self.migrating:
+            self._respond_error(message, RpcFailure(RpcError.ERETRY, name))
+            return None
+        plan = _Plan(message, pid, name, [])
+        plan.lock_specs[("i", pid, name)] = LockMode.SHARED
+        plan.cpu_us = self.costs.index_lookup_us
+        return plan
+
+    def _plan_cpu(self, op, num_components):
+        costs = self.costs
+        cpu = costs.resolve_component_us * num_components
+        if op in ("open", "getattr"):
+            cpu += costs.index_lookup_us
+        elif op == "create":
+            cpu += costs.index_lookup_us + costs.index_insert_us
+        elif op == "mkdir":
+            cpu += costs.index_lookup_us + 2 * costs.index_insert_us
+        elif op in ("close", "setattr"):
+            cpu += costs.index_lookup_us + costs.index_insert_us
+        elif op == "unlink":
+            cpu += costs.index_lookup_us + costs.index_delete_us
+        return cpu
+
+    def _plan_still_valid(self, plan):
+        if plan.name in self.migrating:
+            return False
+        for dkey, record, seq in plan.chain:
+            if self.inval_seq[dkey] != seq or record.state == INVALID:
+                return False
+            if self.dentries.get((dkey[1], dkey[2])) is not record:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # operation semantics (pure, executed inside the batch transaction)
+    # ------------------------------------------------------------------
+
+    def _apply(self, plan, txn):
+        op = plan.op
+        payload = plan.payload
+        key = plan.inode_key
+        where = payload.get("path", key)
+        record = txn.get(self.inodes, key)
+        if op == "mkdir":
+            if record is not None:
+                raise RpcFailure(RpcError.EEXIST, where)
+            ino = self.shared.allocator.allocate()
+            mode = payload.get("mode", 0o755)
+            inode = InodeRecord(ino=ino, is_dir=True, mode=mode,
+                                mtime=self.env.now)
+            txn.put(self.inodes, key, inode)
+            txn.put(self.dentries, key, DentryRecord(ino=ino, mode=mode))
+            self._track_name(key, +1)
+            return {"ino": ino}
+        if op == "create":
+            if record is not None:
+                if payload.get("exclusive", True):
+                    raise RpcFailure(RpcError.EEXIST, where)
+                if record.is_dir:
+                    raise RpcFailure(RpcError.EISDIR, where)
+                truncated = record.copy()
+                truncated.size = 0
+                truncated.mtime = self.env.now
+                txn.put(self.inodes, key, truncated)
+                return {"ino": record.ino}
+            inode = InodeRecord(
+                ino=self.shared.allocator.allocate(), is_dir=False,
+                mode=payload.get("mode", 0o644), size=payload.get("size", 0),
+                mtime=self.env.now,
+            )
+            txn.put(self.inodes, key, inode)
+            self._track_name(key, +1)
+            return {"ino": inode.ino}
+        if record is None:
+            raise RpcFailure(RpcError.ENOENT, where)
+        if op in ("open", "getattr", "lookup"):
+            if op == "open" and record.is_dir:
+                raise RpcFailure(RpcError.EISDIR, where)
+            return {"attrs": inode_to_wire(record)}
+        if op == "close":
+            updated = record.copy()
+            updated.size = payload.get("size", record.size)
+            updated.mtime = self.env.now
+            txn.put(self.inodes, key, updated)
+            return {}
+        if op == "unlink":
+            if record.is_dir:
+                raise RpcFailure(RpcError.EISDIR, where)
+            txn.delete(self.inodes, key)
+            self._track_name(key, -1)
+            return {}
+        if op == "setattr":
+            if record.is_dir:
+                # Directory permission changes go through the coordinator.
+                raise RpcFailure(RpcError.EISDIR, where)
+            updated = record.copy()
+            updated.mode = payload.get("mode", record.mode)
+            updated.uid = payload.get("uid", record.uid)
+            updated.gid = payload.get("gid", record.gid)
+            txn.put(self.inodes, key, updated)
+            return {}
+        raise RpcFailure(RpcError.EINVAL, op)
+
+    def _track_name(self, key, delta):
+        pid, name = key
+        self.filename_counts[name] += delta
+        if self.filename_counts[name] <= 0:
+            del self.filename_counts[name]
+        if delta > 0:
+            self._name_parents[name].add(pid)
+        else:
+            self._name_parents[name].discard(pid)
+            if not self._name_parents[name]:
+                del self._name_parents[name]
+
+    # ------------------------------------------------------------------
+    # responses / forwarding
+    # ------------------------------------------------------------------
+
+    def _respond_ok(self, message, data):
+        body = {"ok": True, "data": data, "xt_version": self.xt.version}
+        requester_version = (message.payload or {}).get("xt_version")
+        if requester_version is not None and requester_version < self.xt.version:
+            body["xt"] = exception_table_to_wire(self.xt)
+        self.respond(message, body)
+
+    def _respond_error(self, message, failure):
+        self.metrics.counter("op_errors").inc(RpcError.name(failure.code))
+        self.respond_error(message, failure)
+
+    def _forward(self, message, target_index):
+        self.metrics.counter("forwarded").inc(message.kind)
+        forwarded = Message(
+            self.name, self.shared.mnode_name(target_index), message.kind,
+            message.payload, message.size, message.reply_to,
+        )
+        self.network.send(forwarded)
+
+    # ------------------------------------------------------------------
+    # eager replication ablation (the *no inv* configuration, Fig 15a)
+    # ------------------------------------------------------------------
+
+    def _mkdir_eager(self, plan):
+        """mkdir with 2PC dentry replication to every MNode."""
+        key = plan.inode_key
+        grant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE)
+        yield grant.event
+        try:
+            if self.inodes.get(key) is not None:
+                self._respond_error(
+                    plan.message, RpcFailure(RpcError.EEXIST, plan.name)
+                )
+                return
+            ino = self.shared.allocator.allocate()
+            mode = plan.payload.get("mode", 0o755)
+            txid = "mkdir-{}-{}".format(self.name, ino)
+            wire = {"ino": ino, "mode": mode, "uid": 0, "gid": 0}
+            peers = [
+                peer for peer in self.shared.mnode_names
+                if peer != self.name
+            ]
+            votes = yield self.env.all_of([
+                self.call(peer, "replica_prepare",
+                          {"txid": txid, "key": list(key), "record": wire})
+                for peer in peers
+            ])
+            yield from self.execute(
+                self.costs.two_phase_round_us * max(1, len(peers))
+            )
+            if not all(vote.get("ok") for vote in votes):
+                yield self.env.all_of([
+                    self.call(peer, "replica_abort", {"txid": txid})
+                    for peer in peers
+                ])
+                self._respond_error(
+                    plan.message, RpcFailure(RpcError.ERETRY, plan.name)
+                )
+                return
+            txn = self._txn()
+            inode = InodeRecord(ino=ino, is_dir=True, mode=mode,
+                                mtime=self.env.now)
+            txn.put(self.inodes, key, inode)
+            txn.put(self.dentries, key, DentryRecord(ino=ino, mode=mode))
+            yield from txn.commit()
+            self._track_name(key, +1)
+            yield self.env.all_of([
+                self.call(peer, "replica_commit", {"txid": txid})
+                for peer in peers
+            ])
+            yield from self.execute(
+                self.costs.two_phase_round_us * max(1, len(peers))
+            )
+            self.metrics.counter("ops").inc("mkdir")
+            self._respond_ok(plan.message, {"ino": ino})
+        finally:
+            self.locks.release(grant)
+
+    def _on_replica_prepare(self, message):
+        payload = message.payload
+        key = tuple(payload["key"])
+        grant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE)
+        yield grant.event
+        yield from self.execute(self.costs.index_insert_us)
+        # Participants persist their vote before answering (2PC rule).
+        yield self.wal.commit(self.costs.wal_record_bytes)
+        self._staged[payload["txid"]] = {"key": key, "grant": grant,
+                                         "record": payload["record"]}
+        self.respond(message, {"ok": True})
+
+    def _on_replica_commit(self, message):
+        staged = self._staged.pop(message.payload["txid"])
+        wire = staged["record"]
+        self.dentries.put(staged["key"], DentryRecord(
+            ino=wire["ino"], mode=wire["mode"], uid=wire["uid"],
+            gid=wire["gid"],
+        ))
+        yield from self.execute(self.costs.index_insert_us)
+        self.locks.release(staged["grant"])
+        self.respond(message, {"ok": True})
+
+    def _on_replica_abort(self, message):
+        staged = self._staged.pop(message.payload["txid"], None)
+        if staged is not None:
+            self.locks.release(staged["grant"])
+        self.respond(message, {"ok": True})
+        return
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # control plane: replica maintenance
+    # ------------------------------------------------------------------
+
+    def _on_lookup_dentry(self, message):
+        """Serve a dentry fetch from another namespace replica.
+
+        Takes the directory inode's shared lock, so fetches block behind a
+        namespace change that holds it exclusively (§4.3, case 2).
+        """
+        payload = message.payload
+        key = (payload["pid"], payload["name"])
+        grant = self.locks.acquire(("i",) + key, LockMode.SHARED)
+        yield grant.event
+        try:
+            yield from self.execute(self.costs.index_lookup_us)
+            record = self.inodes.get(key)
+        finally:
+            self.locks.release(grant)
+        self.metrics.counter("served_lookups").inc()
+        if record is None:
+            self._respond_error(message, RpcFailure(RpcError.ENOENT, key))
+        elif not record.is_dir:
+            self._respond_error(message, RpcFailure(RpcError.ENOTDIR, key))
+        else:
+            self.respond(message, {
+                "ino": record.ino, "mode": record.mode,
+                "uid": record.uid, "gid": record.gid,
+            })
+
+    def _on_invalidate(self, message):
+        """Invalidate replica dentries; optionally report child existence
+        (the rmdir children check rides the same broadcast)."""
+        payload = message.payload
+        yield from self.apply_invalidation(payload["keys"])
+        response = {}
+        if payload.get("children_of") is not None:
+            yield from self.execute(self.costs.index_lookup_us)
+            response["has_children"] = self.inodes.has_prefix(
+                (payload["children_of"],)
+            )
+        self.respond(message, response)
+
+    # ------------------------------------------------------------------
+    # control plane: namespace changes executed for the coordinator
+    # ------------------------------------------------------------------
+
+    def _on_rmdir_exec(self, message):
+        """Owner-side rmdir: lock, broadcast invalidation + child check,
+        then delete inode and local dentry if the directory is empty."""
+        payload = message.payload
+        key = (payload["pid"], payload["name"])
+        dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE)
+        yield dgrant.event
+        igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE)
+        yield igrant.event
+        try:
+            yield from self.execute(self.costs.index_lookup_us)
+            record = self.inodes.get(key)
+            if record is None:
+                raise RpcFailure(RpcError.ENOENT, payload["path"])
+            if not record.is_dir:
+                raise RpcFailure(RpcError.ENOTDIR, payload["path"])
+            peers = [
+                peer for peer in self.shared.mnode_names
+                if peer != self.name
+            ]
+            # Marshaling one invalidation per peer costs owner CPU —
+            # the cluster-size-proportional overhead of §6.2's rmdir.
+            yield from self.execute(
+                self.costs.invalidate_apply_us * 4 * len(peers)
+            )
+            replies = yield self.env.all_of([
+                self.call(peer, "invalidate",
+                          {"keys": [list(key)], "children_of": record.ino})
+                for peer in peers
+            ])
+            yield from self.execute(self.costs.index_lookup_us)
+            local_children = self.inodes.has_prefix((record.ino,))
+            if local_children or any(r.get("has_children") for r in replies):
+                raise RpcFailure(RpcError.ENOTEMPTY, payload["path"])
+            txn = self._txn()
+            txn.delete(self.inodes, key)
+            txn.delete(self.dentries, key)
+            yield from txn.commit()
+            self.inval_seq[("d",) + key] += 1
+            self._track_name(key, -1)
+            self.metrics.counter("ops").inc("rmdir")
+            self.respond(message, {"ok": True})
+        except RpcFailure as failure:
+            self._respond_error(message, failure)
+        finally:
+            self.locks.release(igrant)
+            self.locks.release(dgrant)
+
+    def _on_chmod_exec(self, message):
+        """Owner-side directory permission change: invalidate everywhere,
+        then update the inode and the local replica dentry."""
+        payload = message.payload
+        key = (payload["pid"], payload["name"])
+        dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE)
+        yield dgrant.event
+        igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE)
+        yield igrant.event
+        try:
+            record = self.inodes.get(key)
+            if record is None:
+                raise RpcFailure(RpcError.ENOENT, payload["path"])
+            peers = [
+                peer for peer in self.shared.mnode_names
+                if peer != self.name
+            ]
+            yield self.env.all_of([
+                self.call(peer, "invalidate", {"keys": [list(key)]})
+                for peer in peers
+            ])
+            updated = record.copy()
+            updated.mode = payload["mode"]
+            txn = self._txn()
+            txn.put(self.inodes, key, updated)
+            if record.is_dir:
+                txn.put(self.dentries, key, DentryRecord(
+                    ino=record.ino, mode=payload["mode"],
+                    uid=record.uid, gid=record.gid,
+                ))
+            yield from txn.commit()
+            self.metrics.counter("ops").inc("chmod")
+            self.respond(message, {"ok": True})
+        except RpcFailure as failure:
+            self._respond_error(message, failure)
+        finally:
+            self.locks.release(igrant)
+            self.locks.release(dgrant)
+
+    # -- rename 2PC participant -----------------------------------------
+
+    def _on_rename_prepare(self, message):
+        payload = message.payload
+        txid = payload["txid"]
+        key = tuple(payload["key"])
+        action = payload["action"]
+        igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE)
+        yield igrant.event
+        dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE)
+        yield dgrant.event
+        yield from self.execute(self.costs.index_lookup_us)
+        record = self.inodes.get(key)
+        ok = record is not None if action == "delete" else record is None
+        staged = self._staged.setdefault(txid, [])
+        staged.append({
+            "action": action, "key": key, "grants": [igrant, dgrant],
+            "record": payload.get("record"),
+        })
+        # Persist the vote.
+        yield self.wal.commit(self.costs.wal_record_bytes)
+        response = {"ok": ok}
+        if ok and action == "delete":
+            response["record"] = inode_to_wire(record)
+        self.respond(message, response)
+
+    def _on_rename_commit(self, message):
+        staged = self._staged.pop(message.payload["txid"], [])
+        txn = self._txn()
+        for entry in staged:
+            key = entry["key"]
+            if entry["action"] == "delete":
+                record = self.inodes.get(key)
+                txn.delete(self.inodes, key)
+                if record is not None and record.is_dir:
+                    txn.delete(self.dentries, key)
+                    self.inval_seq[("d",) + key] += 1
+                self._track_name(key, -1)
+            else:
+                record = inode_from_wire(entry["record"])
+                txn.put(self.inodes, key, record)
+                if record.is_dir:
+                    txn.put(self.dentries, key, DentryRecord(
+                        ino=record.ino, mode=record.mode,
+                        uid=record.uid, gid=record.gid,
+                    ))
+                self._track_name(key, +1)
+        yield from txn.commit()
+        for entry in staged:
+            for grant in entry["grants"]:
+                self.locks.release(grant)
+        self.respond(message, {"ok": True})
+
+    def _on_rename_abort(self, message):
+        staged = self._staged.pop(message.payload["txid"], [])
+        for entry in staged:
+            for grant in entry["grants"]:
+                self.locks.release(grant)
+        self.respond(message, {"ok": True})
+        return
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # control plane: directory listing
+    # ------------------------------------------------------------------
+
+    def _on_readdir(self, message):
+        """Resolve the directory locally, then scatter a child scan to all
+        MNodes (file inodes for one directory live everywhere)."""
+        payload = message.payload
+        try:
+            components = split_path(payload["path"])
+            resolved = yield from self.resolve_dir(components)
+        except (ValueError, RpcFailure) as failure:
+            if not isinstance(failure, RpcFailure):
+                failure = RpcFailure(RpcError.EINVAL, payload["path"])
+            self._respond_error(message, failure)
+            return
+        dir_ino = resolved.ino
+        peers = [
+            peer for peer in self.shared.mnode_names if peer != self.name
+        ]
+        replies = yield self.env.all_of([
+            self.call(peer, "scan_children", {"pid": dir_ino})
+            for peer in peers
+        ])
+        local = self._scan_children(dir_ino)
+        yield from self.execute(
+            self.costs.index_lookup_us + 0.02 * len(local)
+        )
+        entries = list(local)
+        for reply in replies:
+            entries.extend(reply["entries"])
+        entries.sort()
+        self.metrics.counter("ops").inc("readdir")
+        self._respond_ok(message, {"entries": entries})
+
+    def _on_scan_children(self, message):
+        pid = message.payload["pid"]
+        entries = self._scan_children(pid)
+        yield from self.execute(
+            self.costs.index_lookup_us + 0.02 * len(entries)
+        )
+        self.respond(
+            message, {"entries": entries},
+            size=self.costs.rpc_response_bytes + 16 * len(entries),
+        )
+
+    def _scan_children(self, pid):
+        return [
+            (key[1], record.is_dir)
+            for key, record in self.inodes.scan_prefix((pid,))
+        ]
+
+    # ------------------------------------------------------------------
+    # control plane: statistics, exception table, migration
+    # ------------------------------------------------------------------
+
+    def _on_stats(self, message):
+        """Report local inode count and the top-k filename frequencies
+        (the paper's O(n log n) statistics, §4.2.2)."""
+        top_k = message.payload.get("top_k", 16)
+        top = heapq.nlargest(
+            top_k, self.filename_counts.items(), key=lambda item: item[1]
+        )
+        yield from self.execute(self.costs.index_lookup_us)
+        self.respond(message, {
+            "inode_count": len(self.inodes),
+            "top_filenames": top,
+        })
+
+    def _on_name_count(self, message):
+        name = message.payload["name"]
+        yield from self.execute(self.costs.index_lookup_us)
+        self.respond(
+            message, {"count": self.filename_counts.get(name, 0)}
+        )
+
+    def _on_xt_update(self, message):
+        table = exception_table_from_wire(message.payload["table"])
+        if table.version > self.xt.version:
+            self.xt.version = table.version
+            self.xt.pathwalk = table.pathwalk
+            self.xt.override = table.override
+        yield from self.execute(self.costs.index_lookup_us)
+        self.respond(message, {"ok": True})
+
+    def _on_fetch_xt(self, message):
+        yield from self.execute(self.costs.index_lookup_us)
+        self.respond(message, {"table": exception_table_to_wire(self.xt)})
+
+    def _on_migrate_begin(self, message):
+        self.migrating.update(message.payload["names"])
+        self.respond(message, {"ok": True})
+        return
+        yield  # pragma: no cover
+
+    def _on_migrate_end(self, message):
+        self.migrating.difference_update(message.payload["names"])
+        self.respond(message, {"ok": True})
+        return
+        yield  # pragma: no cover
+
+    def _on_migrate_collect(self, message):
+        """Remove and return every local inode with the given filename."""
+        name = message.payload["name"]
+        parents = sorted(self._name_parents.get(name, ()))
+        entries = []
+        txn = self._txn()
+        for pid in parents:
+            key = (pid, name)
+            record = self.inodes.get(key)
+            if record is None:
+                continue
+            entries.append({"key": list(key),
+                            "record": inode_to_wire(record)})
+            txn.delete(self.inodes, key)
+            if record.is_dir:
+                txn.delete(self.dentries, key)
+                self.inval_seq[("d",) + key] += 1
+        yield from self.execute(
+            self.costs.index_delete_us * max(1, len(entries))
+        )
+        if txn.write_count:
+            yield from txn.commit()
+        else:
+            txn.abort()
+        for entry in entries:
+            self._track_name(tuple(entry["key"]), -1)
+        self.respond(
+            message, {"entries": entries},
+            size=self.costs.rpc_response_bytes + 64 * len(entries),
+        )
+
+    def _on_migrate_install(self, message):
+        entries = message.payload["entries"]
+        txn = self._txn()
+        for entry in entries:
+            key = tuple(entry["key"])
+            record = inode_from_wire(entry["record"])
+            txn.put(self.inodes, key, record)
+            if record.is_dir:
+                txn.put(self.dentries, key, DentryRecord(
+                    ino=record.ino, mode=record.mode,
+                    uid=record.uid, gid=record.gid,
+                ))
+            self._track_name(key, +1)
+        yield from self.execute(
+            self.costs.index_insert_us * max(1, len(entries))
+        )
+        if txn.write_count:
+            yield from txn.commit()
+        else:
+            txn.abort()
+        self.respond(message, {"ok": True})
+
+
+def exception_table_to_wire(table):
+    """Serialize an exception table for RPC distribution."""
+    return {
+        "version": table.version,
+        "pathwalk": sorted(table.pathwalk),
+        "override": dict(table.override),
+    }
+
+
+def exception_table_from_wire(data):
+    return ExceptionTable(
+        version=data["version"],
+        pathwalk=data["pathwalk"],
+        override=data["override"],
+    )

@@ -1,0 +1,102 @@
+"""Metadata record types stored in MNode tables (Table 1 of the paper).
+
+Both tables key by ``(parent_id, name)``:
+
+* **dentry** records form the namespace replica — directory entries only,
+  replicated (lazily) on every MNode.  A replica entry can be *valid*,
+  *invalid* (it must be refetched from its owner before use — the
+  invalidation-based locking of §4.3), or absent (fetched on demand).
+* **inode** records hold per-file/directory attributes, sharded across
+  MNodes by hybrid indexing.
+
+A server-side dentry record is intentionally small (the paper's §3 notes
+under 100 bytes vs 800 bytes for a VFS-cached directory); we model that
+footprint for the memory-accounting experiments.
+"""
+
+from dataclasses import dataclass
+from itertools import count
+
+#: Modeled memory footprint of a server-side namespace-replica entry.
+SERVER_DENTRY_BYTES = 96
+
+#: Dentry replica states.
+VALID = "valid"
+INVALID = "invalid"
+
+
+@dataclass
+class DentryRecord:
+    """Namespace-replica entry for one directory."""
+
+    ino: int
+    mode: int = 0o755
+    uid: int = 0
+    gid: int = 0
+    state: str = VALID
+
+    def copy(self):
+        return DentryRecord(self.ino, self.mode, self.uid, self.gid, self.state)
+
+
+@dataclass
+class InodeRecord:
+    """Sharded attribute record for a file or directory."""
+
+    ino: int
+    is_dir: bool = False
+    mode: int = 0o644
+    uid: int = 0
+    gid: int = 0
+    size: int = 0
+    mtime: float = 0.0
+    nlink: int = 1
+
+    def copy(self):
+        return InodeRecord(
+            self.ino, self.is_dir, self.mode, self.uid, self.gid,
+            self.size, self.mtime, self.nlink,
+        )
+
+
+def inode_to_wire(record):
+    """Serialize an :class:`InodeRecord` for an RPC payload."""
+    return {
+        "ino": record.ino,
+        "is_dir": record.is_dir,
+        "mode": record.mode,
+        "uid": record.uid,
+        "gid": record.gid,
+        "size": record.size,
+        "mtime": record.mtime,
+        "nlink": record.nlink,
+    }
+
+
+def inode_from_wire(data):
+    """Deserialize an RPC payload into an :class:`InodeRecord`."""
+    return InodeRecord(
+        ino=data["ino"],
+        is_dir=data["is_dir"],
+        mode=data["mode"],
+        uid=data["uid"],
+        gid=data["gid"],
+        size=data["size"],
+        mtime=data["mtime"],
+        nlink=data["nlink"],
+    )
+
+
+class InodeAllocator:
+    """Cluster-wide unique inode numbers.
+
+    Real FalconFS allocates ids from per-MNode ranges handed out by the
+    coordinator; a shared counter is behaviourally identical because
+    placement never depends on the id value.
+    """
+
+    def __init__(self, start=2):
+        self._next = count(start)
+
+    def allocate(self):
+        return next(self._next)

@@ -1,0 +1,136 @@
+"""Lazy namespace replication (§4.3): the replica holder mixin.
+
+Both MNodes and the coordinator hold a namespace replica — a table of
+directory dentries keyed ``(parent_id, name)`` — and resolve paths against
+it locally.  Missing or invalidated entries are fetched on demand from the
+directory's *owner* MNode (the node hybrid indexing placed its inode on).
+
+The mixin also implements the receiving side of the invalidation protocol:
+an invalidation X-locks the dentry (waiting out any in-flight request that
+holds it shared), bumps the key's invalidation sequence number (so lookup
+responses issued before the invalidation are discarded — the paper's
+"discard stale responses" rule), and marks the entry invalid.
+"""
+
+from collections import defaultdict
+
+from repro.core.records import INVALID, VALID, DentryRecord
+from repro.net.rpc import RpcError, RpcFailure
+from repro.storage import LockManager, LockMode, Table
+from repro.vfs.attrs import ROOT_INO
+
+#: Resolution gives up after this many discarded (stale) fetches.
+MAX_FETCH_RETRIES = 16
+
+
+class ResolvedDir:
+    """Result of resolving a directory path against the local replica."""
+
+    __slots__ = ("ino", "chain")
+
+    def __init__(self, ino, chain):
+        self.ino = ino
+        #: list of (dentry_lock_key, record, inval_seq) per component.
+        self.chain = chain
+
+
+class NamespaceReplicaMixin:
+    """Adds a namespace replica to a :class:`~repro.net.Node` subclass.
+
+    Requires the host class to provide ``env``, ``costs``, ``shared``,
+    ``call`` and ``metrics``; call :meth:`init_replica` from ``__init__``.
+    """
+
+    def init_replica(self):
+        self.dentries = Table("dentry")
+        self.locks = LockManager(self.env)
+        self.inval_seq = defaultdict(int)
+        #: The root directory is known everywhere and never invalidated.
+        self.root_dentry = DentryRecord(ino=ROOT_INO, mode=0o777)
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve_dir(self, components):
+        """Generator: resolve a directory path locally, fetching missing
+        dentries from their owners.  Returns a :class:`ResolvedDir`.
+
+        Raises :class:`RpcFailure` with ``ENOENT`` (component missing — the
+        one extra hop the paper accepts for negative accesses), ``ENOTDIR``
+        or ``EACCES``.
+        """
+        current = ROOT_INO
+        mode = self.root_dentry.mode
+        chain = []
+        for name in components:
+            if not mode & 0o111:
+                raise RpcFailure(RpcError.EACCES, "/".join(components))
+            key = (current, name)
+            record = yield from self._dentry_record(key)
+            dkey = ("d",) + key
+            chain.append((dkey, record, self.inval_seq[dkey]))
+            current = record.ino
+            mode = record.mode
+        return ResolvedDir(current, chain)
+
+    def _dentry_record(self, key):
+        """Generator: return a VALID dentry record for ``key``."""
+        record = self.dentries.get(key)
+        retries = 0
+        while record is None or record.state == INVALID:
+            if self._owns_dentry(key):
+                # We are the owner: absence is authoritative.
+                if record is not None:
+                    self.dentries.delete(key)
+                raise RpcFailure(RpcError.ENOENT, key)
+            dkey = ("d",) + key
+            seq = self.inval_seq[dkey]
+            self.metrics.counter("remote_lookups").inc()
+            try:
+                attrs = yield self.call(
+                    self._owner_name(key),
+                    "lookup_dentry",
+                    {"pid": key[0], "name": key[1]},
+                )
+            except RpcFailure as failure:
+                if failure.code == RpcError.ENOENT and record is not None:
+                    self.dentries.delete(key)
+                raise
+            if self.inval_seq[dkey] != seq:
+                # Invalidated while the lookup was in flight: discard the
+                # response and retry (§4.3 conflict resolution, case 2).
+                retries += 1
+                if retries > MAX_FETCH_RETRIES:
+                    raise RpcFailure(RpcError.ERETRY, key)
+                record = self.dentries.get(key)
+                continue
+            record = DentryRecord(
+                ino=attrs["ino"], mode=attrs["mode"], uid=attrs["uid"],
+                gid=attrs["gid"], state=VALID,
+            )
+            self.dentries.put(key, record)
+        return record
+
+    def _owns_dentry(self, key):
+        """True when this node is the owner MNode of ``key``'s inode."""
+        return False
+
+    def _owner_name(self, key):
+        index = self.index.locate(key[0], key[1])
+        return self.shared.mnode_name(index)
+
+    # -- invalidation (receiving side) ---------------------------------------
+
+    def apply_invalidation(self, keys):
+        """Generator: X-lock, bump sequence and mark INVALID for each key."""
+        for key in keys:
+            dkey = ("d",) + tuple(key)
+            grant = self.locks.acquire(dkey, LockMode.EXCLUSIVE)
+            yield grant.event
+            self.inval_seq[dkey] += 1
+            record = self.dentries.get(tuple(key))
+            if record is not None:
+                record.state = INVALID
+            self.locks.release(grant)
+            if self.costs.invalidate_apply_us:
+                yield self.env.timeout(self.costs.invalidate_apply_us)
+            self.metrics.counter("invalidations").inc()

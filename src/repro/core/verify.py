@@ -1,0 +1,121 @@
+"""Cluster consistency checking.
+
+:func:`check_cluster_invariants` audits a quiesced FalconFS cluster
+against the invariants the protocol is supposed to maintain:
+
+* **placement** — every inode record lives on the MNode hybrid indexing
+  maps its ``(parent_id, name)`` key to (unless mid-migration);
+* **ownership** — every directory inode has a VALID dentry record in its
+  owner's namespace replica, and owner dentries mirror the inode's
+  identity and mode;
+* **replica coherence** — every VALID replica dentry (on any MNode or
+  the coordinator) agrees with the owner's inode record; stale entries
+  must be marked INVALID, never silently wrong;
+* **reachability** — every inode's parent id refers to an existing
+  directory (no orphans), transitively reachable from the root;
+* **statistics** — the per-MNode filename counters and secondary indexes
+  used by the load balancer match the actual tables.
+
+The property/fuzz tests call this after random concurrent workloads; it
+is also a useful debugging aid for downstream users.
+"""
+
+from repro.core.records import VALID
+from repro.vfs.attrs import ROOT_INO
+
+
+class InvariantViolation(AssertionError):
+    """Raised when a cluster invariant does not hold."""
+
+
+def _fail(message, *args):
+    raise InvariantViolation(message.format(*args))
+
+
+def check_cluster_invariants(cluster):
+    """Audit ``cluster``; raises :class:`InvariantViolation` on the first
+    violated invariant, returns summary counts otherwise."""
+    index = cluster.coordinator.index
+    mnodes = cluster.mnodes
+
+    # Gather the authoritative inode map: key -> (record, holder index).
+    inodes = {}
+    for holder_index, mnode in enumerate(mnodes):
+        for key, record in mnode.inodes.scan():
+            if key in inodes:
+                _fail("duplicate inode record for {} on {} and {}",
+                      key, inodes[key][1], holder_index)
+            inodes[key] = (record, holder_index)
+
+    dir_inos = {ROOT_INO}
+    ino_seen = set()
+    for key, (record, holder_index) in inodes.items():
+        pid, name = key
+        if record.ino in ino_seen:
+            _fail("inode number {} appears twice", record.ino)
+        ino_seen.add(record.ino)
+        if record.is_dir:
+            dir_inos.add(record.ino)
+        expected = index.locate(pid, name)
+        migrating = any(name in mnode.migrating for mnode in mnodes)
+        if expected != holder_index and not migrating:
+            _fail("inode {} placed on MNode {} but indexing says {}",
+                  key, holder_index, expected)
+
+    # Reachability: every parent id must name an existing directory.
+    for key, (record, _) in inodes.items():
+        pid, name = key
+        if pid not in dir_inos:
+            _fail("orphaned inode {}: parent ino {} does not exist",
+                  key, pid)
+
+    # Ownership and replica coherence.
+    replicas_checked = 0
+    holders = list(mnodes) + [cluster.coordinator]
+    by_key = {key: record for key, (record, _) in inodes.items()}
+    for holder in holders:
+        for key, dentry in holder.dentries.scan():
+            if dentry.state != VALID:
+                continue
+            replicas_checked += 1
+            authoritative = by_key.get(key)
+            if authoritative is None or not authoritative.is_dir:
+                _fail("{} holds VALID dentry {} with no directory inode",
+                      holder.name, key)
+            if dentry.ino != authoritative.ino:
+                _fail("{} dentry {} ino {} != inode {}",
+                      holder.name, key, dentry.ino, authoritative.ino)
+            if dentry.mode != authoritative.mode:
+                _fail("{} dentry {} mode {:o} != inode mode {:o}",
+                      holder.name, key, dentry.mode, authoritative.mode)
+
+    # Every directory inode is backed by a VALID dentry at its owner.
+    for key, (record, holder_index) in inodes.items():
+        if not record.is_dir:
+            continue
+        owner = mnodes[index.locate(*key)]
+        dentry = owner.dentries.get(key)
+        if dentry is None or dentry.state != VALID:
+            if not any(key[1] in mnode.migrating for mnode in mnodes):
+                _fail("directory {} missing VALID dentry at owner {}",
+                      key, owner.name)
+
+    # Statistics used by the load balancer.
+    for mnode in mnodes:
+        actual = {}
+        parents = {}
+        for (pid, name), _ in mnode.inodes.scan():
+            actual[name] = actual.get(name, 0) + 1
+            parents.setdefault(name, set()).add(pid)
+        if dict(mnode.filename_counts) != actual:
+            _fail("{} filename counters diverge from its table",
+                  mnode.name)
+        if {k: set(v) for k, v in mnode._name_parents.items()} != parents:
+            _fail("{} name->parents index diverges from its table",
+                  mnode.name)
+
+    return {
+        "inodes": len(inodes),
+        "directories": len(dir_inos) - 1,
+        "valid_replica_dentries": replicas_checked,
+    }

@@ -1,0 +1,26 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(...)`` returning a list of row dicts and
+``format_rows(rows)`` rendering them like the paper's table/series.  The
+benchmarks under ``benchmarks/`` call these with scaled-down defaults;
+pass larger parameters to approach the paper's configuration.
+
+| Paper result | Module |
+| --- | --- |
+| Fig 2 (CephFS cache sweep) | :mod:`repro.experiments.cache_sweep` |
+| Fig 4 (CephFS burst + MDS variance) | :mod:`repro.experiments.burst` |
+| Fig 10 (metadata scalability) | :mod:`repro.experiments.metadata_scaling` |
+| Fig 11 (metadata latency) | :mod:`repro.experiments.metadata_latency` |
+| Fig 12 (small-file IO) | :mod:`repro.experiments.data_path` |
+| Fig 13 (memory budget) | :mod:`repro.experiments.memory_budget` |
+| Fig 14 (burst IO, all systems) | :mod:`repro.experiments.burst` |
+| Table 3 (load balance) | :mod:`repro.experiments.load_balance` |
+| Fig 15a (ablation) | :mod:`repro.experiments.ablation` |
+| Fig 15b (corner cases) | :mod:`repro.experiments.corner_cases` |
+| Fig 16 (labeling trace) | :mod:`repro.experiments.labeling` |
+| Fig 17 (training AU) | :mod:`repro.experiments.training` |
+"""
+
+from repro.experiments.common import SYSTEMS, build_cluster, format_table
+
+__all__ = ["SYSTEMS", "build_cluster", "format_table"]

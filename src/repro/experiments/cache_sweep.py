@@ -1,0 +1,37 @@
+"""Fig 2 — CephFS random traversal vs client metadata cache size.
+
+The motivating experiment of §2.3: replaying a training-style random
+traversal against CephFS while sweeping the client cache from 10 % to
+100 % of the directory working set.  Reported per point: read throughput
+and the number of requests sent to the MDSs (lookups + close), which is
+the request-amplification curve of Fig 2.
+"""
+
+from repro.experiments import memory_budget
+
+
+def run(budgets=(0.1, 0.25, 0.5, 0.75, 1.0), **kwargs):
+    rows = []
+    for budget in budgets:
+        cell = memory_budget.measure("cephfs", budget, **kwargs)
+        requests = cell["requests"]
+        rows.append({
+            "budget_pct": cell["budget_pct"],
+            "files_per_sec": cell["files_per_sec"],
+            "lookups_per_open": (
+                requests.get("lookup", 0)
+                / max(1, requests.get("close", 1))
+            ),
+            "mds_requests": sum(requests.values()),
+        })
+    return rows
+
+
+def format_rows(rows):
+    from repro.experiments.common import format_table
+
+    return format_table(
+        rows,
+        ["budget_pct", "files_per_sec", "lookups_per_open", "mds_requests"],
+        title="Fig 2: CephFS traversal vs client cache size",
+    )

@@ -1,0 +1,97 @@
+"""Shared experiment utilities: cluster builders and table rendering."""
+
+from repro.baselines import CephCluster, JuiceCluster, LustreCluster
+from repro.core import FalconCluster, FalconConfig
+
+#: Systems compared throughout the evaluation, in the paper's order.
+SYSTEMS = ("falconfs", "cephfs", "lustre", "juicefs")
+
+_BUILDERS = {
+    "falconfs": FalconCluster,
+    "cephfs": CephCluster,
+    "lustre": LustreCluster,
+    "juicefs": JuiceCluster,
+}
+
+
+def build_cluster(system, num_mnodes=4, num_storage=12, seed=0, **config):
+    """Build a cluster for ``system`` ("falconfs" or a baseline name)."""
+    if system not in _BUILDERS:
+        raise KeyError(
+            "unknown system {!r}; choose from {}".format(system, SYSTEMS)
+        )
+    cfg = FalconConfig(
+        num_mnodes=num_mnodes, num_storage=num_storage, seed=seed, **config
+    )
+    return _BUILDERS[system](cfg)
+
+
+def add_workload_client(cluster, system, mode="libfs",
+                        cache_budget_bytes=None):
+    """Attach a client appropriate for ``system``.
+
+    FalconFS clients honour ``mode`` ("vfs" / "libfs" / "nobypass");
+    baselines are always stateful and only honour the cache budget.
+    """
+    if system == "falconfs":
+        return cluster.add_client(
+            mode=mode, cache_budget_bytes=cache_budget_bytes
+        )
+    return cluster.add_client(cache_budget_bytes=cache_budget_bytes)
+
+
+def prefill_dcache(client, tree, path_ino, rng=None):
+    """Warm any stateful client's dentry cache with a tree's directories.
+
+    Randomized insertion order makes the budget-limited retained subset an
+    unbiased sample — the steady state of a long random traversal.
+    """
+    from repro.vfs import InodeAttrs
+    from repro.vfs.attrs import ROOT_INO
+    from repro.vfs.pathwalk import basename, parent_path
+
+    dirs = list(tree.dirs)
+    if rng is not None:
+        rng.shuffle(dirs)
+    for dpath in dirs:
+        pid = path_ino.get(parent_path(dpath), ROOT_INO)
+        client.dcache.insert(
+            pid, basename(dpath),
+            InodeAttrs(ino=path_ino[dpath], is_dir=True, mode=0o755),
+        )
+
+
+def format_table(rows, columns=None, title=None):
+    """Render row dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [_cell(row.get(col)) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "{:,.0f}".format(value)
+        if abs(value) >= 10:
+            return "{:.1f}".format(value)
+        return "{:.3f}".format(value)
+    return str(value)

@@ -1,0 +1,90 @@
+"""Fig 12 — small-file IO throughput across file sizes.
+
+Clients open (O_DIRECT), fully read or write, and close pre-created files
+in private directories, sweeping the file size from 4 KiB to 1 MiB.
+Reproduced shape: below ~256 KiB throughput grows with file size because
+metadata IOPS is the bottleneck (and FalconFS's metadata advantage
+dominates); above it every system converges to the SSD bandwidth ceiling.
+Throughput is reported normalized to FalconFS as in the paper.
+"""
+
+import random
+
+from repro.experiments.common import (
+    SYSTEMS,
+    add_workload_client,
+    build_cluster,
+    prefill_dcache,
+)
+from repro.workloads.driver import run_closed_loop
+from repro.workloads.trees import private_dirs_tree
+
+SIZES = (4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20)
+
+
+def measure(system, file_size, op="read", num_files=2000, threads=256,
+            num_mnodes=4, num_storage=12, seed=0):
+    rng = random.Random(seed)
+    cluster = build_cluster(system, num_mnodes=num_mnodes,
+                            num_storage=num_storage, seed=seed)
+    client = add_workload_client(cluster, system, mode="vfs")
+    num_dirs = threads
+    files_per_dir = (num_files + num_dirs - 1) // num_dirs
+    if op == "read":
+        tree = private_dirs_tree(num_dirs, files_per_dir, file_size)
+        path_ino = cluster.bulk_load(tree)
+        if system != "falconfs":
+            prefill_dcache(client, tree, path_ino, rng)
+        paths = tree.file_paths()[:num_files]
+        rng.shuffle(paths)
+        thunks = [lambda p=p: client.read_file(p) for p in paths]
+    else:
+        tree = private_dirs_tree(num_dirs, 0)
+        path_ino = cluster.bulk_load(tree)
+        if system != "falconfs":
+            prefill_dcache(client, tree, path_ino, rng)
+        paths = [
+            "{}/w{:08d}.dat".format(tree.dirs[1 + i % num_dirs], i)
+            for i in range(num_files)
+        ]
+        thunks = [
+            lambda p=p: client.write_file(p, file_size) for p in paths
+        ]
+    result = run_closed_loop(cluster, thunks, num_threads=threads)
+    return {
+        "system": system,
+        "op": op,
+        "file_size_kib": file_size >> 10,
+        "files_per_sec": result.ops_per_sec,
+        "gib_per_sec": result.ops_per_sec * file_size / (1 << 30),
+        "errors": result.errors,
+    }
+
+
+def run(systems=SYSTEMS, sizes=SIZES, ops=("read", "write"), **kwargs):
+    rows = []
+    for op in ops:
+        for size in sizes:
+            cells = [
+                measure(system, size, op=op, **kwargs) for system in systems
+            ]
+            falcon = next(
+                (c for c in cells if c["system"] == "falconfs"), cells[0]
+            )
+            for cell in cells:
+                cell["normalized"] = (
+                    cell["gib_per_sec"] / falcon["gib_per_sec"]
+                    if falcon["gib_per_sec"] else 0.0
+                )
+                rows.append(cell)
+    return rows
+
+
+def format_rows(rows):
+    from repro.experiments.common import format_table
+
+    return format_table(
+        rows,
+        ["op", "file_size_kib", "system", "gib_per_sec", "normalized"],
+        title="Fig 12: file data IO throughput (normalized to FalconFS)",
+    )

@@ -1,0 +1,140 @@
+"""Fig 16 — labeling-task trace replay.
+
+The labeling stage reads raw sensor images and writes segmented results
+back (§6.8).  The production trace is not redistributable; the synthetic
+trace reproduces its published properties: the Fig 16a file-size mix
+(dominated by 64 KiB–1 MiB objects, with tails on both sides) and the
+read-one/write-one pipeline structure with same-directory batching.
+Runtime is reported normalized to FalconFS, as in Fig 16b.
+"""
+
+import random
+
+from repro.experiments.common import (
+    add_workload_client,
+    build_cluster,
+    prefill_dcache,
+)
+from repro.workloads.driver import run_closed_loop
+from repro.workloads.trees import TreeSpec
+
+FIG16_SYSTEMS = ("falconfs", "cephfs", "lustre", "juicefs")
+
+#: Fig 16a's file-size histogram: (upper bound, probability).  Sizes
+#: range from a few KiB to a few MiB, mostly within 256 KiB (§2.2).
+SIZE_BUCKETS = (
+    (16 << 10, 0.15),
+    (64 << 10, 0.30),
+    (256 << 10, 0.40),
+    (1 << 20, 0.12),
+    (4 << 20, 0.03),
+)
+
+
+def sample_size(rng):
+    """Draw a file size from the Fig 16a distribution."""
+    point = rng.random()
+    acc = 0.0
+    lower = 4 << 10
+    for upper, probability in SIZE_BUCKETS:
+        acc += probability
+        if point <= acc:
+            return rng.randrange(lower, upper)
+        lower = upper
+    return rng.randrange(1 << 20, 4 << 20)
+
+
+def build_trace(num_tasks=1500, dirs=40, seed=0):
+    """Input tree + (read path, write path, write size) trace entries."""
+    rng = random.Random(seed)
+    tree = TreeSpec("labeling-trace")
+    tree.add_dir("/raw")
+    tree.add_dir("/out")
+    raw_dirs = [
+        tree.add_dir("/raw/batch{:04d}".format(i)) for i in range(dirs)
+    ]
+    out_dirs = [
+        tree.add_dir("/out/batch{:04d}".format(i)) for i in range(dirs)
+    ]
+    entries = []
+    for task in range(num_tasks):
+        # Labeling processes a batch directory at a time (§2.4's burst
+        # pattern): consecutive tasks target the same directory.
+        bucket = (task * dirs) // num_tasks
+        raw = "{}/frame{:07d}.jpg".format(raw_dirs[bucket], task)
+        tree.add_file(raw, sample_size(rng))
+        out = "{}/seg{:07d}.png".format(out_dirs[bucket], task)
+        entries.append((raw, out, sample_size(rng)))
+    return tree, entries
+
+
+def measure(system, num_tasks=1500, threads=256, num_mnodes=4,
+            num_storage=12, seed=0):
+    tree, entries = build_trace(num_tasks, seed=seed)
+    cluster = build_cluster(system, num_mnodes=num_mnodes,
+                            num_storage=num_storage, seed=seed)
+    client = add_workload_client(cluster, system, mode="vfs")
+    path_ino = cluster.bulk_load(tree)
+    if system != "falconfs":
+        prefill_dcache(client, tree, path_ino)
+
+    def task(raw, out, out_size):
+        yield from client.read_file(raw)
+        yield from client.write_file(out, out_size)
+
+    thunks = [
+        lambda r=r, o=o, s=s: task(r, o, s) for r, o, s in entries
+    ]
+    result = run_closed_loop(cluster, thunks, num_threads=threads)
+    return {
+        "system": system,
+        "runtime_s": result.elapsed_us / 1e6,
+        "tasks_per_sec": result.ops_per_sec,
+        "errors": result.errors,
+    }
+
+
+def run(systems=FIG16_SYSTEMS, **kwargs):
+    rows = [measure(system, **kwargs) for system in systems]
+    falcon = next(
+        (r for r in rows if r["system"] == "falconfs"), rows[0]
+    )
+    for row in rows:
+        row["normalized_runtime"] = (
+            row["runtime_s"] / falcon["runtime_s"]
+            if falcon["runtime_s"] else 0.0
+        )
+    return rows
+
+
+def format_rows(rows):
+    from repro.experiments.common import format_table
+
+    return format_table(
+        rows,
+        ["system", "runtime_s", "normalized_runtime", "tasks_per_sec"],
+        title="Fig 16b: labeling trace replay (runtime normalized to "
+              "FalconFS)",
+    )
+
+
+def size_histogram(num_samples=20000, seed=0):
+    """Fig 16a: the synthetic trace's file-size distribution."""
+    rng = random.Random(seed)
+    buckets = {"<16K": 0, "16-64K": 0, "64-256K": 0, "256K-1M": 0,
+               ">1M": 0}
+    for _ in range(num_samples):
+        size = sample_size(rng)
+        if size < (16 << 10):
+            buckets["<16K"] += 1
+        elif size < (64 << 10):
+            buckets["16-64K"] += 1
+        elif size < (256 << 10):
+            buckets["64-256K"] += 1
+        elif size < (1 << 20):
+            buckets["256K-1M"] += 1
+        else:
+            buckets[">1M"] += 1
+    return {
+        name: count / num_samples for name, count in buckets.items()
+    }

@@ -1,0 +1,95 @@
+"""Fig 13 — random file traversal under a client memory budget.
+
+A large uniform directory tree is traversed in random order (every file
+read exactly once — one training epoch) while the client's dentry/inode
+cache is capped at a fraction of the bytes needed to cache every
+directory.  Reproduced observations:
+
+* stateful clients (CephFS, Lustre, FalconFS-NoBypass) lose throughput as
+  the budget shrinks, because leaf-directory cache misses turn one open
+  into several requests (Fig 13b's request composition);
+* FalconFS's stateless client sends a constant one request per file and
+  its throughput does not depend on the budget.
+"""
+
+import random
+
+from repro.experiments.common import (
+    add_workload_client,
+    build_cluster,
+    prefill_dcache,
+)
+from repro.vfs.attrs import DENTRY_CACHE_COST_BYTES
+from repro.workloads.driver import run_closed_loop
+from repro.workloads.trees import uniform_tree
+
+#: Systems in Fig 13 (JuiceFS is omitted by the paper as well).
+FIG13_SYSTEMS = ("falconfs", "falconfs-nobypass", "cephfs", "lustre")
+
+
+def measure(system, budget_fraction, levels=3, dir_fanout=10,
+            files_per_leaf=10, file_size=64 * 1024, threads=256,
+            num_mnodes=4, num_storage=12, seed=0, max_files=None):
+    """One (system, budget) cell: traversal throughput + request mix."""
+    rng = random.Random(seed)
+    tree = uniform_tree(levels, dir_fanout, files_per_leaf, file_size)
+    base = system.replace("-nobypass", "")
+    cluster = build_cluster(base, num_mnodes=num_mnodes,
+                            num_storage=num_storage, seed=seed)
+    budget = None
+    if budget_fraction is not None:
+        budget = int(tree.num_dirs * DENTRY_CACHE_COST_BYTES
+                     * budget_fraction)
+    mode = "nobypass" if system.endswith("nobypass") else "vfs"
+    client = add_workload_client(cluster, base, mode=mode,
+                                 cache_budget_bytes=budget)
+    path_ino = cluster.bulk_load(tree)
+    if system != "falconfs":
+        prefill_dcache(client, tree, path_ino, rng)
+    files = tree.file_paths()
+    if max_files is not None:
+        files = files[:max_files]
+    rng.shuffle(files)
+    thunks = [lambda p=p: client.read_file(p) for p in files]
+    result = run_closed_loop(cluster, thunks, num_threads=threads)
+    requests = client.metrics.counter("requests").by_label()
+    total_requests = sum(requests.values())
+    return {
+        "system": system,
+        "budget_pct": (100 if budget_fraction is None
+                       else int(budget_fraction * 100)),
+        "files_per_sec": result.ops_per_sec,
+        "read_gib_per_sec": result.ops_per_sec * file_size / (1 << 30),
+        "requests_per_file": total_requests / max(1, result.ops),
+        "requests": requests,
+        "errors": result.errors,
+    }
+
+
+def run(systems=FIG13_SYSTEMS, budgets=(0.1, 0.4, 0.7, 1.0), **kwargs):
+    rows = []
+    for system in systems:
+        for budget in budgets:
+            rows.append(measure(system, budget, **kwargs))
+    return rows
+
+
+def format_rows(rows):
+    from repro.experiments.common import format_table
+
+    flat = []
+    for row in rows:
+        flat.append({
+            "system": row["system"],
+            "budget_pct": row["budget_pct"],
+            "files_per_sec": row["files_per_sec"],
+            "requests_per_file": row["requests_per_file"],
+            "mix": ",".join(
+                "{}:{}".format(k, v) for k, v in sorted(row["requests"].items())
+            ),
+        })
+    return format_table(
+        flat,
+        ["system", "budget_pct", "files_per_sec", "requests_per_file", "mix"],
+        title="Fig 13: random traversal vs client memory budget",
+    )

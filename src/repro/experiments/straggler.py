@@ -1,0 +1,114 @@
+"""Straggler sensitivity: one degraded metadata server.
+
+Not a paper figure — an extension probing a consequence of the paper's
+placement choice.  Filename hashing spreads every directory across all
+MNodes, so a straggling server touches a fraction of *every* workload;
+directory-locality placement (CephFS) instead confines the damage to the
+directories the slow MDS owns.  The sweep degrades one server's CPU and
+reports throughput plus tail latency for both placements, under two
+workloads: independent operations (uniform random getattr) and batched
+reads (a training-style fetch that waits for its slowest member, where
+spreading is a liability).
+"""
+
+import random
+
+from repro.experiments.common import (
+    add_workload_client,
+    build_cluster,
+    prefill_dcache,
+)
+from repro.metrics import percentile
+from repro.workloads.driver import run_closed_loop
+from repro.workloads.trees import flat_burst_tree
+
+
+def _degrade(cluster, system, index, cores):
+    servers = cluster.mnodes if system == "falconfs" else cluster.servers
+    servers[index].cpu.capacity = cores
+
+
+def measure(system, straggler_cores=None, workload="independent",
+            num_dirs=32, files_per_dir=40, batch_size=16, threads=192,
+            num_mnodes=4, seed=0):
+    """One cell: throughput and p95 latency with an optional straggler.
+
+    ``straggler_cores=None`` is the healthy baseline; otherwise server 0
+    is restricted to that many cores.
+    """
+    rng = random.Random(seed)
+    cluster = build_cluster(system, num_mnodes=num_mnodes, num_storage=4,
+                            seed=seed)
+    client = add_workload_client(cluster, system, mode="vfs")
+    tree = flat_burst_tree(num_dirs, files_per_dir, file_size=0)
+    path_ino = cluster.bulk_load(tree)
+    if system != "falconfs":
+        prefill_dcache(client, tree, path_ino, rng)
+    if straggler_cores is not None:
+        _degrade(cluster, system, 0, straggler_cores)
+
+    env = cluster.env
+    latencies = []
+    files = tree.file_paths()
+    rng.shuffle(files)
+
+    if workload == "independent":
+        def op(path):
+            start = env.now
+            yield from client.getattr(path)
+            latencies.append(env.now - start)
+
+        thunks = [lambda p=p: op(p) for p in files]
+    elif workload == "batched":
+        batches = [
+            files[start:start + batch_size]
+            for start in range(0, len(files), batch_size)
+        ]
+
+        def batch_op(batch):
+            start = env.now
+            reads = [env.process(client.getattr(path)) for path in batch]
+            yield env.all_of(reads)
+            latencies.append(env.now - start)
+
+        thunks = [lambda b=b: batch_op(b) for b in batches]
+    else:
+        raise ValueError("unknown workload {!r}".format(workload))
+
+    result = run_closed_loop(cluster, thunks, num_threads=threads)
+    return {
+        "system": system,
+        "workload": workload,
+        "straggler_cores": straggler_cores or "-",
+        "ops_per_sec": result.ops_per_sec,
+        "p95_latency_us": percentile(latencies, 95) if latencies else 0.0,
+        "errors": result.errors,
+    }
+
+
+def run(systems=("falconfs", "cephfs"), straggler_cores=1,
+        workloads=("independent", "batched"), **kwargs):
+    rows = []
+    for workload in workloads:
+        for system in systems:
+            healthy = measure(system, None, workload=workload, **kwargs)
+            degraded = measure(system, straggler_cores,
+                               workload=workload, **kwargs)
+            degraded["slowdown"] = (
+                healthy["ops_per_sec"] / degraded["ops_per_sec"]
+                if degraded["ops_per_sec"] else float("inf")
+            )
+            healthy["slowdown"] = 1.0
+            rows.extend([healthy, degraded])
+    return rows
+
+
+def format_rows(rows):
+    from repro.experiments.common import format_table
+
+    return format_table(
+        rows,
+        ["workload", "system", "straggler_cores", "ops_per_sec",
+         "p95_latency_us", "slowdown"],
+        title="Straggler sensitivity (server 0 degraded)",
+    )

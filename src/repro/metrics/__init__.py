@@ -1,0 +1,22 @@
+"""Measurement substrate: counters, histograms, time series, load stats."""
+
+from repro.metrics.stats import (
+    coefficient_of_variation,
+    load_share_extremes,
+    mean,
+    percentile,
+    stddev,
+)
+from repro.metrics.registry import Counter, Histogram, MetricsRegistry, TimeSeries
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "coefficient_of_variation",
+    "load_share_extremes",
+    "mean",
+    "percentile",
+    "stddev",
+]

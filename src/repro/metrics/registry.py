@@ -1,0 +1,127 @@
+"""Labeled counters, histograms and time series.
+
+Every simulated node owns a :class:`MetricsRegistry`; experiments read the
+registries after the run to build the paper's tables and figures (request
+composition in Fig 13b, MDS load variance in Fig 4b, latency in Fig 11).
+"""
+
+from collections import defaultdict
+
+from repro.metrics.stats import mean, percentile
+
+
+class Counter:
+    """A monotonically increasing counter, optionally labeled.
+
+    ``inc(label)`` keeps independent counts per label; ``total()`` sums
+    them.  Unlabeled use goes through the ``None`` label.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self._counts = defaultdict(int)
+
+    def inc(self, label=None, amount=1):
+        self._counts[label] += amount
+
+    def get(self, label=None):
+        return self._counts[label]
+
+    def total(self):
+        return sum(self._counts.values())
+
+    def by_label(self):
+        """Snapshot of per-label counts as a plain dict."""
+        return dict(self._counts)
+
+    def __repr__(self):
+        return "<Counter {} total={}>".format(self.name, self.total())
+
+
+class Histogram:
+    """Records raw observations; summarizes on demand.
+
+    Observation counts in the experiments are small enough (1e4-1e6) that
+    keeping raw values is simpler and exact; percentile() interpolates.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.values = []
+
+    def observe(self, value):
+        self.values.append(value)
+
+    def __len__(self):
+        return len(self.values)
+
+    def mean(self):
+        return mean(self.values)
+
+    def percentile(self, q):
+        return percentile(self.values, q)
+
+    def summary(self):
+        """Dict of count/mean/p50/p95/p99/max, or zeros when empty."""
+        if not self.values:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "max": 0.0}
+        return {
+            "count": len(self.values),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": max(self.values),
+        }
+
+    def __repr__(self):
+        return "<Histogram {} n={}>".format(self.name, len(self.values))
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. instantaneous queue lengths."""
+
+    def __init__(self, name):
+        self.name = name
+        self.samples = []
+
+    def record(self, time, value):
+        self.samples.append((time, value))
+
+    def values(self):
+        return [v for _, v in self.samples]
+
+    def __len__(self):
+        return len(self.samples)
+
+
+class MetricsRegistry:
+    """A namespace of metrics with get-or-create semantics."""
+
+    def __init__(self, name=""):
+        self.name = name
+        self._counters = {}
+        self._histograms = {}
+        self._series = {}
+
+    def counter(self, name):
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name):
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def time_series(self, name):
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def counters(self):
+        return dict(self._counters)
+
+    def histograms(self):
+        return dict(self._histograms)

@@ -1,0 +1,63 @@
+"""Small statistics helpers used by experiments and load balancing.
+
+Implemented directly (rather than via numpy) so the core library stays
+dependency-free; the experiment harness may still hand results to numpy.
+"""
+
+import math
+
+
+def mean(values):
+    """Arithmetic mean of a non-empty sequence."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean() of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values):
+    """Population standard deviation of a non-empty sequence."""
+    values = list(values)
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def coefficient_of_variation(values):
+    """Standard deviation normalized by the mean (0 for perfectly even)."""
+    mu = mean(values)
+    if mu == 0:
+        return 0.0
+    return stddev(values) / mu
+
+
+def percentile(values, q):
+    """The ``q``-th percentile (0..100) via linear interpolation."""
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be in [0, 100]")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile() of empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def load_share_extremes(counts):
+    """Max and min share of the total across nodes, as fractions.
+
+    This is the statistic Table 3 of the paper reports for inode
+    distribution: a perfectly even placement over ``n`` nodes gives
+    ``max = min = 1/n``.
+    """
+    counts = list(counts)
+    total = sum(counts)
+    if total == 0:
+        share = 1.0 / len(counts) if counts else 0.0
+        return share, share
+    return max(counts) / total, min(counts) / total

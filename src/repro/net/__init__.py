@@ -1,0 +1,23 @@
+"""Simulated cluster network: nodes, messages, RPC, cost model.
+
+The network layer gives every simulated machine a named endpoint with an
+inbox, CPU cores modeled as a :class:`~repro.sim.Resource`, and a
+message-passing fabric with per-hop latency plus size/bandwidth transfer
+delay.  All timing constants live in :class:`CostModel` so experiments and
+ablations vary data, not code.
+"""
+
+from repro.net.costs import CostModel
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.net.rpc import RpcError, RpcFailure
+from repro.net.transport import Network
+
+__all__ = [
+    "CostModel",
+    "Message",
+    "Network",
+    "Node",
+    "RpcError",
+    "RpcFailure",
+]

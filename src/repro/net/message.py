@@ -1,0 +1,43 @@
+"""Network message representation."""
+
+from itertools import count
+
+_message_ids = count(1)
+
+
+class Message:
+    """A single message on the simulated fabric.
+
+    ``kind`` names the protocol verb (e.g. ``"open"``, ``"lookup"``,
+    ``"invalidate"``); ``payload`` is an arbitrary Python object (the
+    simulated wire format); ``size`` is the modeled wire size in bytes used
+    for bandwidth accounting; ``reply_to`` is the event a server triggers to
+    answer an RPC.
+    """
+
+    __slots__ = (
+        "msg_id",
+        "sender",
+        "recipient",
+        "kind",
+        "payload",
+        "size",
+        "reply_to",
+        "send_time",
+    )
+
+    def __init__(self, sender, recipient, kind, payload=None, size=256,
+                 reply_to=None):
+        self.msg_id = next(_message_ids)
+        self.sender = sender
+        self.recipient = recipient
+        self.kind = kind
+        self.payload = payload
+        self.size = size
+        self.reply_to = reply_to
+        self.send_time = None
+
+    def __repr__(self):
+        return "<Message #{} {}:{} -> {}>".format(
+            self.msg_id, self.kind, self.sender, self.recipient
+        )

@@ -1,0 +1,118 @@
+"""Base class for simulated machines."""
+
+from repro.metrics import MetricsRegistry
+from repro.net.message import Message
+from repro.sim import Resource, Store
+
+
+class Node:
+    """A machine on the fabric: named endpoint, CPU cores, inbox.
+
+    Subclasses implement :meth:`handle`, a generator run as a process for
+    every delivered message.  The default delivery policy spawns one handler
+    process per message; contention is then modeled by the shared ``cpu``
+    resource (via :meth:`execute`).  Subclasses that schedule work
+    differently (e.g. the FalconFS MNode's typed request queues) override
+    :meth:`deliver`.
+    """
+
+    def __init__(self, env, network, name, cores=None):
+        self.env = env
+        self.network = network
+        self.costs = network.costs
+        self.name = name
+        self.cpu = Resource(env, capacity=cores or network.costs.server_cores)
+        self.inbox = Store(env)
+        self.metrics = MetricsRegistry(name)
+        network.register(self)
+
+    def __repr__(self):
+        return "<{} {}>".format(type(self).__name__, self.name)
+
+    # -- messaging ------------------------------------------------------
+
+    def deliver(self, message):
+        """Called by the network when a message arrives."""
+        self.metrics.counter("received").inc(message.kind)
+        self.env.process(self._handle_guard(message))
+
+    def _handle_guard(self, message):
+        # Every message costs a decode/dispatch slice on the receiver.
+        yield from self.execute(self.costs.dispatch_us)
+        result = yield from self.handle(message)
+        return result
+
+    def handle(self, message):
+        """Process one message.  Subclasses must override (generator)."""
+        raise NotImplementedError(
+            "{} received unexpected message {!r}".format(self, message)
+        )
+        yield  # pragma: no cover - makes this a generator
+
+    def send(self, recipient, kind, payload=None, size=None, reply_to=None):
+        """Send a message to ``recipient``; returns immediately."""
+        if size is None:
+            size = self.costs.rpc_request_bytes
+        msg = Message(self.name, recipient, kind, payload, size, reply_to)
+        self.metrics.counter("sent").inc(kind)
+        self.network.send(msg)
+        return msg
+
+    def call(self, recipient, kind, payload=None, size=None):
+        """Issue an RPC; returns the reply event to ``yield`` on.
+
+        The reply event succeeds with the responder's payload, or fails
+        with :class:`~repro.net.rpc.RpcFailure` carrying an
+        :class:`~repro.net.rpc.RpcError` code.
+        """
+        reply = self.env.event()
+        self.send(recipient, kind, payload, size, reply_to=reply)
+        return reply
+
+    def respond(self, message, payload=None, size=None):
+        """Answer an RPC ``message`` successfully with ``payload``."""
+        if message.reply_to is None:
+            return
+        if size is None:
+            size = self.costs.rpc_response_bytes
+        delay = self.costs.hop_us(size)
+        reply_to = message.reply_to
+
+        def arrive(env=self.env):
+            yield env.timeout(delay)
+            reply_to.succeed(payload)
+
+        if message.sender == self.name:
+            reply_to.succeed(payload)
+        else:
+            self.env.process(arrive())
+        self.metrics.counter("responded").inc(message.kind)
+
+    def respond_error(self, message, failure):
+        """Answer an RPC ``message`` with a failure exception."""
+        if message.reply_to is None:
+            return
+        delay = self.costs.hop_us(self.costs.rpc_response_bytes)
+        reply_to = message.reply_to
+
+        def arrive(env=self.env):
+            yield env.timeout(delay)
+            reply_to.fail(failure)
+
+        if message.sender == self.name:
+            reply_to.fail(failure)
+        else:
+            self.env.process(arrive())
+        self.metrics.counter("responded_error").inc(message.kind)
+
+    # -- CPU -------------------------------------------------------------
+
+    def execute(self, cost_us):
+        """Consume ``cost_us`` of one CPU core (generator; yield from it)."""
+        req = self.cpu.request()
+        yield req
+        try:
+            if cost_us > 0:
+                yield self.env.timeout(cost_us)
+        finally:
+            self.cpu.release(req)

@@ -1,0 +1,54 @@
+"""RPC error codes shared by all simulated file systems.
+
+Codes mirror the POSIX errnos the paper's operations can return, plus
+protocol-internal conditions (redirects, stale exception tables).
+"""
+
+import errno
+
+
+class RpcError:
+    """Symbolic error codes carried by :class:`RpcFailure`."""
+
+    ENOENT = errno.ENOENT
+    EEXIST = errno.EEXIST
+    ENOTEMPTY = errno.ENOTEMPTY
+    EACCES = errno.EACCES
+    ENOTDIR = errno.ENOTDIR
+    EISDIR = errno.EISDIR
+    EINVAL = errno.EINVAL
+    #: The receiving server is not responsible for this key; the payload
+    #: carries the correct destination (used for stale exception tables).
+    EREDIRECT = 1001
+    #: Transient retry (e.g. inode blocked during migration).
+    ERETRY = 1002
+
+    _NAMES = {
+        errno.ENOENT: "ENOENT",
+        errno.EEXIST: "EEXIST",
+        errno.ENOTEMPTY: "ENOTEMPTY",
+        errno.EACCES: "EACCES",
+        errno.ENOTDIR: "ENOTDIR",
+        errno.EISDIR: "EISDIR",
+        errno.EINVAL: "EINVAL",
+        1001: "EREDIRECT",
+        1002: "ERETRY",
+    }
+
+    @classmethod
+    def name(cls, code):
+        return cls._NAMES.get(code, "E{}".format(code))
+
+
+class RpcFailure(Exception):
+    """Failure result of an RPC; carries a code and optional detail."""
+
+    def __init__(self, code, detail=None):
+        super().__init__(RpcError.name(code), detail)
+        self.code = code
+        self.detail = detail
+
+    def __str__(self):
+        if self.detail is None:
+            return RpcError.name(self.code)
+        return "{}: {}".format(RpcError.name(self.code), self.detail)

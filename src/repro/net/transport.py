@@ -1,0 +1,65 @@
+"""The message fabric connecting simulated machines.
+
+Delivery of a message takes one hop: fixed RPC latency plus payload size
+divided by link bandwidth.  Link-level contention is not modeled — in the
+paper's metadata experiments the bottleneck is server CPU and WAL, and in
+the data experiments it is SSD bandwidth; both are modeled explicitly at
+the endpoints.
+"""
+
+from repro.metrics import MetricsRegistry
+from repro.sim.engine import SimulationError
+
+
+class Network:
+    """Registry of nodes plus the send primitive."""
+
+    def __init__(self, env, costs):
+        self.env = env
+        self.costs = costs
+        self.metrics = MetricsRegistry("network")
+        self._nodes = {}
+
+    def register(self, node):
+        """Attach ``node`` to the fabric under its unique name."""
+        if node.name in self._nodes:
+            raise SimulationError("duplicate node name: {}".format(node.name))
+        self._nodes[node.name] = node
+
+    def node(self, name):
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SimulationError("unknown node: {}".format(name)) from None
+
+    def nodes(self):
+        return list(self._nodes.values())
+
+    def send(self, message):
+        """Put ``message`` on the wire; it arrives after one hop delay.
+
+        Messages between co-located endpoints (same machine name) skip the
+        network and are delivered immediately.
+        """
+        dst = self.node(message.recipient)
+        message.send_time = self.env.now
+        self.metrics.counter("messages").inc(message.kind)
+        self.metrics.counter("bytes").inc(message.kind, message.size)
+        if message.sender == message.recipient:
+            dst.deliver(message)
+            return
+        delay = self.costs.hop_us(message.size)
+
+        def arrive(env=self.env):
+            yield env.timeout(delay)
+            dst.deliver(message)
+
+        self.env.process(arrive())
+
+    def message_count(self, kind=None):
+        """Total messages sent, optionally filtered by kind."""
+        counter = self.metrics.counter("messages")
+        if kind is None:
+            return counter.total()
+        return counter.get(kind)

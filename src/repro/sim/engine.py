@@ -1,0 +1,401 @@
+"""Core discrete-event simulation kernel.
+
+The kernel follows the classic event-heap design: an :class:`Environment`
+owns a priority queue of ``(time, priority, sequence, event)`` entries and
+advances simulated time by popping the earliest entry and running the
+event's callbacks.  User logic is written as generator functions ("process
+functions") that ``yield`` events; a :class:`Process` drives the generator,
+resuming it each time the yielded event fires.
+
+Design notes
+------------
+* Events carry either a success value or a failure exception.  A failure
+  propagates into every waiting process via ``generator.throw``, so ordinary
+  ``try/except`` works across simulated waits.
+* A failed event that nobody waits on raises :class:`SimulationError` when
+  it is processed: errors never pass silently.
+* Time is a ``float`` in arbitrary units; the FalconFS layers use
+  microseconds by convention (see :mod:`repro.net.costs`).
+"""
+
+from heapq import heappop, heappush
+from itertools import count
+
+#: Scheduling priorities.  URGENT entries at the same timestamp run before
+#: NORMAL ones; this keeps "wake the waiter" ahead of "start the next op".
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse or unhandled process failures."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process receives this exception at its current ``yield``
+    statement and may handle it to implement timeouts or cancellation.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* once it has a value (or
+    an exception) and a position in the event queue, and is *processed*
+    after its callbacks have run.  Processes wait on events by yielding
+    them.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        #: Set when a waiter has consumed this event's failure, so the
+        #: kernel does not re-raise it as unhandled.
+        self.defused = False
+
+    def __repr__(self):
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return "<{} {} at {:#x}>".format(type(self).__name__, state, id(self))
+
+    @property
+    def triggered(self):
+        """True once the event has a value and is (or was) scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self):
+        """True once the event's callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self):
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self):
+        """The event's success value or failure exception."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value=None, priority=NORMAL):
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered: {!r}".format(self))
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception, priority=NORMAL):
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError("event already triggered: {!r}".format(self))
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority=priority)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env, delay, value=None):
+        if delay < 0:
+            raise SimulationError("negative delay: {!r}".format(delay))
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    def __init__(self, env, process):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """Drives a generator, resuming it whenever a yielded event fires.
+
+    A process is itself an event: it succeeds with the generator's return
+    value, or fails with the exception that escaped the generator.  Other
+    processes may therefore ``yield`` a process to wait for its completion.
+    """
+
+    def __init__(self, env, generator):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                "process() requires a generator, got {!r}".format(generator)
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self):
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at its next resume."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt dead process")
+        if self.env._active_process is self:
+            raise SimulationError("process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, priority=URGENT)
+        # Detach from the event the process was waiting on: the interrupt
+        # wins the race, and the original event must not resume us twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _resume(self, event):
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self.succeed(stop.value, priority=URGENT)
+                return
+            except BaseException as exc:
+                self.env._active_process = None
+                self.fail(exc, priority=URGENT)
+                return
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    "process yielded a non-event: {!r}".format(target)
+                )
+                self.env._active_process = None
+                try:
+                    self._generator.throw(exc)
+                except BaseException as err:
+                    self.fail(err, priority=URGENT)
+                    return
+                raise exc
+
+            if target.processed:
+                # Already done: loop and feed the value straight back in.
+                event = target
+                continue
+            self._target = target
+            target.callbacks.append(self._resume)
+            break
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` combinators."""
+
+    def __init__(self, env, events):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        for event in self._events:
+            if event.processed:
+                self._observe(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._observe)
+
+    def _observe(self, event):
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired; value is the list of values."""
+
+    def __init__(self, env, events):
+        super().__init__(env, events)
+        if not self._events and not self.triggered:
+            self.succeed([])
+        self._check()
+
+    def _observe(self, event):
+        if self.triggered:
+            if not event._ok:
+                event.defused = True
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        self._check()
+
+    def _check(self):
+        if not self.triggered and self._pending == 0 and self._events:
+            self.succeed([event._value for event in self._events])
+
+
+class AnyOf(Condition):
+    """Fires when the first child event fires; value is that event's value."""
+
+    def __init__(self, env, events):
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        super().__init__(env, events)
+
+    def _observe(self, event):
+        if self.triggered:
+            if not event._ok:
+                event.defused = True
+            return
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defused = True
+            self.fail(event._value)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time=0.0):
+        self._now = float(initial_time)
+        self._queue = []
+        self._seq = count()
+        self._active_process = None
+
+    def __repr__(self):
+        return "<Environment now={} queued={}>".format(self._now, len(self._queue))
+
+    @property
+    def now(self):
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def _schedule(self, event, delay=0.0, priority=NORMAL):
+        heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    # -- public event constructors ------------------------------------
+
+    def event(self):
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator):
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events):
+        """Event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- execution ------------------------------------------------------
+
+    def step(self):
+        """Process the next scheduled event.
+
+        Raises :class:`SimulationError` if the queue is empty, and re-raises
+        the failure of any event that failed with no one waiting on it.
+        """
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, _, event = heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            raise event._value
+
+    def peek(self):
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulated time) or an :class:`Event` (run until it
+        is processed, returning its value or re-raising its failure).
+        """
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    "until={} is in the past (now={})".format(horizon, self._now)
+                )
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        while self._queue:
+            self.step()
+        return None
+
+    def _run_until_event(self, until):
+        stop = []
+        if until.processed:
+            stop.append(until)
+        else:
+            until.callbacks.append(stop.append)
+        while not stop:
+            if not self._queue:
+                raise SimulationError(
+                    "simulation ran out of events before {!r} fired".format(until)
+                )
+            self.step()
+        if until._ok:
+            return until._value
+        until.defused = True
+        raise until._value

@@ -1,0 +1,158 @@
+"""Shared resources for simulated processes.
+
+Two primitives cover everything the FalconFS layers need:
+
+* :class:`Resource` — a capacity-limited resource with a FIFO wait queue,
+  used to model CPU cores on a server, disk channels, and connection slots.
+* :class:`Store` — an unbounded FIFO buffer of items with blocking ``get``,
+  used to model message queues and request queues.
+
+Both hand out plain :class:`~repro.sim.engine.Event` objects so processes
+interact with them via ``yield``, exactly like timeouts.
+"""
+
+from collections import deque
+from contextlib import contextmanager
+
+from repro.sim.engine import Event, SimulationError
+
+
+class Request(Event):
+    """Event granted by :class:`Resource.request` once capacity is free."""
+
+    def __init__(self, resource):
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A capacity-limited resource with FIFO granting.
+
+    Example
+    -------
+    >>> req = cpu.request()
+    >>> yield req
+    >>> try:
+    ...     yield env.timeout(service_time)
+    ... finally:
+    ...     cpu.release(req)
+
+    or, with the context-manager helper inside a process::
+
+    >>> with cpu.use() as req:
+    ...     yield req
+    ...     yield env.timeout(service_time)
+    """
+
+    def __init__(self, env, capacity=1):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users = set()
+        self._waiters = deque()
+
+    def __repr__(self):
+        return "<Resource users={}/{} queued={}>".format(
+            len(self._users), self.capacity, len(self._waiters)
+        )
+
+    @property
+    def count(self):
+        """Number of grants currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self):
+        """Number of requests waiting for capacity."""
+        return len(self._waiters)
+
+    def request(self):
+        """Return an event that fires once a unit of capacity is granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self, req):
+        """Return a previously granted unit of capacity."""
+        if req in self._users:
+            self._users.remove(req)
+        elif req in self._waiters:
+            # Granting raced with cancellation: just drop from the queue.
+            self._waiters.remove(req)
+            return
+        else:
+            raise SimulationError("release of a request not held: {!r}".format(req))
+        while self._waiters and len(self._users) < self.capacity:
+            nxt = self._waiters.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+    @contextmanager
+    def use(self):
+        """Context manager pairing ``request()`` with ``release()``.
+
+        The body must still ``yield`` the request before consuming the
+        resource; the manager only guarantees the release.
+        """
+        req = self.request()
+        try:
+            yield req
+        finally:
+            self.release(req)
+
+
+class Store:
+    """An unbounded FIFO item buffer with blocking ``get``.
+
+    ``put`` never blocks (message queues in the simulated cluster are
+    unbounded; backpressure appears as queueing delay, as in the paper's
+    saturation experiments).  ``get`` returns an event that fires with the
+    next item as soon as one is available.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self._items = deque()
+        self._getters = deque()
+
+    def __repr__(self):
+        return "<Store items={} getters={}>".format(
+            len(self._items), len(self._getters)
+        )
+
+    def __len__(self):
+        return len(self._items)
+
+    def put(self, item):
+        """Append ``item``, waking the oldest waiting getter if any."""
+        # Skip getters that were cancelled (their event already failed).
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self):
+        """Return an event that fires with the next available item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self):
+        """Pop the next item immediately or return ``None`` if empty."""
+        return self._items.popleft() if self._items else None
+
+    def drain(self):
+        """Remove and return all buffered items as a list."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,33 @@
+"""Per-MNode storage engine.
+
+The paper's metadata nodes are PostgreSQL instances with custom extensions,
+relying on the database's B-link tree index, write-ahead logging and
+transactions.  This package provides those primitives natively:
+
+* :class:`BLinkTree` — an ordered index with right-sibling links and lazy
+  deletion (PostgreSQL-style: pages are never eagerly merged).
+* :class:`WriteAheadLog` — a group-committing log; concurrent commits
+  arriving during a flush coalesce into the next flush, which is exactly
+  the WAL-coalescing behaviour FalconFS's request merging exploits.
+* :class:`LockManager` — shared/exclusive locks with FIFO fairness.
+* :class:`Table` / :class:`Transaction` — a transactional key-value table
+  over the tree with buffered writes applied at commit.
+"""
+
+from repro.storage.btree import BLinkTree
+from repro.storage.replication import LogShipper, Standby, divergence
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.table import Table, Transaction
+from repro.storage.wal import WriteAheadLog
+
+__all__ = [
+    "BLinkTree",
+    "LogShipper",
+    "Standby",
+    "divergence",
+    "LockManager",
+    "LockMode",
+    "Table",
+    "Transaction",
+    "WriteAheadLog",
+]

@@ -1,0 +1,138 @@
+"""Shared/exclusive lock manager with FIFO fairness.
+
+Used for dentry and inode locks on MNodes and the coordinator (§4.3 of the
+paper).  Grant policy: requests queue in arrival order; a shared request is
+granted only if no exclusive request is queued ahead of it, which prevents
+writer starvation and matches PostgreSQL's lock manager behaviour.
+
+Acquisition returns a simulation event, so lock *waiting* consumes
+simulated time naturally; the CPU cost of the acquire/release bookkeeping
+itself is charged by the caller (FalconFS coalesces it per batch, §4.4).
+"""
+
+from collections import deque
+
+from repro.sim.engine import SimulationError
+
+
+class LockMode:
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class Grant:
+    """A held (or queued) lock; pass back to :meth:`LockManager.release`."""
+
+    __slots__ = ("key", "mode", "event", "granted")
+
+    def __init__(self, key, mode, event):
+        self.key = key
+        self.mode = mode
+        self.event = event
+        self.granted = False
+
+    def __repr__(self):
+        state = "held" if self.granted else "waiting"
+        return "<Grant {}:{} {}>".format(self.key, self.mode, state)
+
+
+class _LockState:
+    __slots__ = ("holders", "waiters")
+
+    def __init__(self):
+        self.holders = []
+        self.waiters = deque()
+
+
+class LockManager:
+    """Per-key S/X locks."""
+
+    def __init__(self, env):
+        self.env = env
+        self._locks = {}
+
+    def acquire(self, key, mode):
+        """Request a lock; returns a :class:`Grant` whose ``event`` fires
+        once the lock is held."""
+        if mode not in (LockMode.SHARED, LockMode.EXCLUSIVE):
+            raise SimulationError("bad lock mode: {!r}".format(mode))
+        state = self._locks.get(key)
+        if state is None:
+            state = _LockState()
+            self._locks[key] = state
+        grant = Grant(key, mode, self.env.event())
+        if self._grantable(state, mode):
+            self._grant(state, grant)
+        else:
+            state.waiters.append(grant)
+        return grant
+
+    def try_acquire(self, key, mode):
+        """Non-blocking acquire: a granted :class:`Grant` or ``None``."""
+        state = self._locks.get(key)
+        if state is None:
+            state = _LockState()
+            self._locks[key] = state
+        if not self._grantable(state, mode):
+            return None
+        grant = Grant(key, mode, self.env.event())
+        self._grant(state, grant)
+        return grant
+
+    def release(self, grant):
+        """Release a held grant (or cancel a queued one)."""
+        state = self._locks.get(grant.key)
+        if state is None:
+            raise SimulationError("release on unknown key: {}".format(grant.key))
+        if grant.granted:
+            state.holders.remove(grant)
+        else:
+            state.waiters.remove(grant)
+        self._wake(state)
+        if not state.holders and not state.waiters:
+            del self._locks[grant.key]
+
+    def _grantable(self, state, mode):
+        if mode == LockMode.EXCLUSIVE:
+            return not state.holders and not state.waiters
+        # Shared: compatible with shared holders, but FIFO — don't jump
+        # ahead of a queued exclusive.
+        holds_exclusive = any(
+            g.mode == LockMode.EXCLUSIVE for g in state.holders
+        )
+        return not holds_exclusive and not state.waiters
+
+    def _grant(self, state, grant):
+        grant.granted = True
+        state.holders.append(grant)
+        grant.event.succeed(grant)
+
+    def _wake(self, state):
+        while state.waiters:
+            head = state.waiters[0]
+            if head.mode == LockMode.EXCLUSIVE:
+                if state.holders:
+                    return
+                state.waiters.popleft()
+                self._grant(state, head)
+                return
+            if any(g.mode == LockMode.EXCLUSIVE for g in state.holders):
+                return
+            state.waiters.popleft()
+            self._grant(state, head)
+
+    # -- introspection -----------------------------------------------------
+
+    def holders(self, key):
+        """Modes currently held on ``key`` (empty list when free)."""
+        state = self._locks.get(key)
+        if state is None:
+            return []
+        return [g.mode for g in state.holders]
+
+    def queue_length(self, key):
+        state = self._locks.get(key)
+        return len(state.waiters) if state else 0
+
+    def is_locked(self, key):
+        return bool(self.holders(key))

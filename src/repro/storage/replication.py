@@ -1,0 +1,160 @@
+"""Primary-standby metadata replication (log shipping).
+
+The paper's MNodes are PostgreSQL instances and inherit its
+primary-secondary replication; the evaluation runs with replication
+disabled, but the mechanism belongs to the system.  This module
+implements asynchronous log shipping:
+
+* every committed transaction on a primary exports its logical records
+  (table, key, new value or tombstone) and ships them to the standby in
+  commit order;
+* the standby applies records in order, tracks its applied LSN, and
+  exposes replication lag;
+* :func:`divergence` compares a primary's tables against its standby for
+  convergence checking (used by tests and by operators after drain).
+
+Failover (promoting a standby into the MNode ring) additionally requires
+rerouting in the cluster directory; the standby conservatively marks all
+replicated namespace dentries INVALID on promotion so lazy replication
+re-validates them — see :meth:`Standby.promote_tables`.
+"""
+
+from repro.core.records import INVALID
+from repro.net import Node
+from repro.storage.table import Table
+
+
+class LogShipper:
+    """Primary-side hook: serialize committed writes to the standby."""
+
+    def __init__(self, node, standby_name):
+        self.node = node
+        self.standby_name = standby_name
+        self.next_lsn = 1
+        self.shipped_records = 0
+
+    def ship(self, txn):
+        """Ship one committed transaction's writes (fire-and-forget;
+        asynchronous replication does not delay the commit path)."""
+        records = txn.export_writes()
+        if not records:
+            return
+        lsn = self.next_lsn
+        self.next_lsn += 1
+        self.shipped_records += len(records)
+        self.node.send(
+            self.standby_name, "wal_ship",
+            {"lsn": lsn, "records": records},
+            size=self.node.costs.rpc_request_bytes
+            + self.node.costs.wal_record_bytes * len(records),
+        )
+
+
+class Standby(Node):
+    """A warm standby holding a replica of one primary's tables."""
+
+    def __init__(self, env, network, name, table_names=("dentry", "inode")):
+        super().__init__(env, network, name)
+        self.tables = {name: Table(name) for name in table_names}
+        self.applied_lsn = 0
+        self.applied_records = 0
+        #: Out-of-order buffer (shipping is FIFO per sender in this
+        #: simulator, but the protocol tolerates reordering).
+        self._pending = {}
+
+    def table(self, name):
+        return self.tables[name]
+
+    def handle(self, message):
+        if message.kind != "wal_ship":
+            raise RuntimeError(
+                "{} cannot handle {!r}".format(self.name, message)
+            )
+        payload = message.payload
+        self._pending[payload["lsn"]] = payload["records"]
+        applied = 0
+        while self.applied_lsn + 1 in self._pending:
+            self.applied_lsn += 1
+            for table_name, key, value in self._pending.pop(
+                    self.applied_lsn):
+                table = self.tables.setdefault(table_name,
+                                               Table(table_name))
+                if value is None:
+                    table.delete(key)
+                else:
+                    table.put(key, value)
+                applied += 1
+        self.applied_records += applied
+        if applied:
+            yield from self.execute(
+                self.costs.index_insert_us * applied
+            )
+        self.respond(message, {"applied_lsn": self.applied_lsn})
+
+    def lag(self, shipper):
+        """Transactions shipped but not yet applied."""
+        return (shipper.next_lsn - 1) - self.applied_lsn
+
+    def promote_tables(self):
+        """Prepare this standby's tables for promotion to primary.
+
+        Replicated dentry records may be stale relative to other
+        replicas' invalidation state, so they are all marked INVALID —
+        lazy replication re-fetches them on first use (§4.3).  Returns
+        the table dict for installation into a new MNode.
+        """
+        dentries = self.tables.get("dentry")
+        if dentries is not None:
+            for _, record in dentries.scan():
+                record.state = INVALID
+        return self.tables
+
+
+def divergence(primary, standby):
+    """List of (table, key, primary_value, standby_value) differences.
+
+    Compares the primary MNode's ``dentries``/``inodes`` tables against
+    the standby's replicas; an empty list after the standby has drained
+    means the pair has converged.  Two classes of primary-local state are
+    excluded: dentry *state* flags, and dentry entries the primary does
+    not own (lazily fetched copies of other MNodes' directories are
+    coherence cache, not replicated data).
+    """
+    differences = []
+    pairs = (
+        ("dentry", primary.dentries),
+        ("inode", primary.inodes),
+    )
+    for name, table in pairs:
+        replica = standby.tables.get(name, Table(name))
+        keys = set(k for k, _ in table.scan())
+        keys |= set(k for k, _ in replica.scan())
+        for key in sorted(keys):
+            if name == "dentry" and not _owned_by(primary, key):
+                continue
+            mine = table.get(key)
+            theirs = replica.get(key)
+            if not _records_equal(mine, theirs):
+                differences.append((name, key, mine, theirs))
+    return differences
+
+
+def _owned_by(primary, key):
+    try:
+        return primary.index.locate(key[0], key[1]) == primary.my_index
+    except AttributeError:
+        return True
+
+
+def _records_equal(mine, theirs):
+    if mine is None or theirs is None:
+        return mine is None and theirs is None
+    for field in ("ino", "mode", "uid", "gid"):
+        if getattr(mine, field, None) != getattr(theirs, field, None):
+            return False
+    for field in ("is_dir", "size"):
+        mv = getattr(mine, field, None)
+        tv = getattr(theirs, field, None)
+        if mv is not None and tv is not None and mv != tv:
+            return False
+    return True

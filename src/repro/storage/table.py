@@ -1,0 +1,143 @@
+"""Transactional key-value tables over the B-link tree.
+
+A :class:`Table` stores tuples keyed by ``(parent_id, name)`` (the paper's
+Table 1 schema for both dentries and inodes).  A :class:`Transaction`
+buffers writes against one or more tables and applies them atomically at
+commit, after its WAL records are durable.  Isolation between concurrent
+transactions is the caller's job (the MNode holds its dentry/inode locks
+across the transaction, and FalconFS batches compatible requests into a
+single transaction — §4.4).
+"""
+
+from repro.storage.btree import BLinkTree
+
+_MISSING = object()
+_DELETED = object()
+
+
+class Table:
+    """A named, ordered key-value table."""
+
+    def __init__(self, name, order=64):
+        self.name = name
+        self.tree = BLinkTree(order=order)
+
+    def __len__(self):
+        return len(self.tree)
+
+    def __contains__(self, key):
+        return key in self.tree
+
+    def get(self, key, default=None):
+        return self.tree.get(key, default)
+
+    def put(self, key, value):
+        """Non-transactional insert/overwrite (used for bulk loading)."""
+        self.tree.insert(key, value, overwrite=True)
+
+    def delete(self, key):
+        return self.tree.delete(key)
+
+    def scan(self, lo=None, hi=None):
+        return self.tree.items(lo, hi)
+
+    def scan_prefix(self, prefix):
+        """Iterate entries whose tuple key starts with ``prefix``.
+
+        With keys of the form ``(pid, name)`` and ``prefix = (pid,)`` this
+        enumerates a directory's children in name order.
+        """
+        lo = prefix
+        for key, value in self.tree.items(lo=lo):
+            if key[: len(prefix)] != prefix:
+                return
+            yield key, value
+
+    def has_prefix(self, prefix):
+        """True if at least one key starts with ``prefix``."""
+        for _ in self.scan_prefix(prefix):
+            return True
+        return False
+
+
+class Transaction:
+    """Buffered writes over tables, made durable and applied at commit.
+
+    ``on_commit`` (optional) is invoked with the transaction after its
+    writes are applied — the hook log-shipping replication uses to ship
+    committed records to a standby.
+    """
+
+    def __init__(self, env, wal, costs, on_commit=None):
+        self.env = env
+        self.wal = wal
+        self.costs = costs
+        self.on_commit = on_commit
+        self._writes = {}
+        self.committed = False
+        self.aborted = False
+
+    def _bucket(self, table):
+        return self._writes.setdefault(id(table), (table, {}))[1]
+
+    def get(self, table, key, default=None):
+        """Read through the transaction's own writes, then the table."""
+        bucket = self._writes.get(id(table))
+        if bucket is not None and key in bucket[1]:
+            value = bucket[1][key]
+            return default if value is _DELETED else value
+        return table.get(key, default)
+
+    def put(self, table, key, value):
+        self._check_open()
+        self._bucket(table)[key] = value
+
+    def delete(self, table, key):
+        self._check_open()
+        self._bucket(table)[key] = _DELETED
+
+    @property
+    def write_count(self):
+        return sum(len(bucket) for _, bucket in self._writes.values())
+
+    def commit(self):
+        """Generator: persist WAL, then apply writes.  ``yield from`` it."""
+        self._check_open()
+        records = self.write_count
+        if records:
+            nbytes = records * self.costs.wal_record_bytes
+            yield self.wal.commit(nbytes, records=records)
+        for table, bucket in self._writes.values():
+            for key, value in bucket.items():
+                if value is _DELETED:
+                    table.delete(key)
+                else:
+                    table.put(key, value)
+        self.committed = True
+        if self.on_commit is not None:
+            self.on_commit(self)
+
+    def abort(self):
+        self._check_open()
+        self._writes.clear()
+        self.aborted = True
+
+    def export_writes(self):
+        """Logical records for replication: (table, key, value|None).
+
+        Values are copies (when the record supports ``copy()``) so the
+        standby never aliases the primary's live objects.
+        """
+        records = []
+        for table, bucket in self._writes.values():
+            for key, value in bucket.items():
+                if value is _DELETED:
+                    records.append((table.name, key, None))
+                else:
+                    copied = value.copy() if hasattr(value, "copy") else value
+                    records.append((table.name, key, copied))
+        return records
+
+    def _check_open(self):
+        if self.committed or self.aborted:
+            raise RuntimeError("transaction is closed")

@@ -1,0 +1,43 @@
+"""Client-side VFS model: dentry/inode cache, LRU reclaim, path walk.
+
+This package models what the Linux VFS contributes to a DFS client: a
+dentry cache probed per path component, an ``LOOKUP_PARENT``-flagged walk
+that distinguishes intermediate components from the final one, and a
+``d_revalidate`` hook consulted on cache hits.  Stateful clients (the
+CephFS/Lustre/JuiceFS baselines and FalconFS-NoBypass) rely on the cache
+for client-side path resolution; FalconFS's stateless client shortcuts it
+exactly as §5 of the paper describes.
+"""
+
+from repro.vfs.attrs import (
+    DENTRY_CACHE_COST_BYTES,
+    FAKE_GID,
+    FAKE_UID,
+    InodeAttrs,
+    ROOT_INO,
+)
+from repro.vfs.dcache import CacheEntry, DentryCache
+from repro.vfs.pathwalk import (
+    LOOKUP_PARENT,
+    PathWalker,
+    WalkResult,
+    join_path,
+    normalize_path,
+    split_path,
+)
+
+__all__ = [
+    "CacheEntry",
+    "DENTRY_CACHE_COST_BYTES",
+    "DentryCache",
+    "FAKE_GID",
+    "FAKE_UID",
+    "InodeAttrs",
+    "LOOKUP_PARENT",
+    "PathWalker",
+    "ROOT_INO",
+    "WalkResult",
+    "join_path",
+    "normalize_path",
+    "split_path",
+]

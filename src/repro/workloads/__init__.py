@@ -1,0 +1,36 @@
+"""Workload generators and load drivers for the evaluation.
+
+* :mod:`repro.workloads.trees` — directory-tree specifications: the
+  uniform trees of the traversal experiments and private-directory
+  metadata stress layouts.
+* :mod:`repro.workloads.datasets` — synthetic directory structures with
+  the shapes of the paper's Table 3 workloads (production labeling,
+  ImageNet, KITTI, Cityscapes, CelebA, SVHN, CUB-200, the Linux source
+  tree, FSL homes).
+* :mod:`repro.workloads.driver` — closed-loop throughput driver, latency
+  probes, burst access, the labeling-trace replay and the MLPerf-style
+  training loop.
+"""
+
+from repro.workloads.datasets import TABLE3_WORKLOADS, dataset_tree
+from repro.workloads.driver import (
+    LatencyResult,
+    ThroughputResult,
+    measure_latency,
+    run_closed_loop,
+    training_run,
+)
+from repro.workloads.trees import TreeSpec, private_dirs_tree, uniform_tree
+
+__all__ = [
+    "LatencyResult",
+    "TABLE3_WORKLOADS",
+    "ThroughputResult",
+    "TreeSpec",
+    "dataset_tree",
+    "measure_latency",
+    "private_dirs_tree",
+    "run_closed_loop",
+    "training_run",
+    "uniform_tree",
+]

@@ -1,0 +1,222 @@
+"""Operation traces: capture, persistence, statistics and replay.
+
+The paper's end-to-end evaluation replays a trace captured from the
+production labeling environment (§6.8).  This module provides the
+toolchain around such traces:
+
+* :class:`TraceRecord` / :class:`Trace` — an ordered operation log with
+  JSON-lines persistence, so traces can be shared and re-run;
+* :class:`RecordingClient` — wraps any client (FalconFS or baseline) and
+  records every operation it performs, including failures;
+* :func:`replay` — drives a trace against a cluster with a closed-loop
+  worker pool, preserving operation order per worker;
+* :meth:`Trace.summary` — the op mix and size distribution (the numbers
+  behind Fig 16a).
+"""
+
+import json
+
+from repro.net.rpc import RpcError, RpcFailure
+from repro.workloads.driver import run_closed_loop
+
+#: Operations a trace may contain, with their argument fields.
+TRACE_OPS = ("mkdir", "create", "write", "read", "getattr", "unlink",
+             "rmdir", "rename", "chmod", "readdir")
+
+
+class TraceRecord:
+    """One traced operation."""
+
+    __slots__ = ("op", "path", "size", "dst", "mode", "outcome")
+
+    def __init__(self, op, path, size=None, dst=None, mode=None,
+                 outcome="ok"):
+        if op not in TRACE_OPS:
+            raise ValueError("unknown trace op {!r}".format(op))
+        self.op = op
+        self.path = path
+        self.size = size
+        self.dst = dst
+        self.mode = mode
+        self.outcome = outcome
+
+    def to_json(self):
+        body = {"op": self.op, "path": self.path}
+        for field in ("size", "dst", "mode", "outcome"):
+            value = getattr(self, field)
+            if value is not None and value != "ok":
+                body[field] = value
+        return json.dumps(body, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line):
+        body = json.loads(line)
+        return cls(
+            body["op"], body["path"], body.get("size"),
+            body.get("dst"), body.get("mode"), body.get("outcome", "ok"),
+        )
+
+    def __repr__(self):
+        return "<TraceRecord {} {}>".format(self.op, self.path)
+
+    def __eq__(self, other):
+        return isinstance(other, TraceRecord) and all(
+            getattr(self, f) == getattr(other, f) for f in self.__slots__
+        )
+
+
+class Trace:
+    """An ordered list of :class:`TraceRecord` with persistence."""
+
+    def __init__(self, records=None):
+        self.records = list(records or [])
+
+    def append(self, record):
+        self.records.append(record)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def save(self, path):
+        """Write the trace as JSON lines."""
+        with open(path, "w") as handle:
+            for record in self.records:
+                handle.write(record.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls(
+                TraceRecord.from_json(line)
+                for line in handle if line.strip()
+            )
+
+    def summary(self):
+        """Operation mix and write/read size statistics."""
+        ops = {}
+        sizes = []
+        for record in self.records:
+            ops[record.op] = ops.get(record.op, 0) + 1
+            if record.size is not None:
+                sizes.append(record.size)
+        stats = {"ops": ops, "total": len(self.records)}
+        if sizes:
+            ordered = sorted(sizes)
+            stats["size_bytes"] = {
+                "min": ordered[0],
+                "median": ordered[len(ordered) // 2],
+                "max": ordered[-1],
+                "total": sum(sizes),
+            }
+        return stats
+
+
+class RecordingClient:
+    """A client proxy that records every operation into a trace.
+
+    Wraps any object implementing the shared client API (FalconClient or
+    BaselineClient); operations still execute normally, and the record's
+    ``outcome`` captures the errno name on failure.
+    """
+
+    def __init__(self, client, trace=None):
+        self.client = client
+        self.trace = trace if trace is not None else Trace()
+
+    def _record(self, op, path, size=None, dst=None, mode=None):
+        def wrap(generator):
+            outcome = "ok"
+            try:
+                result = yield from generator
+            except RpcFailure as failure:
+                outcome = RpcError.name(failure.code)
+                raise
+            finally:
+                self.trace.append(TraceRecord(
+                    op, path, size=size, dst=dst, mode=mode,
+                    outcome=outcome,
+                ))
+            return result
+
+        return wrap
+
+    def mkdir(self, path, mode=0o755):
+        return self._record("mkdir", path, mode=mode)(
+            self.client.mkdir(path, mode))
+
+    def create(self, path, mode=0o644, exclusive=True):
+        return self._record("create", path, mode=mode)(
+            self.client.create(path, mode, exclusive))
+
+    def write_file(self, path, size, mode=0o644, exclusive=True):
+        return self._record("write", path, size=size)(
+            self.client.write_file(path, size, mode, exclusive))
+
+    def read_file(self, path):
+        return self._record("read", path)(self.client.read_file(path))
+
+    def getattr(self, path):
+        return self._record("getattr", path)(self.client.getattr(path))
+
+    def unlink(self, path):
+        return self._record("unlink", path)(self.client.unlink(path))
+
+    def rmdir(self, path):
+        return self._record("rmdir", path)(self.client.rmdir(path))
+
+    def rename(self, src, dst):
+        return self._record("rename", src, dst=dst)(
+            self.client.rename(src, dst))
+
+    def chmod(self, path, mode):
+        return self._record("chmod", path, mode=mode)(
+            self.client.chmod(path, mode))
+
+    def readdir(self, path):
+        return self._record("readdir", path)(self.client.readdir(path))
+
+
+def _apply(client, record):
+    """Generator executing one trace record against ``client``."""
+    op = record.op
+    if op == "mkdir":
+        yield from client.mkdir(record.path, record.mode or 0o755)
+    elif op == "create":
+        yield from client.create(record.path, record.mode or 0o644,
+                                 exclusive=False)
+    elif op == "write":
+        yield from client.write_file(record.path, record.size or 0,
+                                     exclusive=False)
+    elif op == "read":
+        yield from client.read_file(record.path)
+    elif op == "getattr":
+        yield from client.getattr(record.path)
+    elif op == "unlink":
+        yield from client.unlink(record.path)
+    elif op == "rmdir":
+        yield from client.rmdir(record.path)
+    elif op == "rename":
+        yield from client.rename(record.path, record.dst)
+    elif op == "chmod":
+        yield from client.chmod(record.path, record.mode)
+    elif op == "readdir":
+        yield from client.readdir(record.path)
+
+
+def replay(cluster, client, trace, num_threads=1, tolerate_errors=True):
+    """Replay ``trace`` against ``client``; returns a ThroughputResult.
+
+    With ``num_threads == 1`` the trace replays in exact order;
+    multi-threaded replay preserves only dispatch order (the paper's
+    trace replay is similarly concurrent).  Records whose original
+    outcome was a failure are tolerated by default.
+    """
+    thunks = [
+        (lambda record=record: _apply(client, record))
+        for record in trace
+    ]
+    return run_closed_loop(cluster, thunks, num_threads=num_threads,
+                           raise_errors=not tolerate_errors)

@@ -1,0 +1,109 @@
+"""Directory tree specifications and generators."""
+
+from repro.vfs.pathwalk import join_path
+
+
+class TreeSpec:
+    """A directory tree: ordered dirs (parents first) and sized files."""
+
+    def __init__(self, name="tree"):
+        self.name = name
+        self.dirs = []
+        self.files = []
+        self._seen_dirs = set()
+
+    def add_dir(self, path):
+        if path not in self._seen_dirs and path != "/":
+            self._seen_dirs.add(path)
+            self.dirs.append(path)
+        return path
+
+    def add_file(self, path, size=0):
+        self.files.append((path, size))
+        return path
+
+    def file_paths(self):
+        return [path for path, _ in self.files]
+
+    @property
+    def num_dirs(self):
+        return len(self.dirs)
+
+    @property
+    def num_files(self):
+        return len(self.files)
+
+    def __repr__(self):
+        return "<TreeSpec {} dirs={} files={}>".format(
+            self.name, self.num_dirs, self.num_files
+        )
+
+
+def uniform_tree(levels=4, dir_fanout=4, files_per_leaf=10,
+                 file_size=64 * 1024, root="/data", unique_names=True):
+    """The traversal experiment's tree (§6.4, scaled).
+
+    ``levels`` levels of directories, each intermediate directory with
+    ``dir_fanout`` subdirectories, each last-level directory holding
+    ``files_per_leaf`` files.  The paper's configuration (8 levels, fanout
+    10, 10 files per leaf: 11.1 M dirs, 100 M files) is a scaled-up
+    instance of the same shape.
+
+    With ``unique_names`` every file name is globally unique (the common
+    DL-dataset convention); otherwise leaf files reuse the same names in
+    every directory (a hot-filename corner case).
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    tree = TreeSpec("uniform-{}x{}".format(levels, dir_fanout))
+    tree.add_dir(root)
+    level_dirs = [root]
+    for level in range(levels):
+        next_dirs = []
+        for parent in level_dirs:
+            for child in range(dir_fanout):
+                path = tree.add_dir(join_path(parent, "d{}".format(child)))
+                next_dirs.append(path)
+        level_dirs = next_dirs
+    serial = 0
+    for leaf in level_dirs:
+        for i in range(files_per_leaf):
+            if unique_names:
+                name = "f{:08d}.dat".format(serial)
+            else:
+                name = "f{:04d}.dat".format(i)
+            serial += 1
+            tree.add_file(join_path(leaf, name), file_size)
+    return tree
+
+
+def private_dirs_tree(num_dirs, files_per_dir, file_size=64 * 1024,
+                      root="/bench"):
+    """Per-thread private directories (the §6.2/§6.3 best-case layout)."""
+    tree = TreeSpec("private-{}x{}".format(num_dirs, files_per_dir))
+    tree.add_dir(root)
+    serial = 0
+    for d in range(num_dirs):
+        directory = tree.add_dir(join_path(root, "t{:04d}".format(d)))
+        for _ in range(files_per_dir):
+            tree.add_file(
+                join_path(directory, "f{:08d}.dat".format(serial)), file_size
+            )
+            serial += 1
+    return tree
+
+
+def flat_burst_tree(num_dirs, files_per_dir, file_size=64 * 1024,
+                    root="/burst"):
+    """Many flat directories for the burst experiments (§6.5)."""
+    tree = TreeSpec("burst-{}x{}".format(num_dirs, files_per_dir))
+    tree.add_dir(root)
+    serial = 0
+    for d in range(num_dirs):
+        directory = tree.add_dir(join_path(root, "dir{:05d}".format(d)))
+        for _ in range(files_per_dir):
+            tree.add_file(
+                join_path(directory, "f{:08d}.dat".format(serial)), file_size
+            )
+            serial += 1
+    return tree

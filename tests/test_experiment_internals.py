@@ -1,0 +1,124 @@
+"""Focused tests on experiment-module internals and helpers."""
+
+import random
+
+import pytest
+
+from repro.experiments import (
+    burst,
+    labeling,
+    memory_budget,
+    metadata_scaling,
+    training,
+)
+from repro.experiments.burst import _burst_order
+from repro.workloads.trees import flat_burst_tree
+
+
+class TestBurstOrder:
+    def _tree(self):
+        return flat_burst_tree(4, files_per_dir=12)
+
+    def test_covers_every_file_once(self):
+        tree = self._tree()
+        order = _burst_order(tree, 5, random.Random(0))
+        assert sorted(order) == sorted(tree.file_paths())
+
+    def test_burst_runs_share_directory(self):
+        tree = self._tree()
+        order = _burst_order(tree, 6, random.Random(0))
+        for start in range(0, len(order), 6):
+            chunk = order[start:start + 6]
+            dirs = {path.rsplit("/", 1)[0] for path in chunk}
+            assert len(dirs) == 1
+
+    def test_burst_one_interleaves_directories(self):
+        tree = self._tree()
+        order = _burst_order(tree, 1, random.Random(0))
+        first_eight = {path.rsplit("/", 1)[0] for path in order[:8]}
+        assert len(first_eight) > 1
+
+    def test_deterministic_for_seed(self):
+        tree = self._tree()
+        a = _burst_order(tree, 4, random.Random(7))
+        b = _burst_order(tree, 4, random.Random(7))
+        assert a == b
+
+
+class TestMeasureBattery:
+    """Every (system, op) measurement path runs cleanly at tiny scale."""
+
+    @pytest.mark.parametrize("system", ("falconfs", "cephfs", "lustre",
+                                        "juicefs"))
+    @pytest.mark.parametrize("op", metadata_scaling.OPS)
+    def test_metadata_cell(self, system, op):
+        result = metadata_scaling.measure(system, 2, op, num_ops=40,
+                                          threads=8)
+        assert result.ops == 40
+        assert result.errors == 0
+
+
+class TestMemoryBudgetInternals:
+    def test_nobypass_cell(self):
+        cell = memory_budget.measure(
+            "falconfs-nobypass", 0.3, levels=2, dir_fanout=4,
+            files_per_leaf=4, threads=32, max_files=48,
+        )
+        assert cell["system"] == "falconfs-nobypass"
+        assert cell["requests_per_file"] >= 1.0
+        assert cell["errors"] == 0
+
+    def test_unlimited_budget_cell(self):
+        cell = memory_budget.measure(
+            "lustre", None, levels=2, dir_fanout=4, files_per_leaf=4,
+            threads=32, max_files=48,
+        )
+        assert cell["budget_pct"] == 100
+
+
+class TestLabelingInternals:
+    def test_trace_structure(self):
+        tree, entries = labeling.build_trace(num_tasks=100, dirs=10)
+        assert len(entries) == 100
+        raw_paths = {path for path, _ in tree.files}
+        for raw, out, size in entries:
+            assert raw in raw_paths
+            assert out.startswith("/out/")
+            assert size > 0
+
+    def test_sample_size_bounds(self):
+        rng = random.Random(3)
+        for _ in range(500):
+            size = labeling.sample_size(rng)
+            assert (4 << 10) <= size < (4 << 20)
+
+    def test_trace_batches_are_contiguous(self):
+        _, entries = labeling.build_trace(num_tasks=100, dirs=10)
+        buckets = [raw.split("/")[2] for raw, _, _ in entries]
+        # Each directory appears as one contiguous run (burst pattern).
+        seen = set()
+        previous = None
+        for bucket in buckets:
+            if bucket != previous:
+                assert bucket not in seen
+                seen.add(bucket)
+            previous = bucket
+
+
+class TestTrainingInternals:
+    def test_measure_cell(self):
+        row = training.measure(
+            "falconfs", num_gpus=2, num_files=200, batch_size=8,
+            compute_us_per_batch=1000.0, clients_per_run=2,
+        )
+        assert 0.0 < row["accelerator_utilization"] <= 1.0
+
+    def test_supported_gpus_threshold(self):
+        rows = [
+            {"system": "x", "gpus": 8, "accelerator_utilization": 0.95},
+            {"system": "x", "gpus": 16, "accelerator_utilization": 0.91},
+            {"system": "x", "gpus": 32, "accelerator_utilization": 0.5},
+            {"system": "y", "gpus": 8, "accelerator_utilization": 0.4},
+        ]
+        supported = training.supported_gpus(rows)
+        assert supported == {"x": 16, "y": 0}

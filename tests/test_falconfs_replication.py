@@ -1,0 +1,274 @@
+"""Protocol tests for lazy namespace replication and invalidation (§4.3).
+
+These reach into MNode state to verify the replica machinery itself:
+on-demand dentry fetching, invalidation broadcasts, the conflict
+serialization cases, and the exception-table / migration protocol.
+"""
+
+import pytest
+
+from repro.core import FalconCluster, FalconConfig
+from repro.core.records import INVALID, VALID
+from repro.net.rpc import RpcError, RpcFailure
+
+
+@pytest.fixture
+def cluster():
+    return FalconCluster(FalconConfig(num_mnodes=4, num_storage=4))
+
+
+@pytest.fixture
+def fs(cluster):
+    return cluster.fs()
+
+
+def _dentry_holders(cluster, key):
+    return {
+        mnode.name: mnode.dentries.get(key)
+        for mnode in cluster.mnodes
+        if mnode.dentries.get(key) is not None
+    }
+
+
+def _owner(cluster, pid, name):
+    return cluster.mnodes[cluster.coordinator.index.locate(pid, name)]
+
+
+class TestLazyReplication:
+    def test_mkdir_creates_dentry_only_at_owner(self, cluster, fs):
+        fs.mkdir("/lazy")
+        holders = _dentry_holders(cluster, (1, "lazy"))
+        assert list(holders) == [_owner(cluster, 1, "lazy").name]
+
+    def test_dentry_fetched_on_demand(self, cluster, fs):
+        fs.mkdir("/lazy")
+        # Touch the directory from many filenames: each serving MNode
+        # must fetch the dentry once, then keep it.
+        for i in range(16):
+            fs.create("/lazy/f{:02d}".format(i))
+        holders = _dentry_holders(cluster, (1, "lazy"))
+        assert len(holders) > 1
+        assert all(rec.state == VALID for rec in holders.values())
+
+    def test_remote_lookup_counted(self, cluster, fs):
+        fs.mkdir("/lazy")
+        for i in range(16):
+            fs.create("/lazy/f{:02d}".format(i))
+        lookups = sum(
+            m.metrics.counter("remote_lookups").total()
+            for m in cluster.mnodes
+        )
+        served = sum(
+            m.metrics.counter("served_lookups").total()
+            for m in cluster.mnodes
+        )
+        assert lookups == served > 0
+
+    def test_fetch_happens_once_per_replica(self, cluster, fs):
+        fs.mkdir("/lazy")
+        for i in range(40):
+            fs.create("/lazy/f{:02d}".format(i))
+        lookups = sum(
+            m.metrics.counter("remote_lookups").total()
+            for m in cluster.mnodes
+        )
+        # At most one fetch per non-owner MNode, not one per create.
+        assert lookups <= len(cluster.mnodes) - 1
+
+    def test_negative_path_costs_lookup_each_time(self, cluster, fs):
+        fs.mkdir("/real")
+        before = sum(
+            m.metrics.counter("served_lookups").total()
+            for m in cluster.mnodes
+        )
+        for i in range(3):
+            with pytest.raises(RpcFailure):
+                fs.getattr("/ghost/f{}.bin".format(i))
+        after = sum(
+            m.metrics.counter("served_lookups").total()
+            for m in cluster.mnodes
+        )
+        # Negative resolutions are not cached: repeated misses keep
+        # asking the owner (§4.3 discussion).
+        assert after > before
+
+
+class TestInvalidation:
+    def test_rmdir_invalidates_replicas(self, cluster, fs):
+        fs.mkdir("/dir")
+        for i in range(16):
+            fs.create("/dir/f{:02d}".format(i))
+        # Replicas exist on several nodes now.
+        assert len(_dentry_holders(cluster, (1, "dir"))) > 1
+        for i in range(16):
+            fs.unlink("/dir/f{:02d}".format(i))
+        fs.rmdir("/dir")
+        holders = _dentry_holders(cluster, (1, "dir"))
+        assert all(rec.state == INVALID for rec in holders.values())
+        assert not fs.exists("/dir")
+
+    def test_chmod_invalidates_then_refetches(self, cluster, fs):
+        fs.mkdir("/dir")
+        for i in range(16):
+            fs.create("/dir/f{:02d}".format(i))
+        fs.chmod("/dir", 0o700)
+        # Next access refetches the updated mode from the owner.
+        fs.create("/dir/after")
+        owner = _owner(cluster, 1, "dir")
+        for name, rec in _dentry_holders(cluster, (1, "dir")).items():
+            if rec.state == VALID:
+                assert rec.mode == 0o700, name
+
+    def test_inval_seq_bumped(self, cluster, fs):
+        fs.mkdir("/dir")
+        for i in range(8):
+            fs.create("/dir/f{}".format(i))
+        key = ("d", 1, "dir")
+        before = [m.inval_seq[key] for m in cluster.mnodes]
+        fs.chmod("/dir", 0o711)
+        after = [m.inval_seq[key] for m in cluster.mnodes]
+        owner = _owner(cluster, 1, "dir")
+        for mnode, b, a in zip(cluster.mnodes, before, after):
+            if mnode is not owner:
+                assert a == b + 1
+
+    def test_rename_dir_invalidates_old_dentry(self, cluster, fs):
+        fs.mkdir("/old")
+        for i in range(16):
+            fs.create("/old/f{:02d}".format(i))
+        fs.rename("/old", "/new")
+        with pytest.raises(RpcFailure):
+            fs.getattr("/old/f00")
+        assert fs.exists("/new/f00")
+
+
+class TestConflictSerialization:
+    """The two §4.3 cases: a namespace change racing a file operation."""
+
+    def test_open_racing_rmdir(self, cluster):
+        """Case 2: the open's path resolution lands after the
+        invalidation; its refetch blocks on the owner's lock and returns
+        ENOENT — the rmdir is serialized first."""
+        fs = cluster.fs()
+        fs.mkdir("/race")
+        client = cluster.add_client(mode="libfs")
+        env = cluster.env
+        outcomes = {}
+
+        def opener():
+            # Issue slightly after the rmdir is in flight.
+            yield env.timeout(5.0)
+            try:
+                yield from client.getattr("/race/sub/f")
+                outcomes["open"] = "ok"
+            except RpcFailure as failure:
+                outcomes["open"] = RpcError.name(failure.code)
+
+        def remover():
+            yield from client.rmdir("/race")
+            outcomes["rmdir"] = "ok"
+
+        env.process(remover())
+        proc = env.process(opener())
+        env.run(until=proc)
+        env.run(until=env.now + 10000)
+        assert outcomes["rmdir"] == "ok"
+        assert outcomes["open"] in ("ENOENT", "ERETRY")
+
+    def test_create_racing_rmdir_never_orphans(self, cluster):
+        """Whatever the interleaving, we never end with a file inside a
+        removed directory."""
+        fs = cluster.fs()
+        client = cluster.add_client(mode="libfs")
+        env = cluster.env
+        for round_index in range(8):
+            path = "/victim{}".format(round_index)
+            fs.mkdir(path)
+            results = {}
+
+            def creator(p=path, r=results):
+                try:
+                    yield from client.create(p + "/orphan")
+                    r["create"] = "ok"
+                except RpcFailure as failure:
+                    r["create"] = RpcError.name(failure.code)
+
+            def remover(p=path, r=results):
+                try:
+                    yield from client.rmdir(p)
+                    r["rmdir"] = "ok"
+                except RpcFailure as failure:
+                    r["rmdir"] = RpcError.name(failure.code)
+
+            a = env.process(creator())
+            b = env.process(remover())
+            env.run(until=env.all_of([a, b]))
+            if results["rmdir"] == "ok":
+                # Directory gone: the create either failed or... never
+                # succeeded silently.
+                assert results["create"] != "ok" or not fs.exists(path)
+                if results["create"] == "ok":
+                    pytest.fail("create succeeded into removed directory")
+            else:
+                # rmdir lost the race (ENOTEMPTY): the file must exist.
+                assert results["rmdir"] == "ENOTEMPTY"
+                assert fs.exists(path + "/orphan")
+                fs.unlink(path + "/orphan")
+                fs.rmdir(path)
+
+
+class TestExceptionTablePropagation:
+    def test_override_routes_to_designated_node(self, cluster, fs):
+        cluster.install_exception_table(override={"pinned.dat": 2})
+        fs.mkdir("/d")
+        fs.create("/d/pinned.dat")
+        pid = fs.getattr("/d")["ino"]
+        assert cluster.mnodes[2].inodes.get((pid, "pinned.dat")) is not None
+
+    def test_pathwalk_spreads_hot_name(self, cluster, fs):
+        cluster.install_exception_table(pathwalk=["hot.dat"])
+        for i in range(12):
+            fs.mkdir("/d{:02d}".format(i))
+            fs.create("/d{:02d}/hot.dat".format(i))
+        holders = [
+            mnode for mnode in cluster.mnodes
+            if mnode.filename_counts.get("hot.dat")
+        ]
+        assert len(holders) > 1
+
+    def test_stale_client_is_forwarded(self, cluster):
+        fs = cluster.fs()
+        fs.mkdir("/d")
+        fs.create("/d/moved.dat")
+        client = cluster.clients[0]
+        # Servers learn an override the client does not know about —
+        # pointing somewhere other than the hash target, so the client's
+        # stale routing is guaranteed wrong.
+        hash_target = client.index.hash_name("moved.dat")
+        target = (hash_target + 1) % len(cluster.mnodes)
+        cluster.install_exception_table(override={"moved.dat": target},
+                                        include_clients=False)
+        cluster.run_process(cluster.coordinator._migrate(
+            "moved.dat", lambda: None
+        ))
+        client.auto_refresh_xt = False
+        assert fs.exists("/d/moved.dat")
+        forwarded = sum(
+            m.metrics.counter("forwarded").total() for m in cluster.mnodes
+        )
+        assert forwarded >= 1
+
+    def test_client_lazily_refreshes_table(self, cluster):
+        fs = cluster.fs()
+        client = cluster.clients[0]
+        fs.mkdir("/d")
+        fs.create("/d/f.dat")
+        cluster.install_exception_table(override={"f.dat": 3},
+                                        include_clients=False)
+        cluster.run_process(cluster.coordinator._migrate(
+            "f.dat", lambda: None
+        ))
+        assert client.xt.version == 0
+        fs.getattr("/d/f.dat")  # response piggybacks the new table
+        assert client.xt.version > 0
+        assert client.xt.override == {"f.dat": 3}

@@ -1,0 +1,364 @@
+"""POSIX semantics of FalconFS through the synchronous facade.
+
+Every test runs the full protocol: client routing (hybrid indexing),
+server-side path resolution against namespace replicas, batch execution,
+WAL commits and coordinator flows.
+"""
+
+import pytest
+
+from repro.core import FalconCluster, FalconConfig
+from repro.net.rpc import RpcError, RpcFailure
+
+
+@pytest.fixture
+def cluster():
+    return FalconCluster(FalconConfig(num_mnodes=4, num_storage=4))
+
+
+@pytest.fixture
+def fs(cluster):
+    return cluster.fs()
+
+
+def _code(excinfo):
+    return excinfo.value.code
+
+
+class TestDirectories:
+    def test_mkdir_and_getattr(self, fs):
+        fs.mkdir("/data")
+        attrs = fs.getattr("/data")
+        assert attrs["is_dir"] and attrs["mode"] == 0o755
+
+    def test_mkdir_custom_mode(self, fs):
+        fs.mkdir("/locked", mode=0o700)
+        assert fs.getattr("/locked")["mode"] == 0o700
+
+    def test_mkdir_existing_is_eexist(self, fs):
+        fs.mkdir("/data")
+        with pytest.raises(RpcFailure) as err:
+            fs.mkdir("/data")
+        assert _code(err) == RpcError.EEXIST
+
+    def test_mkdir_missing_parent_is_enoent(self, fs):
+        with pytest.raises(RpcFailure) as err:
+            fs.mkdir("/missing/child")
+        assert _code(err) == RpcError.ENOENT
+
+    def test_makedirs(self, fs):
+        fs.makedirs("/a/b/c/d")
+        assert fs.is_dir("/a/b/c/d")
+
+    def test_makedirs_idempotent(self, fs):
+        fs.makedirs("/a/b")
+        fs.makedirs("/a/b")
+        assert fs.is_dir("/a/b")
+
+    def test_makedirs_exist_ok_false(self, fs):
+        fs.makedirs("/a/b")
+        with pytest.raises(RpcFailure):
+            fs.makedirs("/a/b", exist_ok=False)
+
+    def test_rmdir_empty(self, fs):
+        fs.mkdir("/gone")
+        fs.rmdir("/gone")
+        assert not fs.exists("/gone")
+
+    def test_rmdir_nonempty_is_enotempty(self, fs):
+        fs.makedirs("/a/b")
+        with pytest.raises(RpcFailure) as err:
+            fs.rmdir("/a")
+        assert _code(err) == RpcError.ENOTEMPTY
+
+    def test_rmdir_nonempty_due_to_file(self, fs):
+        fs.mkdir("/a")
+        fs.create("/a/f.txt")
+        with pytest.raises(RpcFailure) as err:
+            fs.rmdir("/a")
+        assert _code(err) == RpcError.ENOTEMPTY
+
+    def test_rmdir_missing_is_enoent(self, fs):
+        with pytest.raises(RpcFailure) as err:
+            fs.rmdir("/ghost")
+        assert _code(err) == RpcError.ENOENT
+
+    def test_rmdir_file_is_enotdir(self, fs):
+        fs.create("/file")
+        with pytest.raises(RpcFailure) as err:
+            fs.rmdir("/file")
+        assert _code(err) == RpcError.ENOTDIR
+
+    def test_recreate_after_rmdir(self, fs):
+        fs.mkdir("/x")
+        fs.rmdir("/x")
+        fs.mkdir("/x")
+        assert fs.is_dir("/x")
+
+    def test_root_getattr(self, fs):
+        attrs = fs.getattr("/")
+        assert attrs["is_dir"]
+
+    def test_mkdir_on_root_rejected(self, fs):
+        with pytest.raises((RpcFailure, ValueError)):
+            fs.mkdir("/")
+
+
+class TestFiles:
+    def test_create_and_getattr(self, fs):
+        fs.mkdir("/d")
+        ino = fs.create("/d/f.bin")
+        attrs = fs.getattr("/d/f.bin")
+        assert attrs["ino"] == ino and not attrs["is_dir"]
+
+    def test_create_exclusive_conflict(self, fs):
+        fs.create("/f")
+        with pytest.raises(RpcFailure) as err:
+            fs.create("/f")
+        assert _code(err) == RpcError.EEXIST
+
+    def test_create_non_exclusive_truncates(self, fs, cluster):
+        fs.write("/f", size=4096)
+        ino = fs.create("/f", exclusive=False)
+        assert fs.getattr("/f")["size"] == 0
+        assert fs.getattr("/f")["ino"] == ino
+
+    def test_write_then_read_size(self, fs):
+        fs.mkdir("/d")
+        fs.write("/d/f.bin", size=300 * 1024)
+        assert fs.read("/d/f.bin") == 300 * 1024
+        assert fs.getattr("/d/f.bin")["size"] == 300 * 1024
+
+    def test_zero_byte_file(self, fs):
+        fs.write("/empty", size=0)
+        assert fs.read("/empty") == 0
+
+    def test_multi_block_file(self, fs, cluster):
+        size = 3 * cluster.costs.block_size_bytes + 100
+        fs.write("/big", size=size)
+        assert fs.read("/big") == size
+
+    def test_unlink(self, fs):
+        fs.create("/f")
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+
+    def test_unlink_missing_is_enoent(self, fs):
+        with pytest.raises(RpcFailure) as err:
+            fs.unlink("/ghost")
+        assert _code(err) == RpcError.ENOENT
+
+    def test_unlink_directory_is_eisdir(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(RpcFailure) as err:
+            fs.unlink("/d")
+        assert _code(err) == RpcError.EISDIR
+
+    def test_read_missing_is_enoent(self, fs):
+        with pytest.raises(RpcFailure) as err:
+            fs.read("/ghost")
+        assert _code(err) == RpcError.ENOENT
+
+    def test_read_directory_is_eisdir(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(RpcFailure) as err:
+            fs.read("/d")
+        assert _code(err) == RpcError.EISDIR
+
+    def test_getattr_through_file_is_enotdir(self, fs):
+        fs.create("/f")
+        with pytest.raises(RpcFailure) as err:
+            fs.getattr("/f/child")
+        assert _code(err) in (RpcError.ENOTDIR, RpcError.ENOENT)
+
+    def test_same_name_in_different_dirs(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        fs.write("/a/data.bin", size=100)
+        fs.write("/b/data.bin", size=200)
+        assert fs.getattr("/a/data.bin")["size"] == 100
+        assert fs.getattr("/b/data.bin")["size"] == 200
+
+
+class TestPermissions:
+    def test_chmod_file(self, fs):
+        fs.create("/f")
+        fs.chmod("/f", 0o600)
+        assert fs.getattr("/f")["mode"] == 0o600
+
+    def test_chmod_dir_via_coordinator(self, fs):
+        fs.mkdir("/d")
+        fs.chmod("/d", 0o500)
+        assert fs.getattr("/d")["mode"] == 0o500
+
+    def test_no_exec_dir_blocks_traversal(self, fs):
+        fs.makedirs("/d/sub")
+        fs.create("/d/sub/f")
+        fs.chmod("/d", 0o600)
+        with pytest.raises(RpcFailure) as err:
+            fs.getattr("/d/sub/f")
+        assert _code(err) == RpcError.EACCES
+
+    def test_restore_exec_restores_access(self, fs):
+        fs.makedirs("/d/sub")
+        fs.create("/d/sub/f")
+        fs.chmod("/d", 0o600)
+        fs.chmod("/d", 0o755)
+        assert fs.exists("/d/sub/f")
+
+    def test_readonly_parent_blocks_create(self, fs):
+        fs.mkdir("/ro")
+        fs.chmod("/ro", 0o555)
+        with pytest.raises(RpcFailure) as err:
+            fs.create("/ro/f")
+        assert _code(err) == RpcError.EACCES
+
+
+class TestRename:
+    def test_rename_file(self, fs):
+        fs.mkdir("/d")
+        fs.write("/d/a", size=512)
+        fs.rename("/d/a", "/d/b")
+        assert not fs.exists("/d/a")
+        assert fs.getattr("/d/b")["size"] == 512
+
+    def test_rename_across_directories(self, fs):
+        fs.mkdir("/src")
+        fs.mkdir("/dst")
+        fs.create("/src/f")
+        fs.rename("/src/f", "/dst/f")
+        assert fs.exists("/dst/f") and not fs.exists("/src/f")
+
+    def test_rename_missing_source_is_enoent(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(RpcFailure) as err:
+            fs.rename("/d/ghost", "/d/new")
+        assert _code(err) == RpcError.ENOENT
+
+    def test_rename_existing_target_is_eexist(self, fs):
+        fs.create("/a")
+        fs.create("/b")
+        with pytest.raises(RpcFailure) as err:
+            fs.rename("/a", "/b")
+        assert _code(err) == RpcError.EEXIST
+
+    def test_rename_onto_itself_rejected(self, fs):
+        fs.create("/a")
+        with pytest.raises(RpcFailure) as err:
+            fs.rename("/a", "/a")
+        assert _code(err) == RpcError.EINVAL
+
+    def test_rename_directory_children_follow(self, fs):
+        fs.makedirs("/old/nested")
+        fs.write("/old/nested/f", size=64)
+        fs.rename("/old", "/new")
+        assert fs.getattr("/new/nested/f")["size"] == 64
+        assert not fs.exists("/old")
+
+    def test_rename_directory_then_create_under_new_name(self, fs):
+        fs.mkdir("/old")
+        fs.rename("/old", "/new")
+        fs.create("/new/f")
+        assert fs.exists("/new/f")
+
+    def test_rename_keeps_ino(self, fs):
+        ino = fs.create("/a")
+        fs.rename("/a", "/b")
+        assert fs.getattr("/b")["ino"] == ino
+
+
+class TestReaddir:
+    def test_lists_files_and_dirs(self, fs):
+        fs.mkdir("/d")
+        fs.mkdir("/d/sub")
+        fs.create("/d/f1")
+        fs.create("/d/f2")
+        assert fs.readdir("/d") == [
+            ("f1", False), ("f2", False), ("sub", True),
+        ]
+
+    def test_listdir_names_only(self, fs):
+        fs.mkdir("/d")
+        fs.create("/d/z")
+        fs.create("/d/a")
+        assert fs.listdir("/d") == ["a", "z"]
+
+    def test_empty_directory(self, fs):
+        fs.mkdir("/d")
+        assert fs.readdir("/d") == []
+
+    def test_root_listing(self, fs):
+        fs.mkdir("/a")
+        fs.create("/b")
+        assert fs.readdir("/") == [("a", True), ("b", False)]
+
+    def test_missing_directory_is_enoent(self, fs):
+        with pytest.raises(RpcFailure) as err:
+            fs.readdir("/ghost")
+        assert _code(err) == RpcError.ENOENT
+
+    def test_spans_all_mnodes(self, fs, cluster):
+        """A directory's files live on many MNodes; readdir merges them."""
+        fs.mkdir("/d")
+        for i in range(32):
+            fs.create("/d/f{:03d}".format(i))
+        assert len(fs.readdir("/d")) == 32
+        holders = sum(
+            1 for mnode in cluster.mnodes
+            if any(True for _ in mnode.inodes.scan_prefix(
+                (fs.getattr("/d")["ino"],)
+            ))
+        )
+        assert holders > 1
+
+
+class TestMultiClient:
+    def test_visibility_across_clients(self, cluster):
+        writer = cluster.fs()
+        reader = cluster.fs()
+        writer.mkdir("/shared")
+        writer.write("/shared/f", size=1024)
+        assert reader.read("/shared/f") == 1024
+
+    def test_unlink_visible_immediately(self, cluster):
+        """Stateless clients cannot serve stale metadata (no coherence
+        protocol needed)."""
+        a = cluster.fs()
+        b = cluster.fs()
+        a.create("/f")
+        assert b.exists("/f")
+        b.unlink("/f")
+        assert not a.exists("/f")
+
+    def test_chmod_visible_across_clients(self, cluster):
+        a = cluster.fs()
+        b = cluster.fs()
+        a.makedirs("/d/sub")
+        a.chmod("/d", 0o000)
+        with pytest.raises(RpcFailure):
+            b.getattr("/d/sub")
+
+    def test_libfs_and_vfs_clients_interoperate(self, cluster):
+        vfs = cluster.fs(mode="vfs")
+        libfs = cluster.fs(mode="libfs")
+        vfs.mkdir("/d")
+        libfs.create("/d/f")
+        assert vfs.exists("/d/f")
+
+
+class TestDeepPaths:
+    def test_deep_nesting(self, fs):
+        path = ""
+        for level in range(12):
+            path += "/L{}".format(level)
+            fs.mkdir(path)
+        fs.write(path + "/leaf.bin", size=64)
+        assert fs.read(path + "/leaf.bin") == 64
+
+    def test_invalid_path_rejected(self, fs):
+        with pytest.raises((RpcFailure, ValueError)):
+            fs.getattr("relative/path")
+
+    def test_dot_components_rejected(self, fs):
+        with pytest.raises((RpcFailure, ValueError)):
+            fs.getattr("/a/../b")

@@ -1,0 +1,213 @@
+"""Concurrency fuzzing against cluster invariants.
+
+Random mixes of namespace operations run concurrently from several
+clients; after each wave the cluster is audited by
+:func:`repro.core.verify.check_cluster_invariants` — placement,
+ownership, replica coherence, reachability and statistics must all hold
+no matter how the operations interleave.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import FalconCluster, FalconConfig
+from repro.core.verify import InvariantViolation, check_cluster_invariants
+from repro.net.rpc import RpcFailure
+
+DIR_NAMES = ["alpha", "beta", "gamma", "delta"]
+FILE_NAMES = ["a.dat", "b.dat", "shared.dat", "c.bin"]
+
+
+def _random_path(rng, depth):
+    parts = [rng.choice(DIR_NAMES) for _ in range(rng.randint(0, depth))]
+    return "/" + "/".join(parts) if parts else "/" + rng.choice(DIR_NAMES)
+
+
+def _random_op(rng, client):
+    """One random namespace operation as a tolerant generator."""
+    kind = rng.choice(
+        ["mkdir", "create", "unlink", "rmdir", "getattr", "rename",
+         "chmod", "readdir"]
+    )
+    base = _random_path(rng, 2)
+    file_path = base + "/" + rng.choice(FILE_NAMES)
+
+    def op():
+        try:
+            if kind == "mkdir":
+                yield from client.mkdir(base)
+            elif kind == "create":
+                yield from client.create(file_path, exclusive=False)
+            elif kind == "unlink":
+                yield from client.unlink(file_path)
+            elif kind == "rmdir":
+                yield from client.rmdir(base)
+            elif kind == "getattr":
+                yield from client.getattr(file_path)
+            elif kind == "rename":
+                target = base + "/" + rng.choice(FILE_NAMES)
+                yield from client.rename(file_path, target)
+            elif kind == "chmod":
+                yield from client.chmod(base, rng.choice([0o755, 0o700]))
+            elif kind == "readdir":
+                yield from client.readdir(base)
+        except RpcFailure:
+            pass  # contention outcomes (ENOENT/EEXIST/...) are legal
+
+    return op
+
+
+def _run_wave(cluster, clients, rng, ops_per_wave):
+    env = cluster.env
+    procs = [
+        env.process(_random_op(rng, rng.choice(clients))())
+        for _ in range(ops_per_wave)
+    ]
+    env.run(until=env.all_of(procs))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_concurrent_fuzz_preserves_invariants(seed):
+    cluster = FalconCluster(FalconConfig(num_mnodes=3, num_storage=2))
+    clients = [cluster.add_client(mode="libfs") for _ in range(3)]
+    rng = random.Random(seed)
+    for _ in range(5):
+        _run_wave(cluster, clients, rng, ops_per_wave=25)
+        check_cluster_invariants(cluster)
+
+
+def test_fuzz_with_rebalancing():
+    """Load balancing interleaved with foreground operations."""
+    cluster = FalconCluster(FalconConfig(num_mnodes=4, num_storage=2,
+                                         epsilon=0.05))
+    clients = [cluster.add_client(mode="libfs") for _ in range(2)]
+    fs = cluster.fs()
+    for d in range(20):
+        fs.mkdir("/hotdir{:02d}".format(d))
+        fs.create("/hotdir{:02d}/hot.dat".format(d))
+    rng = random.Random(1)
+    env = cluster.env
+    balance = env.process(cluster.coordinator.rebalance())
+    procs = [
+        env.process(_random_op(rng, rng.choice(clients))())
+        for _ in range(40)
+    ]
+    env.run(until=env.all_of(procs + [balance]))
+    check_cluster_invariants(cluster)
+
+
+def test_invariant_checker_detects_misplacement():
+    """The checker itself must catch planted inconsistencies."""
+    from repro.core.records import InodeRecord
+
+    cluster = FalconCluster(FalconConfig(num_mnodes=4, num_storage=2))
+    fs = cluster.fs()
+    fs.mkdir("/d")
+    check_cluster_invariants(cluster)
+    # Plant an inode on the wrong MNode.
+    owner = cluster.coordinator.index.locate(1, "planted")
+    wrong = cluster.mnodes[(owner + 1) % 4]
+    wrong.inodes.put((1, "planted"), InodeRecord(ino=999999))
+    wrong._track_name((1, "planted"), +1)
+    with pytest.raises(InvariantViolation):
+        check_cluster_invariants(cluster)
+
+
+def test_invariant_checker_detects_orphan():
+    from repro.core.records import InodeRecord
+
+    cluster = FalconCluster(FalconConfig(num_mnodes=4, num_storage=2))
+    owner = cluster.coordinator.index.locate(777777, "lost.dat")
+    node = cluster.mnodes[owner]
+    node.inodes.put((777777, "lost.dat"), InodeRecord(ino=999998))
+    node._track_name((777777, "lost.dat"), +1)
+    with pytest.raises(InvariantViolation):
+        check_cluster_invariants(cluster)
+
+
+def test_invariant_checker_detects_stale_valid_dentry():
+    from repro.core.records import DentryRecord
+
+    cluster = FalconCluster(FalconConfig(num_mnodes=4, num_storage=2))
+    fs = cluster.fs()
+    fs.mkdir("/d")
+    ino = fs.getattr("/d")["ino"]
+    # A replica claiming VALID with the wrong mode must be flagged.
+    rogue = cluster.mnodes[0]
+    rogue.dentries.put((1, "d"), DentryRecord(ino=ino, mode=0o777))
+    if cluster.coordinator.index.locate(1, "d") == 0:
+        rogue.dentries.get((1, "d")).mode = 0o777
+    with pytest.raises(InvariantViolation):
+        check_cluster_invariants(cluster)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["mkdir", "create", "unlink", "rmdir", "rename"]),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=1, max_size=40,
+))
+def test_sequential_ops_match_model(operations):
+    """Sequential random ops vs a plain dict-based namespace model."""
+    cluster = FalconCluster(FalconConfig(num_mnodes=2, num_storage=1))
+    fs = cluster.fs(mode="libfs")
+    model_dirs = set()
+    model_files = set()
+    for kind, a, b in operations:
+        directory = "/d{}".format(a)
+        path = "{}/f{}".format(directory, b)
+        try:
+            if kind == "mkdir":
+                fs.mkdir(directory)
+                ok = directory not in model_dirs
+                assert ok, "mkdir should have failed"
+                model_dirs.add(directory)
+            elif kind == "create":
+                fs.create(path)
+                assert directory in model_dirs
+                assert path not in model_files
+                model_files.add(path)
+            elif kind == "unlink":
+                fs.unlink(path)
+                assert path in model_files
+                model_files.remove(path)
+            elif kind == "rmdir":
+                fs.rmdir(directory)
+                assert directory in model_dirs
+                assert not any(f.startswith(directory + "/")
+                               for f in model_files)
+                model_dirs.remove(directory)
+            elif kind == "rename":
+                target = "/d{}/g{}".format(a, b)
+                fs.rename(path, target)
+                assert path in model_files and target not in model_files
+                model_files.remove(path)
+                model_files.add(target)
+        except RpcFailure:
+            # The model must agree the operation was illegal.
+            if kind == "mkdir":
+                assert directory in model_dirs
+            elif kind == "create":
+                assert directory not in model_dirs or path in model_files
+            elif kind == "unlink":
+                assert path not in model_files
+            elif kind == "rmdir":
+                assert directory not in model_dirs or any(
+                    f.startswith(directory + "/") for f in model_files
+                )
+            elif kind == "rename":
+                target = "/d{}/g{}".format(a, b)
+                assert path not in model_files or target in model_files
+    # Final states agree.
+    for directory in model_dirs:
+        assert fs.is_dir(directory)
+    for path in model_files:
+        assert fs.exists(path)
+    check_cluster_invariants(cluster)

@@ -1,0 +1,191 @@
+"""Tests for the coordinator's statistical load balancing (§4.2.2)."""
+
+import pytest
+
+from repro.core import FalconCluster, FalconConfig
+from repro.metrics import load_share_extremes
+from repro.workloads.trees import TreeSpec
+
+
+def _hot_name_tree(num_dirs=40, hot="hot.dat", uniques_per_dir=3):
+    """Many directories each holding one hot-named file + unique files."""
+    tree = TreeSpec("hot")
+    tree.add_dir("/data")
+    serial = 0
+    for d in range(num_dirs):
+        directory = tree.add_dir("/data/d{:03d}".format(d))
+        tree.add_file("{}/{}".format(directory, hot), 0)
+        for _ in range(uniques_per_dir):
+            tree.add_file(
+                "{}/u{:06d}.dat".format(directory, serial), 0
+            )
+            serial += 1
+    return tree
+
+
+@pytest.fixture
+def cluster():
+    return FalconCluster(FalconConfig(num_mnodes=4, num_storage=2,
+                                      epsilon=0.05))
+
+
+class TestRebalance:
+    def test_hot_filename_triggers_redirection(self, cluster):
+        cluster.bulk_load(_hot_name_tree())
+        before = cluster.inode_distribution()
+        assert max(before) > (1 / 4 + 0.05) * sum(before)
+        report = cluster.rebalance()
+        assert report["moves"]
+        counts = cluster.inode_distribution()
+        assert max(counts) <= (1 / 4 + 0.05) * sum(counts) + 1
+        assert len(cluster.exception_table) >= 1
+
+    def test_balanced_workload_needs_no_entries(self, cluster):
+        tree = TreeSpec("uniq")
+        tree.add_dir("/data")
+        for i in range(800):
+            tree.add_file("/data/u{:06d}.dat".format(i), 0)
+        cluster.bulk_load(tree)
+        report = cluster.rebalance()
+        assert report["moves"] == []
+        assert len(cluster.exception_table) == 0
+
+    def test_files_survive_migration(self, cluster):
+        tree = _hot_name_tree(num_dirs=24)
+        cluster.bulk_load(tree)
+        cluster.rebalance()
+        fs = cluster.fs()
+        for path, _ in tree.files:
+            assert fs.exists(path), path
+
+    def test_table_pushed_to_all_mnodes(self, cluster):
+        cluster.bulk_load(_hot_name_tree())
+        cluster.rebalance()
+        version = cluster.exception_table.version
+        assert version > 0
+        for mnode in cluster.mnodes:
+            assert mnode.xt.version == version
+            assert mnode.xt.pathwalk == cluster.exception_table.pathwalk
+            assert mnode.xt.override == cluster.exception_table.override
+
+    def test_total_inode_count_preserved(self, cluster):
+        tree = _hot_name_tree()
+        cluster.bulk_load(tree)
+        total_before = sum(cluster.inode_distribution())
+        cluster.rebalance()
+        assert sum(cluster.inode_distribution()) == total_before
+
+    def test_pathwalk_chosen_for_dominant_name(self):
+        """A name that is most of one node's load is better spread than
+        moved whole (path-walk beats override)."""
+        cluster = FalconCluster(FalconConfig(num_mnodes=4, num_storage=2,
+                                             epsilon=0.02))
+        cluster.bulk_load(_hot_name_tree(num_dirs=120, uniques_per_dir=1))
+        cluster.rebalance()
+        table = cluster.exception_table
+        assert "hot.dat" in table.pathwalk
+
+    def test_override_chosen_for_moderate_name(self):
+        """A moderately hot name is simply pinned to the least loaded
+        node when that suffices."""
+        cluster = FalconCluster(FalconConfig(num_mnodes=4, num_storage=2,
+                                             epsilon=0.02))
+        tree = TreeSpec("moderate")
+        tree.add_dir("/data")
+        # Background of unique names, deliberately skewed light/heavy.
+        for i in range(600):
+            tree.add_file("/data/u{:06d}.dat".format(i), 0)
+        for d in range(30):
+            directory = tree.add_dir("/data/d{:02d}".format(d))
+            tree.add_file("{}/warm.dat".format(directory), 0)
+        cluster.bulk_load(tree)
+        cluster.rebalance()
+        table = cluster.exception_table
+        assert len(table) >= 1
+
+
+class TestConvergence:
+    def test_two_hot_names_no_ping_pong(self):
+        """Regression: two fair-share-sized hot names must not bounce an
+        override entry between nodes; the balancer escalates to
+        path-walk redirection and terminates."""
+        cluster = FalconCluster(FalconConfig(num_mnodes=8, num_storage=2,
+                                             epsilon=0.005))
+        tree = TreeSpec("two-hot")
+        tree.add_dir("/data")
+        serial = 0
+        for d in range(120):
+            directory = tree.add_dir("/data/d{:03d}".format(d))
+            tree.add_file("{}/hot.dat".format(directory), 0)
+            tree.add_file("{}/warm.dat".format(directory), 0)
+            for _ in range(2):
+                tree.add_file(
+                    "{}/u{:06d}.dat".format(directory, serial), 0
+                )
+                serial += 1
+        cluster.bulk_load(tree)
+        report = cluster.rebalance()
+        # Bounded move count (no oscillation) and a genuinely balanced
+        # outcome with the hot names spread.
+        assert len(report["moves"]) <= 8
+        counts = cluster.inode_distribution()
+        assert max(counts) / sum(counts) < 0.2
+        table = cluster.exception_table
+        assert {"hot.dat", "warm.dat"} & (table.pathwalk
+                                          | set(table.override))
+
+    def test_rebalance_never_worsens_maximum(self):
+        cluster = FalconCluster(FalconConfig(num_mnodes=4, num_storage=2,
+                                             epsilon=0.01))
+        cluster.bulk_load(_hot_name_tree(num_dirs=80, uniques_per_dir=2))
+        before = max(cluster.inode_distribution())
+        cluster.rebalance()
+        assert max(cluster.inode_distribution()) <= before
+
+
+class TestShrink:
+    def test_shrink_removes_unneeded_entries(self, cluster):
+        # Enough hot files to trigger rebalancing, and enough unique
+        # files that hash variance stays inside the bound once the hot
+        # files are gone.
+        tree = _hot_name_tree(num_dirs=150, uniques_per_dir=4)
+        cluster.bulk_load(tree)
+        cluster.rebalance()
+        assert len(cluster.exception_table) >= 1
+        fs = cluster.fs()
+        # Remove the hot files: the entry is no longer necessary.
+        for path, _ in tree.files:
+            if path.endswith("hot.dat"):
+                fs.unlink(path)
+        removed = cluster.shrink_exception_table()
+        assert "hot.dat" in removed
+        assert len(cluster.exception_table) == 0
+
+    def test_shrink_keeps_needed_entries(self, cluster):
+        cluster.bulk_load(_hot_name_tree(num_dirs=60, uniques_per_dir=1))
+        cluster.rebalance()
+        entries_before = len(cluster.exception_table)
+        removed = cluster.shrink_exception_table()
+        # The hot name is still hot: shrink must not remove its entry.
+        counts = cluster.inode_distribution()
+        assert max(counts) <= (1 / 4 + 0.05) * sum(counts) + 1
+        assert len(cluster.exception_table) == entries_before - len(removed)
+
+
+class TestStatsReporting:
+    def test_stats_rpc_reports_top_names(self, cluster):
+        cluster.bulk_load(_hot_name_tree(num_dirs=30))
+        coordinator = cluster.coordinator
+        stats = cluster.run_process(coordinator._gather_stats())
+        assert len(stats) == 4
+        assert sum(s["inode_count"] for s in stats) == \
+            sum(cluster.inode_distribution())
+        hot_node = max(stats, key=lambda s: s["inode_count"])
+        assert hot_node["top_filenames"][0][0] == "hot.dat"
+
+    def test_auto_balance_process(self, cluster):
+        cluster.bulk_load(_hot_name_tree())
+        cluster.coordinator.start_auto_balance(interval_us=10000.0)
+        cluster.run_for(25000.0)
+        counts = cluster.inode_distribution()
+        assert max(counts) <= (1 / 4 + 0.05) * sum(counts) + 1

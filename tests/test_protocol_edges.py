@@ -1,0 +1,187 @@
+"""Protocol edge cases: rename hazards, §4.3 serialization case 1,
+unsupported operations, retry paths."""
+
+import pytest
+
+from repro.core import FalconCluster, FalconConfig
+from repro.core.verify import check_cluster_invariants
+from repro.net.rpc import RpcError, RpcFailure
+from repro.storage import LockMode
+
+
+@pytest.fixture
+def cluster():
+    return FalconCluster(FalconConfig(num_mnodes=4, num_storage=2))
+
+
+@pytest.fixture
+def fs(cluster):
+    return cluster.fs()
+
+
+class TestRenameHazards:
+    def test_rename_into_own_subtree_rejected(self, cluster, fs):
+        fs.makedirs("/a/b")
+        with pytest.raises(RpcFailure) as err:
+            fs.rename("/a", "/a/b/c")
+        assert err.value.code == RpcError.EINVAL
+        assert fs.is_dir("/a/b")
+        check_cluster_invariants(cluster)
+
+    def test_rename_directly_under_itself_rejected(self, cluster, fs):
+        fs.mkdir("/a")
+        with pytest.raises(RpcFailure) as err:
+            fs.rename("/a", "/a/a")
+        assert err.value.code == RpcError.EINVAL
+
+    def test_rename_parent_into_child_name_ok(self, cluster, fs):
+        """'/ab' is not inside '/a': prefix check must be per component."""
+        fs.mkdir("/a")
+        fs.mkdir("/ab")
+        fs.rename("/a", "/ab/a")
+        assert fs.is_dir("/ab/a")
+        check_cluster_invariants(cluster)
+
+    def test_rename_missing_dst_parent(self, cluster, fs):
+        fs.create("/f")
+        with pytest.raises(RpcFailure) as err:
+            fs.rename("/f", "/nodir/f")
+        assert err.value.code == RpcError.ENOENT
+        assert fs.exists("/f")
+        check_cluster_invariants(cluster)
+
+    def test_failed_rename_leaves_no_staged_state(self, cluster, fs):
+        fs.create("/a")
+        fs.create("/b")
+        with pytest.raises(RpcFailure):
+            fs.rename("/a", "/b")
+        for mnode in cluster.mnodes:
+            assert mnode._staged == {}
+        # Both files still fully operational.
+        fs.unlink("/a")
+        fs.unlink("/b")
+
+    def test_concurrent_renames_serialize(self, cluster):
+        fs = cluster.fs()
+        client = cluster.add_client(mode="libfs")
+        fs.mkdir("/d")
+        fs.create("/d/x")
+        fs.create("/d/y")
+        env = cluster.env
+        outcomes = []
+
+        def renamer(src, dst):
+            try:
+                yield from client.rename(src, dst)
+                outcomes.append("ok")
+            except RpcFailure as failure:
+                outcomes.append(RpcError.name(failure.code))
+
+        a = env.process(renamer("/d/x", "/d/z"))
+        b = env.process(renamer("/d/y", "/d/z"))
+        env.run(until=env.all_of([a, b]))
+        assert sorted(outcomes) == ["EEXIST", "ok"]
+        check_cluster_invariants(cluster)
+
+
+class TestConflictCaseOne:
+    def test_invalidation_waits_for_inflight_holder(self, cluster):
+        """§4.3 case 1: a request already holding the dentry lock blocks
+        the invalidation until it completes."""
+        fs = cluster.fs()
+        fs.mkdir("/dir")
+        fs.create("/dir/warm")  # replicate the dentry around
+        env = cluster.env
+        owner_idx = cluster.coordinator.index.locate(1, "dir")
+        other = cluster.mnodes[(owner_idx + 1) % 4]
+        order = []
+
+        def long_holder():
+            grant = other.locks.acquire(("d", 1, "dir"), LockMode.SHARED)
+            yield grant.event
+            order.append(("holder-start", env.now))
+            yield env.timeout(500.0)
+            other.locks.release(grant)
+            order.append(("holder-end", env.now))
+
+        def chmodder():
+            yield env.timeout(10.0)
+            client = cluster.clients[0]
+            yield from client.chmod("/dir", 0o700)
+            order.append(("chmod-done", env.now))
+
+        holder = env.process(long_holder())
+        chmod = env.process(chmodder())
+        env.run(until=env.all_of([holder, chmod]))
+        labels = [label for label, _ in order]
+        assert labels.index("chmod-done") > labels.index("holder-end")
+        assert fs.getattr("/dir")["mode"] == 0o700
+
+
+class TestUnsupported:
+    def test_symlink_rejected(self, cluster):
+        client = cluster.add_client()
+        with pytest.raises(RpcFailure) as err:
+            cluster.run_process(client.symlink("/target", "/link"))
+        assert err.value.code == RpcError.EINVAL
+
+
+class TestRetryPaths:
+    def test_ops_retry_through_migration_window(self, cluster):
+        """Access to a migrating filename blocks (ERETRY + client retry)
+        and succeeds once the window closes."""
+        fs = cluster.fs()
+        fs.mkdir("/d")
+        fs.create("/d/pinned.dat")
+        env = cluster.env
+        client = cluster.clients[0]
+        for mnode in cluster.mnodes:
+            mnode.migrating.add("pinned.dat")
+
+        def unblock():
+            yield env.timeout(5000.0)
+            for mnode in cluster.mnodes:
+                mnode.migrating.discard("pinned.dat")
+
+        env.process(unblock())
+        attrs = cluster.run_process(client.getattr("/d/pinned.dat"))
+        assert attrs["ino"] > 0
+        assert env.now >= 5000.0
+
+    def test_retry_eventually_gives_up(self, cluster):
+        fs = cluster.fs()
+        fs.mkdir("/d")
+        fs.create("/d/stuck.dat")
+        for mnode in cluster.mnodes:
+            mnode.migrating.add("stuck.dat")
+        client = cluster.clients[0]
+        with pytest.raises(RpcFailure) as err:
+            cluster.run_process(client.getattr("/d/stuck.dat"))
+        assert err.value.code == RpcError.ERETRY
+
+
+class TestMkdirRmdirChurn:
+    def test_repeated_create_remove_cycles(self, cluster, fs):
+        """Namespace churn leaves no residue: sequences of mkdir/rmdir
+        with replica traffic in between keep all invariants."""
+        other = cluster.fs()
+        for round_index in range(10):
+            fs.mkdir("/churn")
+            other.create("/churn/f")  # forces replica fetch elsewhere
+            other.unlink("/churn/f")
+            fs.rmdir("/churn")
+        assert not fs.exists("/churn")
+        check_cluster_invariants(cluster)
+
+    def test_deep_tree_teardown(self, cluster, fs):
+        path = ""
+        for level in range(6):
+            path += "/t{}".format(level)
+            fs.mkdir(path)
+        fs.create(path + "/leaf")
+        fs.unlink(path + "/leaf")
+        while path:
+            fs.rmdir(path)
+            path = path.rsplit("/", 1)[0]
+        assert fs.readdir("/") == []
+        check_cluster_invariants(cluster)

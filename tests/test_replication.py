@@ -1,0 +1,178 @@
+"""Tests for primary-standby metadata replication (log shipping)."""
+
+import random
+
+import pytest
+
+from repro.core import FalconCluster, FalconConfig
+from repro.core.records import INVALID
+from repro.net.rpc import RpcFailure
+from repro.storage.replication import divergence
+
+
+@pytest.fixture
+def cluster():
+    return FalconCluster(FalconConfig(num_mnodes=3, num_storage=2,
+                                      replication=True))
+
+
+def _drain(cluster):
+    cluster.run_for(20000.0)
+
+
+class TestConvergence:
+    def test_mixed_workload_converges(self, cluster):
+        fs = cluster.fs()
+        fs.makedirs("/a/b")
+        for i in range(24):
+            fs.write("/a/b/f{:02d}".format(i), size=4096)
+        for i in range(0, 24, 3):
+            fs.unlink("/a/b/f{:02d}".format(i))
+        fs.rename("/a/b/f01", "/a/b/renamed")
+        fs.chmod("/a/b", 0o700)
+        fs.chmod("/a/b/f02", 0o600)
+        _drain(cluster)
+        assert all(
+            not diffs for diffs in cluster.replication_divergence().values()
+        )
+
+    def test_namespace_changes_converge(self, cluster):
+        fs = cluster.fs()
+        for i in range(8):
+            fs.mkdir("/d{}".format(i))
+        for i in range(0, 8, 2):
+            fs.rmdir("/d{}".format(i))
+        fs.rename("/d1", "/e1")
+        _drain(cluster)
+        assert all(
+            not diffs for diffs in cluster.replication_divergence().values()
+        )
+
+    def test_concurrent_ops_converge(self, cluster):
+        fs = cluster.fs()
+        fs.mkdir("/shared")
+        client = cluster.add_client(mode="libfs")
+        env = cluster.env
+        procs = [
+            env.process(client.create("/shared/f{:03d}".format(i)))
+            for i in range(60)
+        ]
+        env.run(until=env.all_of(procs))
+        _drain(cluster)
+        assert all(
+            not diffs for diffs in cluster.replication_divergence().values()
+        )
+
+    def test_bulk_load_mirrored(self, cluster):
+        from repro.workloads.trees import uniform_tree
+
+        cluster.bulk_load(uniform_tree(levels=2, dir_fanout=3,
+                                       files_per_leaf=4))
+        assert all(
+            not diffs for diffs in cluster.replication_divergence().values()
+        )
+
+    def test_rebalance_migration_converges(self):
+        cluster = FalconCluster(FalconConfig(
+            num_mnodes=4, num_storage=2, replication=True, epsilon=0.02,
+        ))
+        fs = cluster.fs()
+        for d in range(30):
+            fs.mkdir("/d{:02d}".format(d))
+            fs.create("/d{:02d}/hot.dat".format(d))
+        cluster.rebalance()
+        _drain(cluster)
+        assert all(
+            not diffs for diffs in cluster.replication_divergence().values()
+        )
+
+
+class TestMechanics:
+    def test_lsn_ordering_and_lag(self, cluster):
+        fs = cluster.fs()
+        fs.mkdir("/d")
+        for i in range(10):
+            fs.create("/d/f{}".format(i))
+        _drain(cluster)
+        for mnode, standby in zip(cluster.mnodes, cluster.standbys):
+            if mnode.shipper.next_lsn > 1:
+                assert standby.lag(mnode.shipper) == 0
+                assert standby.applied_lsn == mnode.shipper.next_lsn - 1
+
+    def test_shipping_is_asynchronous(self, cluster):
+        """Commits do not wait for the standby: op latency with
+        replication matches a replication-free cluster."""
+        plain = FalconCluster(FalconConfig(num_mnodes=3, num_storage=2))
+        t_plain = _timed_create(plain)
+        t_replicated = _timed_create(cluster)
+        assert t_replicated == pytest.approx(t_plain, rel=0.01)
+
+    def test_out_of_order_application(self):
+        """The standby buffers a gap and applies in LSN order."""
+        from repro.core import FalconCluster as FC
+
+        cluster = FC(FalconConfig(num_mnodes=1, num_storage=1,
+                                  replication=True))
+        standby = cluster.standbys[0]
+        mnode = cluster.mnodes[0]
+
+        def deliver(lsn, key, value):
+            from repro.net.message import Message
+
+            msg = Message(mnode.name, standby.name, "wal_ship",
+                          {"lsn": lsn, "records": [("inode", key, value)]})
+            standby.deliver(msg)
+
+        from repro.core.records import InodeRecord
+
+        deliver(2, (1, "b"), InodeRecord(ino=11))
+        cluster.run_for(100.0)
+        assert standby.applied_lsn == 0  # gap: nothing applied yet
+        deliver(1, (1, "a"), InodeRecord(ino=10))
+        cluster.run_for(100.0)
+        assert standby.applied_lsn == 2
+        assert standby.table("inode").get((1, "a")).ino == 10
+        assert standby.table("inode").get((1, "b")).ino == 11
+
+    def test_standby_records_are_copies(self, cluster):
+        fs = cluster.fs()
+        fs.create("/f")
+        _drain(cluster)
+        owner = cluster.coordinator.index.locate(1, "f")
+        primary = cluster.mnodes[owner].inodes.get((1, "f"))
+        replica = cluster.standbys[owner].table("inode").get((1, "f"))
+        assert replica is not primary
+        assert replica.ino == primary.ino
+
+    def test_promote_tables_invalidates_dentries(self, cluster):
+        fs = cluster.fs()
+        fs.mkdir("/d")
+        _drain(cluster)
+        owner = cluster.coordinator.index.locate(1, "d")
+        standby = cluster.standbys[owner]
+        tables = standby.promote_tables()
+        record = tables["dentry"].get((1, "d"))
+        assert record is not None and record.state == INVALID
+
+    def test_divergence_requires_replication(self):
+        cluster = FalconCluster(FalconConfig(num_mnodes=2, num_storage=1))
+        with pytest.raises(RuntimeError):
+            cluster.replication_divergence()
+
+    def test_divergence_detects_planted_gap(self, cluster):
+        fs = cluster.fs()
+        fs.create("/f")
+        _drain(cluster)
+        owner = cluster.coordinator.index.locate(1, "f")
+        cluster.standbys[owner].table("inode").delete((1, "f"))
+        diffs = cluster.replication_divergence()
+        assert diffs[cluster.mnodes[owner].name]
+
+
+def _timed_create(cluster):
+    fs = cluster.fs(mode="libfs")
+    fs.mkdir("/t")
+    env = cluster.env
+    start = env.now
+    fs.create("/t/probe")
+    return env.now - start

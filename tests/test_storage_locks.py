@@ -1,0 +1,152 @@
+"""Unit tests for the shared/exclusive lock manager."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.storage import LockManager, LockMode
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def locks(env):
+    return LockManager(env)
+
+
+def test_shared_locks_compatible(locks):
+    a = locks.acquire("k", LockMode.SHARED)
+    b = locks.acquire("k", LockMode.SHARED)
+    assert a.granted and b.granted
+    assert locks.holders("k") == ["S", "S"]
+
+
+def test_exclusive_blocks_shared(locks):
+    x = locks.acquire("k", LockMode.EXCLUSIVE)
+    s = locks.acquire("k", LockMode.SHARED)
+    assert x.granted and not s.granted
+    locks.release(x)
+    assert s.granted
+
+
+def test_shared_blocks_exclusive(locks):
+    s = locks.acquire("k", LockMode.SHARED)
+    x = locks.acquire("k", LockMode.EXCLUSIVE)
+    assert s.granted and not x.granted
+    locks.release(s)
+    assert x.granted
+
+
+def test_fifo_prevents_writer_starvation(locks):
+    s1 = locks.acquire("k", LockMode.SHARED)
+    x = locks.acquire("k", LockMode.EXCLUSIVE)
+    s2 = locks.acquire("k", LockMode.SHARED)
+    # s2 must not jump ahead of the queued exclusive.
+    assert s1.granted and not x.granted and not s2.granted
+    locks.release(s1)
+    assert x.granted and not s2.granted
+    locks.release(x)
+    assert s2.granted
+
+
+def test_batch_shared_grant_after_exclusive(locks):
+    x = locks.acquire("k", LockMode.EXCLUSIVE)
+    shared = [locks.acquire("k", LockMode.SHARED) for _ in range(3)]
+    locks.release(x)
+    assert all(grant.granted for grant in shared)
+
+
+def test_bad_mode_rejected(locks):
+    with pytest.raises(SimulationError):
+        locks.acquire("k", "Z")
+
+
+def test_release_unknown_key_rejected(locks):
+    grant = locks.acquire("k", LockMode.SHARED)
+    locks.release(grant)
+    with pytest.raises(SimulationError):
+        locks.release(grant)
+
+
+def test_cancel_queued_grant(locks):
+    x = locks.acquire("k", LockMode.EXCLUSIVE)
+    queued = locks.acquire("k", LockMode.EXCLUSIVE)
+    locks.release(queued)  # give up before granted
+    locks.release(x)
+    assert not locks.is_locked("k")
+
+
+def test_try_acquire(locks):
+    assert locks.try_acquire("k", LockMode.SHARED) is not None
+    assert locks.try_acquire("k", LockMode.EXCLUSIVE) is None
+    grant = locks.try_acquire("k", LockMode.SHARED)
+    assert grant is not None and grant.granted
+
+
+def test_independent_keys(locks):
+    a = locks.acquire("a", LockMode.EXCLUSIVE)
+    b = locks.acquire("b", LockMode.EXCLUSIVE)
+    assert a.granted and b.granted
+
+
+def test_state_cleanup_when_free(locks):
+    grant = locks.acquire("k", LockMode.EXCLUSIVE)
+    locks.release(grant)
+    assert locks.holders("k") == []
+    assert locks.queue_length("k") == 0
+    assert not locks._locks  # fully garbage-collected
+
+
+def test_queue_length(locks):
+    locks.acquire("k", LockMode.EXCLUSIVE)
+    locks.acquire("k", LockMode.SHARED)
+    locks.acquire("k", LockMode.SHARED)
+    assert locks.queue_length("k") == 2
+
+
+def test_lock_waiting_in_processes(env, locks):
+    """Processes serialize on an exclusive lock in simulated time."""
+    timeline = []
+
+    def user(tag, delay, hold):
+        yield env.timeout(delay)
+        grant = locks.acquire("k", LockMode.EXCLUSIVE)
+        yield grant.event
+        timeline.append((tag, env.now))
+        yield env.timeout(hold)
+        locks.release(grant)
+
+    env.process(user("first", 0.0, 10.0))
+    env.process(user("second", 1.0, 5.0))
+    env.run()
+    assert timeline == [("first", 0.0), ("second", 10.0)]
+
+
+def test_invalidation_waits_for_shared_holders(env, locks):
+    """The §4.3 pattern: an X-lock (invalidation) waits for in-flight
+    shared holders, serializing the namespace change after them."""
+    events = []
+
+    def reader():
+        grant = locks.acquire(("d", 1, "b"), LockMode.SHARED)
+        yield grant.event
+        events.append(("read-start", env.now))
+        yield env.timeout(20.0)
+        locks.release(grant)
+        events.append(("read-end", env.now))
+
+    def invalidator():
+        yield env.timeout(5.0)
+        grant = locks.acquire(("d", 1, "b"), LockMode.EXCLUSIVE)
+        yield grant.event
+        events.append(("invalidate", env.now))
+        locks.release(grant)
+
+    env.process(reader())
+    env.process(invalidator())
+    env.run()
+    assert events == [
+        ("read-start", 0.0), ("read-end", 20.0), ("invalidate", 20.0),
+    ]

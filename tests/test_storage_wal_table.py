@@ -1,0 +1,194 @@
+"""Unit tests for the write-ahead log and transactional tables."""
+
+import pytest
+
+from repro.net.costs import CostModel
+from repro.sim import Environment
+from repro.storage import Table, Transaction, WriteAheadLog
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def costs():
+    return CostModel()
+
+
+@pytest.fixture
+def wal(env, costs):
+    return WriteAheadLog(env, costs)
+
+
+class TestWriteAheadLog:
+    def test_single_commit_duration(self, env, costs, wal):
+        def committer():
+            yield wal.commit(1000)
+            return env.now
+
+        done = env.run(until=env.process(committer()))
+        assert done == pytest.approx(
+            costs.wal_fsync_us + 1000 * costs.wal_us_per_byte
+        )
+        assert wal.flush_count == 1
+        assert wal.bytes_written == 1000
+
+    def test_group_commit_coalesces_concurrent(self, env, wal):
+        def committer():
+            yield wal.commit(100)
+
+        for _ in range(16):
+            env.process(committer())
+        env.run()
+        # All 16 arrive before the first flush finishes: at most 2 flushes.
+        assert wal.flush_count <= 2
+        assert wal.records_written == 16
+        assert wal.records_per_flush >= 8
+
+    def test_sequential_commits_not_coalesced(self, env, costs, wal):
+        def committer():
+            yield wal.commit(100)
+            yield wal.commit(100)
+
+        env.run(until=env.process(committer()))
+        assert wal.flush_count == 2
+
+    def test_records_per_flush_empty(self, wal):
+        assert wal.records_per_flush == 0.0
+
+    def test_late_commit_joins_next_flush(self, env, costs, wal):
+        durations = {}
+
+        def first():
+            yield wal.commit(100)
+            durations["first"] = env.now
+
+        def second():
+            yield env.timeout(costs.wal_fsync_us / 2)
+            start = env.now
+            yield wal.commit(100)
+            durations["second"] = env.now - start
+
+        env.process(first())
+        env.process(second())
+        env.run()
+        # The second commit waits for the in-flight flush, then its own.
+        assert durations["second"] > costs.wal_fsync_us
+
+
+class TestTable:
+    def test_put_get_delete(self):
+        table = Table("t")
+        table.put((1, "a"), "v")
+        assert table.get((1, "a")) == "v"
+        assert (1, "a") in table
+        assert table.delete((1, "a"))
+        assert table.get((1, "a")) is None
+
+    def test_scan_prefix(self):
+        table = Table("t")
+        for pid in (1, 2):
+            for name in ("x", "y"):
+                table.put((pid, name), pid)
+        assert [k for k, _ in table.scan_prefix((1,))] == [(1, "x"), (1, "y")]
+
+    def test_has_prefix(self):
+        table = Table("t")
+        assert not table.has_prefix((5,))
+        table.put((5, "child"), None)
+        assert table.has_prefix((5,))
+
+    def test_scan_bounds(self):
+        table = Table("t")
+        for i in range(10):
+            table.put((i,), i)
+        assert [k for k, _ in table.scan(lo=(3,), hi=(6,))] == [
+            (3,), (4,), (5,)
+        ]
+
+
+class TestTransaction:
+    def test_read_your_writes(self, env, costs, wal):
+        table = Table("t")
+        txn = Transaction(env, wal, costs)
+        txn.put(table, "k", 1)
+        assert txn.get(table, "k") == 1
+        assert table.get("k") is None  # not applied yet
+
+    def test_read_through_to_table(self, env, costs, wal):
+        table = Table("t")
+        table.put("k", "base")
+        txn = Transaction(env, wal, costs)
+        assert txn.get(table, "k") == "base"
+
+    def test_delete_shadows_table(self, env, costs, wal):
+        table = Table("t")
+        table.put("k", "base")
+        txn = Transaction(env, wal, costs)
+        txn.delete(table, "k")
+        assert txn.get(table, "k") is None
+        assert table.get("k") == "base"
+
+    def test_commit_applies_and_logs(self, env, costs, wal):
+        table = Table("t")
+        table.put("old", 1)
+        txn = Transaction(env, wal, costs)
+        txn.put(table, "new", 2)
+        txn.delete(table, "old")
+
+        def run():
+            yield from txn.commit()
+
+        env.run(until=env.process(run()))
+        assert txn.committed
+        assert table.get("new") == 2
+        assert table.get("old") is None
+        assert wal.records_written == 2
+
+    def test_abort_discards(self, env, costs, wal):
+        table = Table("t")
+        txn = Transaction(env, wal, costs)
+        txn.put(table, "k", 1)
+        txn.abort()
+        assert txn.aborted
+        assert table.get("k") is None
+
+    def test_closed_transaction_rejects_use(self, env, costs, wal):
+        table = Table("t")
+        txn = Transaction(env, wal, costs)
+        txn.abort()
+        with pytest.raises(RuntimeError):
+            txn.put(table, "k", 1)
+        with pytest.raises(RuntimeError):
+            txn.abort()
+
+    def test_empty_commit_writes_no_log(self, env, costs, wal):
+        txn = Transaction(env, wal, costs)
+
+        def run():
+            yield from txn.commit()
+
+        env.run(until=env.process(run()))
+        assert wal.flush_count == 0
+
+    def test_write_count_deduplicates_keys(self, env, costs, wal):
+        table = Table("t")
+        txn = Transaction(env, wal, costs)
+        txn.put(table, "k", 1)
+        txn.put(table, "k", 2)
+        assert txn.write_count == 1
+
+    def test_multiple_tables_one_transaction(self, env, costs, wal):
+        a, b = Table("a"), Table("b")
+        txn = Transaction(env, wal, costs)
+        txn.put(a, "k", "a-value")
+        txn.put(b, "k", "b-value")
+
+        def run():
+            yield from txn.commit()
+
+        env.run(until=env.process(run()))
+        assert a.get("k") == "a-value"
+        assert b.get("k") == "b-value"

@@ -1,0 +1,33 @@
+"""Tests for the straggler-sensitivity extension experiment."""
+
+from repro.experiments import straggler
+
+
+def test_straggler_shapes():
+    rows = straggler.run(num_dirs=16, files_per_dir=20, threads=96)
+    by_key = {
+        (r["workload"], r["system"], r["straggler_cores"]): r for r in rows
+    }
+    for workload in ("independent", "batched"):
+        for system in ("falconfs", "cephfs"):
+            healthy = by_key[(workload, system, "-")]
+            degraded = by_key[(workload, system, 1)]
+            # A degraded server always costs something...
+            assert degraded["slowdown"] > 1.05
+            assert degraded["p95_latency_us"] > healthy["p95_latency_us"]
+        # ...but hashing spreads the damage: FalconFS degrades more
+        # gracefully than directory-locality placement.
+        assert (by_key[(workload, "falconfs", 1)]["slowdown"]
+                < by_key[(workload, "cephfs", 1)]["slowdown"])
+    # Batched fetches wait for their slowest member, so the straggler
+    # bites FalconFS harder there than on independent ops.
+    assert (by_key[("batched", "falconfs", 1)]["slowdown"]
+            > by_key[("independent", "falconfs", 1)]["slowdown"])
+    assert "Straggler" in straggler.format_rows(rows)
+
+
+def test_healthy_baseline_unchanged():
+    row = straggler.measure("falconfs", None, num_dirs=8,
+                            files_per_dir=10, threads=32)
+    assert row["errors"] == 0
+    assert row["straggler_cores"] == "-"

@@ -1,0 +1,139 @@
+"""Tests for the trace capture / persistence / replay toolchain."""
+
+import pytest
+
+from repro.core import FalconCluster, FalconConfig
+from repro.baselines import LustreCluster
+from repro.net.rpc import RpcFailure
+from repro.workloads.trace import (
+    RecordingClient,
+    Trace,
+    TraceRecord,
+    replay,
+)
+
+
+@pytest.fixture
+def cluster():
+    return FalconCluster(FalconConfig(num_mnodes=2, num_storage=2))
+
+
+def _recorded_session(cluster):
+    recorder = RecordingClient(cluster.add_client())
+    fs = cluster.fs(recorder)
+    fs.mkdir("/data")
+    fs.write("/data/a.bin", size=8192)
+    fs.getattr("/data/a.bin")
+    fs.read("/data/a.bin")
+    fs.rename("/data/a.bin", "/data/b.bin")
+    fs.chmod("/data/b.bin", 0o600)
+    fs.readdir("/data")
+    fs.unlink("/data/b.bin")
+    fs.rmdir("/data")
+    return recorder.trace
+
+
+class TestRecording:
+    def test_all_ops_recorded_in_order(self, cluster):
+        trace = _recorded_session(cluster)
+        assert [r.op for r in trace] == [
+            "mkdir", "write", "getattr", "read", "rename", "chmod",
+            "readdir", "unlink", "rmdir",
+        ]
+        assert all(r.outcome == "ok" for r in trace)
+
+    def test_failures_recorded_with_errno(self, cluster):
+        recorder = RecordingClient(cluster.add_client())
+        fs = cluster.fs(recorder)
+        with pytest.raises(RpcFailure):
+            fs.getattr("/missing")
+        assert recorder.trace.records[-1].outcome == "ENOENT"
+
+    def test_sizes_and_destinations_captured(self, cluster):
+        trace = _recorded_session(cluster)
+        write = next(r for r in trace if r.op == "write")
+        rename = next(r for r in trace if r.op == "rename")
+        assert write.size == 8192
+        assert rename.dst == "/data/b.bin"
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, cluster, tmp_path):
+        trace = _recorded_session(cluster)
+        path = str(tmp_path / "session.trace")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert list(loaded) == list(trace)
+
+    def test_record_json_round_trip(self):
+        record = TraceRecord("rename", "/a", dst="/b")
+        assert TraceRecord.from_json(record.to_json()) == record
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord("symlink", "/a")
+
+    def test_summary(self, cluster):
+        trace = _recorded_session(cluster)
+        summary = trace.summary()
+        assert summary["total"] == 9
+        assert summary["ops"]["write"] == 1
+        assert summary["size_bytes"]["max"] == 8192
+
+
+class TestReplay:
+    def test_replay_reproduces_namespace(self, cluster):
+        recorder = RecordingClient(cluster.add_client())
+        fs = cluster.fs(recorder)
+        fs.makedirs("/tree/sub")
+        fs.write("/tree/sub/f1", size=1024)
+        fs.write("/tree/f2", size=2048)
+        fs.rename("/tree/f2", "/tree/f3")
+
+        target = FalconCluster(FalconConfig(num_mnodes=3, num_storage=2))
+        result = replay(target, target.add_client(), recorder.trace)
+        assert result.errors == 0
+        replayed = target.fs(target.clients[0])
+        assert replayed.getattr("/tree/sub/f1")["size"] == 1024
+        assert replayed.getattr("/tree/f3")["size"] == 2048
+        assert not replayed.exists("/tree/f2")
+
+    def test_replay_across_systems(self, cluster):
+        """A trace captured on FalconFS replays on a Lustre baseline."""
+        trace = _recorded_session(cluster)
+        target = LustreCluster(FalconConfig(num_mnodes=2, num_storage=2))
+        result = replay(target, target.add_client(), trace)
+        assert result.ops == len(trace)
+        assert result.errors == 0
+
+    def test_replay_tolerates_traced_failures(self, cluster):
+        trace = Trace([
+            TraceRecord("mkdir", "/d"),
+            TraceRecord("getattr", "/d/ghost", outcome="ENOENT"),
+            TraceRecord("create", "/d/f"),
+        ])
+        target = FalconCluster(FalconConfig(num_mnodes=2, num_storage=1))
+        result = replay(target, target.add_client(), trace)
+        assert result.ops == 2 and result.errors == 1
+        assert target.fs(target.clients[0]).exists("/d/f")
+
+    def test_replay_strict_mode_raises(self, cluster):
+        trace = Trace([TraceRecord("unlink", "/nope")])
+        target = FalconCluster(FalconConfig(num_mnodes=2, num_storage=1))
+        with pytest.raises(RpcFailure):
+            replay(target, target.add_client(), trace,
+                   tolerate_errors=False)
+
+    def test_concurrent_replay(self, cluster):
+        target = FalconCluster(FalconConfig(num_mnodes=2, num_storage=2))
+        client = target.add_client()
+        # Dependencies (the parent mkdir) replay first; the independent
+        # writes then fan out across workers.
+        replay(target, client, Trace([TraceRecord("mkdir", "/d")]))
+        trace = Trace([
+            TraceRecord("write", "/d/f{:02d}".format(i), size=512)
+            for i in range(40)
+        ])
+        result = replay(target, client, trace, num_threads=8)
+        assert result.errors == 0
+        assert len(target.fs(client).listdir("/d")) == 40

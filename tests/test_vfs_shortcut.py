@@ -1,0 +1,122 @@
+"""Tests for the VFS shortcut (§5) and the NoBypass stateful variant."""
+
+import pytest
+
+from repro.core import FalconCluster, FalconConfig
+from repro.vfs.attrs import DENTRY_CACHE_COST_BYTES
+
+
+@pytest.fixture
+def cluster():
+    return FalconCluster(FalconConfig(num_mnodes=4, num_storage=4))
+
+
+def _setup_tree(fs, depth=3, files=6):
+    path = ""
+    for level in range(depth):
+        path += "/L{}".format(level)
+        fs.mkdir(path)
+    for i in range(files):
+        fs.create("{}/f{:02d}.dat".format(path, i))
+    return path
+
+
+class TestShortcutClient:
+    def test_one_request_per_getattr(self, cluster):
+        fs = cluster.fs(mode="vfs")
+        leaf = _setup_tree(fs)
+        client = cluster.clients[0]
+        before = client.metrics.counter("requests").total()
+        for i in range(6):
+            fs.getattr("{}/f{:02d}.dat".format(leaf, i))
+        sent = client.metrics.counter("requests").total() - before
+        assert sent == 6  # exactly one request per operation
+
+    def test_intermediate_entries_are_fake(self, cluster):
+        fs = cluster.fs(mode="vfs")
+        leaf = _setup_tree(fs)
+        fs.getattr(leaf + "/f00.dat")
+        client = cluster.clients[0]
+        from repro.vfs.attrs import ROOT_INO
+
+        entry = client.dcache.peek(ROOT_INO, "L0")
+        assert entry is not None and entry.attrs.is_fake
+        assert entry.attrs.mode == 0o777
+
+    def test_fake_attrs_never_exposed(self, cluster):
+        """getattr on a directory previously walked as an intermediate
+        must return its real mode, not the fake 0777."""
+        fs = cluster.fs(mode="vfs")
+        fs.makedirs("/a/b")
+        fs.chmod("/a", 0o711)
+        fs.create("/a/b/f")
+        fs.getattr("/a/b/f")  # caches fake entries for a and b
+        attrs = fs.getattr("/a")  # final lookup on a fake-cached entry
+        assert attrs["mode"] == 0o711
+        assert cluster.clients[0].metrics.counter("revalidate_fake").total() >= 1
+
+    def test_requests_constant_under_tiny_budget(self, cluster):
+        fs = cluster.fs(mode="vfs",
+                        cache_budget_bytes=2 * DENTRY_CACHE_COST_BYTES)
+        leaf = _setup_tree(fs)
+        client = cluster.clients[0]
+        before = client.metrics.counter("requests").total()
+        for i in range(6):
+            fs.getattr("{}/f{:02d}.dat".format(leaf, i))
+        assert client.metrics.counter("requests").total() - before == 6
+
+    def test_libfs_skips_dcache(self, cluster):
+        fs = cluster.fs(mode="libfs")
+        leaf = _setup_tree(fs)
+        fs.getattr(leaf + "/f00.dat")
+        assert len(cluster.clients[0].dcache) == 0
+
+
+class TestNoBypassClient:
+    def test_misses_cost_lookups(self, cluster):
+        fs = cluster.fs(mode="vfs")
+        leaf = _setup_tree(fs)
+        nobypass = cluster.fs(mode="nobypass")
+        client = cluster.clients[1]
+        nobypass.getattr(leaf + "/f00.dat")
+        requests = client.metrics.counter("requests").by_label()
+        assert requests.get("lookup", 0) == 3  # one per intermediate
+        assert requests.get("getattr", 0) == 1
+
+    def test_cached_walk_sends_single_request(self, cluster):
+        fs = cluster.fs(mode="vfs")
+        leaf = _setup_tree(fs)
+        nobypass = cluster.fs(mode="nobypass")
+        client = cluster.clients[1]
+        nobypass.getattr(leaf + "/f00.dat")  # warm the dcache
+        before = client.metrics.counter("requests").by_label().copy()
+        nobypass.getattr(leaf + "/f01.dat")
+        after = client.metrics.counter("requests").by_label()
+        assert after.get("lookup", 0) == before.get("lookup", 0)
+        assert after["getattr"] == before["getattr"] + 1
+
+    def test_budget_zero_amplifies_every_walk(self, cluster):
+        fs = cluster.fs(mode="vfs")
+        leaf = _setup_tree(fs)
+        nobypass = cluster.fs(mode="nobypass", cache_budget_bytes=0)
+        client = cluster.clients[1]
+        nobypass.getattr(leaf + "/f00.dat")
+        nobypass.getattr(leaf + "/f01.dat")
+        requests = client.metrics.counter("requests").by_label()
+        assert requests.get("lookup", 0) == 6  # 3 per operation, no reuse
+
+    def test_real_attrs_cached(self, cluster):
+        fs = cluster.fs(mode="vfs")
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        nobypass = cluster.fs(mode="nobypass")
+        nobypass.getattr("/d/f")
+        client = cluster.clients[1]
+        from repro.vfs.attrs import ROOT_INO
+
+        entry = client.dcache.peek(ROOT_INO, "d")
+        assert entry is not None and not entry.attrs.is_fake
+
+    def test_client_mode_validation(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.add_client(mode="bogus")
