@@ -1,5 +1,16 @@
 """Result analysis: compile benchmark outputs into one report."""
 
+from repro.analysis.breakdown import (
+    aggregate,
+    breakdown_rows,
+    op_breakdowns,
+)
 from repro.analysis.report import RESULT_ORDER, compile_report
 
-__all__ = ["RESULT_ORDER", "compile_report"]
+__all__ = [
+    "RESULT_ORDER",
+    "aggregate",
+    "breakdown_rows",
+    "compile_report",
+    "op_breakdowns",
+]

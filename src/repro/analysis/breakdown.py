@@ -1,0 +1,137 @@
+"""Latency breakdown from trace spans (the Fig 11 companion analysis).
+
+Consumes the spans produced by :class:`repro.obs.Tracer` (live ``Span``
+objects or dicts loaded from a JSONL sink) and decomposes each completed
+operation's latency into per-component times:
+
+* the **root** of an operation is its ``cat == "op"`` span with no parent;
+* **components** are the leaf categories in
+  :data:`repro.obs.COMPONENT_CATEGORIES` (net, queue, lock, wal, disk,
+  cpu, retry) — envelope categories (op/phase/batch) are never summed;
+* **batch amortization** — work recorded under a ``cat == "batch"`` root
+  (FalconFS request merging executes one batch for many member
+  operations) is divided evenly across the batch's ``members`` and
+  credited to each member operation;
+* the **other** bucket is whatever part of the root latency no component
+  span accounts for (client-side bookkeeping, scheduling slack).
+
+Parallel component spans (e.g. concurrent per-block disk IOs) each count
+in full, so component sums measure *work*, not wall time; ``other`` is
+clamped at zero accordingly.
+"""
+
+from collections import defaultdict
+
+from repro.obs import COMPONENT_CATEGORIES
+from repro.obs.tracer import CAT_BATCH, CAT_OP, load_spans
+
+__all__ = [
+    "op_breakdowns",
+    "aggregate",
+    "breakdown_rows",
+    "load_spans",
+]
+
+
+def _as_dict(span):
+    return span if isinstance(span, dict) else span.to_dict()
+
+
+def _duration(record):
+    end = record.get("end")
+    if end is None:
+        return 0.0
+    return end - record["start"]
+
+
+def op_breakdowns(spans):
+    """Per-operation breakdown dicts for every completed root op span.
+
+    Each dict has ``op_id``, ``op`` (the operation name), ``duration_us``,
+    ``components`` (category -> microseconds, amortized batch work
+    included), ``other_us`` and ``coverage`` (direct-children time over
+    root duration — 1.0 means the trace fully explains the latency).
+    """
+    records = [_as_dict(s) for s in spans]
+    by_op = defaultdict(list)
+    for record in records:
+        by_op[record["op"]].append(record)
+
+    # Amortize batch-scoped component work across the batch's members.
+    batch_shares = defaultdict(lambda: defaultdict(float))
+    for record in records:
+        if record["cat"] != CAT_BATCH or record.get("parent") is not None:
+            continue
+        members = (record.get("attrs") or {}).get("members") or []
+        if not members:
+            continue
+        share = 1.0 / len(members)
+        for child in by_op[record["op"]]:
+            if child["cat"] in COMPONENT_CATEGORIES:
+                for member in members:
+                    batch_shares[member][child["cat"]] += (
+                        _duration(child) * share
+                    )
+
+    out = []
+    for op_id, group in sorted(by_op.items()):
+        roots = [
+            r for r in group
+            if r["cat"] == CAT_OP and r.get("parent") is None
+            and r.get("end") is not None
+        ]
+        if not roots:
+            continue
+        root = roots[0]
+        duration = _duration(root)
+        components = defaultdict(float)
+        for record in group:
+            if record["cat"] in COMPONENT_CATEGORIES:
+                components[record["cat"]] += _duration(record)
+        for category, share in batch_shares.get(op_id, {}).items():
+            components[category] += share
+        explained = sum(components.values())
+        direct = sum(
+            _duration(r) for r in group
+            if r.get("parent") == root["span"]
+        )
+        out.append({
+            "op_id": op_id,
+            "op": root["name"],
+            "duration_us": duration,
+            "components": dict(components),
+            "other_us": max(0.0, duration - explained),
+            "coverage": (direct / duration) if duration > 0 else 1.0,
+        })
+    return out
+
+
+def aggregate(breakdowns, key="op"):
+    """Aggregate per-op breakdowns into per-``key`` mean rows.
+
+    Returns a list of dicts with ``op``, ``count``, ``mean_us`` and a
+    mean-microseconds column per component category plus ``other_us``.
+    """
+    groups = defaultdict(list)
+    for bd in breakdowns:
+        groups[bd[key]].append(bd)
+    rows = []
+    for name, group in sorted(groups.items()):
+        n = len(group)
+        row = {
+            "op": name,
+            "count": n,
+            "mean_us": sum(b["duration_us"] for b in group) / n,
+        }
+        for category in COMPONENT_CATEGORIES:
+            row[category + "_us"] = sum(
+                b["components"].get(category, 0.0) for b in group
+            ) / n
+        row["other_us"] = sum(b["other_us"] for b in group) / n
+        rows.append(row)
+    return rows
+
+
+def breakdown_rows(spans, key="op"):
+    """One-call pipeline: spans -> aggregated component table rows."""
+    return aggregate(op_breakdowns(spans), key=key)

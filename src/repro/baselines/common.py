@@ -26,6 +26,15 @@ from repro.core.records import (
 from repro.core.shared import ClusterShared, FalconConfig
 from repro.net import CostModel, Network, Node
 from repro.net.rpc import RpcError, RpcFailure
+from repro.obs import (
+    CAT_CPU,
+    CAT_PHASE,
+    NULL_CONTEXT,
+    OpContext,
+    RetryPolicy,
+    deadline_call,
+    retry,
+)
 from repro.sim import Environment
 from repro.storage import LockManager, LockMode, Table, WriteAheadLog
 from repro.vfs import DentryCache, InodeAttrs, PathWalker, ROOT_INO
@@ -109,20 +118,23 @@ class MetaServer(Node):
                 "{} cannot handle {!r}".format(self.name, message)
             )
         try:
+            if (message.ctx is not None and message.ctx.expired()):
+                raise RpcFailure(RpcError.ETIMEDOUT, message.kind)
             # The stack-weighted remainder of per-request entry overhead
             # (the base dispatch slice is charged by ``_handle_guard``).
             extra = self.costs.dispatch_us * (self.profile.stack_factor - 1.0)
             if extra > 0:
-                yield from self._charge(extra / self.profile.stack_factor)
+                yield from self._charge(extra / self.profile.stack_factor,
+                                        ctx=message.ctx)
             yield from handler(message)
         except RpcFailure as failure:
             self.metrics.counter("op_errors").inc(RpcError.name(failure.code))
             self.respond_error(message, failure)
 
-    def _charge(self, cost_us):
-        return self.execute(cost_us * self.profile.stack_factor)
+    def _charge(self, cost_us, ctx=None):
+        return self.execute(cost_us * self.profile.stack_factor, ctx=ctx)
 
-    def _journal(self, records=1):
+    def _journal(self, records=1, ctx=None):
         """Generator: make ``records`` metadata mutations durable."""
         nbytes = records * self.costs.wal_record_bytes
         if self.profile.journal_remote:
@@ -140,11 +152,12 @@ class MetaServer(Node):
                     yield self.call(
                         target, "write_block", {"size": nbytes},
                         size=nbytes + self.costs.rpc_request_bytes,
+                        ctx=ctx,
                     )
             finally:
                 self._journal_writer.release(writer)
         else:
-            yield self.wal.commit(nbytes, records=records)
+            yield self.wal.commit(nbytes, records=records, ctx=ctx)
         if self.profile.two_round_commit:
             # Percolator: prewrite round against the primary lock peer,
             # then the commit record — a second durable write.
@@ -152,20 +165,20 @@ class MetaServer(Node):
                 (self.my_index + 1) % self.shared.config.num_mnodes
             )
             if peer != self.name:
-                yield self.call(peer, "txn_round", {})
-            yield self.wal.commit(self.costs.wal_record_bytes)
+                yield self.call(peer, "txn_round", {}, ctx=ctx)
+            yield self.wal.commit(self.costs.wal_record_bytes, ctx=ctx)
 
     def _on_txn_round(self, message):
-        yield from self._charge(self.costs.txn_begin_us)
-        yield self.wal.commit(self.costs.wal_record_bytes)
+        yield from self._charge(self.costs.txn_begin_us, ctx=message.ctx)
+        yield self.wal.commit(self.costs.wal_record_bytes, ctx=message.ctx)
         self.respond(message, {"ok": True})
 
-    def _lock(self, key, mode):
-        grant = self.locks.acquire(key, mode)
+    def _lock(self, key, mode, ctx=None):
+        grant = self.locks.acquire(key, mode, ctx=ctx)
         yield grant.event
         return grant
 
-    def _touch_parent(self, payload):
+    def _touch_parent(self, payload, ctx=None):
         """Generator: update the parent directory's mtime (Lustre/JuiceFS).
 
         A directory's own inode lives on the server that holds its
@@ -177,21 +190,22 @@ class MetaServer(Node):
         if not self.profile.update_dir_metadata:
             return
         self.dir_mtimes[payload["pid"]] = self.env.now
-        yield from self._charge(self.costs.index_insert_us)
+        yield from self._charge(self.costs.index_insert_us, ctx=ctx)
 
     # -- metadata operations (all keyed (parent_ino, name)) -----------------
 
     def _on_lookup(self, message):
         payload = message.payload
+        ctx = message.ctx
         key = (payload["pid"], payload["name"])
-        grant = yield from self._lock(key, LockMode.SHARED)
+        grant = yield from self._lock(key, LockMode.SHARED, ctx=ctx)
         try:
             cost = self.costs.index_lookup_us + self.profile.coherence_lock_us
             if payload.get("intent") == "open":
                 # CephFS opens via lookup; the capability work still
                 # happens (Fig 13b counts these lookups as opens).
                 cost += self.profile.open_extra_us
-            yield from self._charge(cost)
+            yield from self._charge(cost, ctx=ctx)
             record = self.inodes.get(key)
         finally:
             self.locks.release(grant)
@@ -202,12 +216,14 @@ class MetaServer(Node):
 
     def _on_open(self, message):
         payload = message.payload
+        ctx = message.ctx
         key = (payload["pid"], payload["name"])
-        grant = yield from self._lock(key, LockMode.SHARED)
+        grant = yield from self._lock(key, LockMode.SHARED, ctx=ctx)
         try:
             yield from self._charge(
                 self.costs.index_lookup_us + self.profile.coherence_lock_us
-                + self.profile.open_extra_us
+                + self.profile.open_extra_us,
+                ctx=ctx,
             )
             record = self.inodes.get(key)
         finally:
@@ -223,13 +239,15 @@ class MetaServer(Node):
 
     def _on_create(self, message):
         payload = message.payload
+        ctx = message.ctx
         key = (payload["pid"], payload["name"])
-        grant = yield from self._lock(key, LockMode.EXCLUSIVE)
+        grant = yield from self._lock(key, LockMode.EXCLUSIVE, ctx=ctx)
         try:
             yield from self._charge(
                 self.costs.index_lookup_us + self.costs.index_insert_us
                 + self.costs.lock_acquire_us + self.costs.lock_release_us
-                + self.costs.txn_begin_us + self.costs.txn_commit_us
+                + self.costs.txn_begin_us + self.costs.txn_commit_us,
+                ctx=ctx,
             )
             if self.inodes.get(key) is not None:
                 if payload.get("exclusive", True):
@@ -240,8 +258,8 @@ class MetaServer(Node):
             )
             self.inodes.put(key, record)
             records = 2 if self.profile.update_dir_metadata else 1
-            yield from self._journal(records=records)
-            yield from self._touch_parent(payload)
+            yield from self._journal(records=records, ctx=ctx)
+            yield from self._touch_parent(payload, ctx=ctx)
         finally:
             self.locks.release(grant)
         self.metrics.counter("ops").inc("create")
@@ -249,12 +267,14 @@ class MetaServer(Node):
 
     def _on_mkdir(self, message):
         payload = message.payload
+        ctx = message.ctx
         key = (payload["pid"], payload["name"])
-        grant = yield from self._lock(key, LockMode.EXCLUSIVE)
+        grant = yield from self._lock(key, LockMode.EXCLUSIVE, ctx=ctx)
         try:
             yield from self._charge(
                 self.costs.index_lookup_us + self.costs.index_insert_us
-                + self.costs.txn_begin_us + self.costs.txn_commit_us
+                + self.costs.txn_begin_us + self.costs.txn_commit_us,
+                ctx=ctx,
             )
             if self.inodes.get(key) is not None:
                 raise RpcFailure(RpcError.EEXIST, key)
@@ -264,8 +284,8 @@ class MetaServer(Node):
             )
             self.inodes.put(key, record)
             records = 2 if self.profile.update_dir_metadata else 1
-            yield from self._journal(records=records)
-            yield from self._touch_parent(payload)
+            yield from self._journal(records=records, ctx=ctx)
+            yield from self._touch_parent(payload, ctx=ctx)
         finally:
             self.locks.release(grant)
         self.metrics.counter("ops").inc("mkdir")
@@ -273,11 +293,13 @@ class MetaServer(Node):
 
     def _on_close(self, message):
         payload = message.payload
+        ctx = message.ctx
         key = (payload["pid"], payload["name"])
-        grant = yield from self._lock(key, LockMode.EXCLUSIVE)
+        grant = yield from self._lock(key, LockMode.EXCLUSIVE, ctx=ctx)
         try:
             yield from self._charge(
-                self.costs.index_lookup_us + self.costs.index_insert_us
+                self.costs.index_lookup_us + self.costs.index_insert_us,
+                ctx=ctx,
             )
             record = self.inodes.get(key)
             if record is None:
@@ -287,7 +309,7 @@ class MetaServer(Node):
                 updated.size = payload["size"]
                 updated.mtime = self.env.now
                 self.inodes.put(key, updated)
-                yield from self._journal()
+                yield from self._journal(ctx=ctx)
         finally:
             self.locks.release(grant)
         self.metrics.counter("ops").inc("close")
@@ -295,11 +317,13 @@ class MetaServer(Node):
 
     def _on_setattr(self, message):
         payload = message.payload
+        ctx = message.ctx
         key = (payload["pid"], payload["name"])
-        grant = yield from self._lock(key, LockMode.EXCLUSIVE)
+        grant = yield from self._lock(key, LockMode.EXCLUSIVE, ctx=ctx)
         try:
             yield from self._charge(
-                self.costs.index_lookup_us + self.costs.index_insert_us
+                self.costs.index_lookup_us + self.costs.index_insert_us,
+                ctx=ctx,
             )
             record = self.inodes.get(key)
             if record is None:
@@ -307,7 +331,7 @@ class MetaServer(Node):
             updated = record.copy()
             updated.mode = payload.get("mode", record.mode)
             self.inodes.put(key, updated)
-            yield from self._journal()
+            yield from self._journal(ctx=ctx)
         finally:
             self.locks.release(grant)
         self.metrics.counter("ops").inc("setattr")
@@ -315,12 +339,14 @@ class MetaServer(Node):
 
     def _on_unlink(self, message):
         payload = message.payload
+        ctx = message.ctx
         key = (payload["pid"], payload["name"])
-        grant = yield from self._lock(key, LockMode.EXCLUSIVE)
+        grant = yield from self._lock(key, LockMode.EXCLUSIVE, ctx=ctx)
         try:
             yield from self._charge(
                 self.costs.index_lookup_us + self.costs.index_delete_us
-                + self.costs.txn_begin_us + self.costs.txn_commit_us
+                + self.costs.txn_begin_us + self.costs.txn_commit_us,
+                ctx=ctx,
             )
             record = self.inodes.get(key)
             if record is None:
@@ -329,8 +355,8 @@ class MetaServer(Node):
                 raise RpcFailure(RpcError.EISDIR, key)
             self.inodes.delete(key)
             records = 2 if self.profile.update_dir_metadata else 1
-            yield from self._journal(records=records)
-            yield from self._touch_parent(payload)
+            yield from self._journal(records=records, ctx=ctx)
+            yield from self._touch_parent(payload, ctx=ctx)
         finally:
             self.locks.release(grant)
         self.metrics.counter("ops").inc("unlink")
@@ -338,11 +364,13 @@ class MetaServer(Node):
 
     def _on_rmdir(self, message):
         payload = message.payload
+        ctx = message.ctx
         key = (payload["pid"], payload["name"])
-        grant = yield from self._lock(key, LockMode.EXCLUSIVE)
+        grant = yield from self._lock(key, LockMode.EXCLUSIVE, ctx=ctx)
         try:
             yield from self._charge(
-                self.costs.index_lookup_us + self.costs.index_delete_us
+                self.costs.index_lookup_us + self.costs.index_delete_us,
+                ctx=ctx,
             )
             record = self.inodes.get(key)
             if record is None:
@@ -355,13 +383,13 @@ class MetaServer(Node):
             else:
                 reply = yield self.call(
                     self.peer_name(children_owner), "children_check",
-                    {"pid": record.ino},
+                    {"pid": record.ino}, ctx=ctx,
                 )
                 has_children = reply["has_children"]
             if has_children:
                 raise RpcFailure(RpcError.ENOTEMPTY, key)
             self.inodes.delete(key)
-            yield from self._journal()
+            yield from self._journal(ctx=ctx)
         finally:
             self.locks.release(grant)
         self.metrics.counter("ops").inc("rmdir")
@@ -369,7 +397,8 @@ class MetaServer(Node):
 
     def _on_children_check(self, message):
         pid = message.payload["pid"]
-        yield from self._charge(self.costs.index_lookup_us)
+        yield from self._charge(self.costs.index_lookup_us,
+                                ctx=message.ctx)
         self.respond(message, {"has_children": self.inodes.has_prefix((pid,))})
 
     def _on_readdir(self, message):
@@ -379,7 +408,8 @@ class MetaServer(Node):
             for key, record in self.inodes.scan_prefix((pid,))
         ]
         yield from self._charge(
-            self.costs.index_lookup_us + 0.02 * len(entries)
+            self.costs.index_lookup_us + 0.02 * len(entries),
+            ctx=message.ctx,
         )
         self.metrics.counter("ops").inc("readdir")
         self.respond(
@@ -390,12 +420,14 @@ class MetaServer(Node):
     def _on_rename(self, message):
         """Rename orchestrated by the source directory's server."""
         payload = message.payload
+        ctx = message.ctx
         skey = tuple(payload["src_key"])
         dkey = tuple(payload["dst_key"])
-        grant = yield from self._lock(skey, LockMode.EXCLUSIVE)
+        grant = yield from self._lock(skey, LockMode.EXCLUSIVE, ctx=ctx)
         try:
             yield from self._charge(
-                2 * self.costs.index_lookup_us + self.costs.two_phase_round_us
+                2 * self.costs.index_lookup_us + self.costs.two_phase_round_us,
+                ctx=ctx,
             )
             record = self.inodes.get(skey)
             if record is None:
@@ -409,9 +441,10 @@ class MetaServer(Node):
                 yield self.call(
                     self.peer_name(dst_owner), "rename_install",
                     {"key": list(dkey), "record": inode_to_wire(record)},
+                    ctx=ctx,
                 )
             self.inodes.delete(skey)
-            yield from self._journal(records=2)
+            yield from self._journal(records=2, ctx=ctx)
         finally:
             self.locks.release(grant)
         self.metrics.counter("ops").inc("rename")
@@ -424,8 +457,8 @@ class MetaServer(Node):
         if self.inodes.get(key) is not None:
             raise RpcFailure(RpcError.EEXIST, key)
         self.inodes.put(key, inode_from_wire(message.payload["record"]))
-        yield from self._charge(self.costs.index_insert_us)
-        yield from self._journal()
+        yield from self._charge(self.costs.index_insert_us, ctx=message.ctx)
+        yield from self._journal(ctx=message.ctx)
         self.respond(message, {"ok": True})
 
 
@@ -450,13 +483,14 @@ class _StatefulOps:
     def __init__(self, client):
         self.client = client
 
-    def lookup(self, parent, name, flags, path):
+    def lookup(self, parent, name, flags, path, ctx=None):
         data = yield from self.client._send_keyed(
-            "lookup", parent.ino, {"pid": parent.ino, "name": name}
+            "lookup", parent.ino, {"pid": parent.ino, "name": name},
+            ctx=ctx,
         )
         return attrs_from_wire(data["attrs"])
 
-    def revalidate(self, entry, flags, path):
+    def revalidate(self, entry, flags, path, ctx=None):
         # Stateful clients trust their cache (lease semantics).
         return entry.attrs
         yield  # pragma: no cover
@@ -483,6 +517,10 @@ class BaselineClient(Node):
             env, network.costs, self.dcache, _StatefulOps(self)
         )
         self.blocks = BlockClient(self, shared)
+        #: Per-op deadline (us; 0 = none) and shared retry policy, both
+        #: stamped onto every operation's OpContext (mirrors FalconClient).
+        self.deadline_us = shared.config.op_deadline_us
+        self.retry_policy = RetryPolicy.from_config(shared.config)
 
     # -- plumbing ----------------------------------------------------------
 
@@ -497,17 +535,56 @@ class BaselineClient(Node):
             self.profile.name, self.placement(parent_ino)
         )
 
-    def _send_keyed(self, op, parent_ino, payload):
-        self.metrics.counter("requests").inc(op)
-        data = yield self.call(self._server_name(parent_ino), op, payload)
+    def _begin_op(self, op, path=None):
+        """New :class:`OpContext` for one client-visible operation."""
+        deadline = None
+        if self.deadline_us:
+            deadline = self.env.now + self.deadline_us
+        ctx = OpContext(
+            self.env, op, origin=self.name, tracer=self.shared.tracer,
+            deadline=deadline, retry_policy=self.retry_policy,
+        )
+        ctx.begin(node=self.name,
+                  attrs={"path": path} if path is not None else None)
+        return ctx
+
+    def _traced(self, ctx, gen):
+        """Generator: run ``gen`` to completion under ``ctx``'s root span."""
+        try:
+            result = yield from gen
+        except BaseException as exc:
+            ctx.finish(error=repr(exc))
+            raise
+        ctx.finish()
+        return result
+
+    def _client_cpu(self, ctx, cost_us):
+        """Generator: charge client-side CPU, attributed to ``ctx``."""
+        start = self.env.now
+        yield self.env.timeout(cost_us)
+        ctx.record("client", CAT_CPU, start, self.env.now, node=self.name)
+
+    def _send_keyed(self, op, parent_ino, payload, ctx=None):
+        ctx = ctx or NULL_CONTEXT
+        target = self._server_name(parent_ino)
+
+        def attempt(_attempt, _hint):
+            self.metrics.counter("requests").inc(op)
+            with ctx.span("rpc", CAT_PHASE, node=self.name,
+                          attrs={"op": op, "target": target}):
+                data = yield from deadline_call(self, ctx, target, op,
+                                                payload)
+            return data
+
+        data = yield from retry(self, ctx, attempt)
         return data
 
-    def _walk_parent(self, components):
+    def _walk_parent(self, components, ctx=None):
         """Generator: resolve the parent directory client-side."""
         if len(components) == 1:
             return self.walker.root_attrs, None
         parent_path = "/" + "/".join(components[:-1])
-        result = yield from self.walker.walk(parent_path)
+        result = yield from self.walker.walk(parent_path, ctx=ctx)
         grand = result.parent_attrs
         parent_key = (
             None if grand is None
@@ -515,13 +592,26 @@ class BaselineClient(Node):
         )
         return result.attrs, parent_key
 
-    def _meta_op(self, op, path, extra, cache_result=True):
+    def _meta_op(self, op, path, extra, cache_result=True, ctx=None):
+        if ctx is None:
+            ctx = self._begin_op(op, path)
+            data = yield from self._traced(
+                ctx, self._meta_op_body(op, path, extra, cache_result, ctx)
+            )
+            return data
+        with ctx.span("op." + op, CAT_PHASE, node=self.name):
+            data = yield from self._meta_op_body(op, path, extra,
+                                                 cache_result, ctx)
+        return data
+
+    def _meta_op_body(self, op, path, extra, cache_result, ctx):
         if self.costs.client_op_us:
-            yield self.env.timeout(self.costs.client_op_us)
+            yield from self._client_cpu(ctx, self.costs.client_op_us)
         components = split_path(path)
         if not components:
             raise RpcFailure(RpcError.EINVAL, "operation on /")
-        parent, parent_key = yield from self._walk_parent(components)
+        parent, parent_key = yield from self._walk_parent(components,
+                                                          ctx=ctx)
         if not parent.is_dir:
             raise RpcFailure(RpcError.ENOTDIR, path)
         payload = dict(extra)
@@ -529,7 +619,7 @@ class BaselineClient(Node):
             "pid": parent.ino, "name": components[-1],
             "parent_key": parent_key,
         })
-        data = yield from self._send_keyed(op, parent.ino, payload)
+        data = yield from self._send_keyed(op, parent.ino, payload, ctx=ctx)
         if cache_result and isinstance(data, dict) and "attrs" in data:
             attrs = attrs_from_wire(data["attrs"])
             self.dcache.insert(parent.ino, components[-1], attrs,
@@ -538,19 +628,21 @@ class BaselineClient(Node):
 
     # -- public API (mirrors FalconClient) -------------------------------
 
-    def mkdir(self, path, mode=0o755):
-        data = yield from self._meta_op("mkdir", path, {"mode": mode})
+    def mkdir(self, path, mode=0o755, ctx=None):
+        data = yield from self._meta_op("mkdir", path, {"mode": mode},
+                                        ctx=ctx)
         return data["attrs"]["ino"]
 
-    def create(self, path, mode=0o644, exclusive=True):
+    def create(self, path, mode=0o644, exclusive=True, ctx=None):
         data = yield from self._meta_op(
-            "create", path, {"mode": mode, "exclusive": exclusive}
+            "create", path, {"mode": mode, "exclusive": exclusive}, ctx=ctx
         )
         return data["attrs"]["ino"]
 
-    def open_file(self, path):
+    def open_file(self, path, ctx=None):
         op = "lookup" if self.profile.open_via_lookup else "open"
-        data = yield from self._meta_op(op, path, {"intent": "open"})
+        data = yield from self._meta_op(op, path, {"intent": "open"},
+                                        ctx=ctx)
         attrs = data["attrs"]
         if attrs["is_dir"]:
             raise RpcFailure(RpcError.EISDIR, path)
@@ -565,9 +657,10 @@ class BaselineClient(Node):
         data = yield from self._meta_op("getattr", path, {})
         return data["attrs"]
 
-    def close(self, path, size=None):
+    def close(self, path, size=None, ctx=None):
         extra = {} if size is None else {"size": size}
-        yield from self._meta_op("close", path, extra, cache_result=False)
+        yield from self._meta_op("close", path, extra, cache_result=False,
+                                 ctx=ctx)
 
     def unlink(self, path):
         yield from self._meta_op("unlink", path, {}, cache_result=False)
@@ -584,51 +677,82 @@ class BaselineClient(Node):
         self._drop_cached(path)
 
     def rename(self, src, dst):
+        ctx = self._begin_op("rename", src)
+        yield from self._traced(ctx, self._rename_body(src, dst, ctx))
+
+    def _rename_body(self, src, dst, ctx):
         if self.costs.client_op_us:
-            yield self.env.timeout(self.costs.client_op_us)
+            yield from self._client_cpu(ctx, self.costs.client_op_us)
         src_comps = split_path(src)
         dst_comps = split_path(dst)
         if not src_comps or not dst_comps:
             raise RpcFailure(RpcError.EINVAL, "rename involving /")
-        sparent, _ = yield from self._walk_parent(src_comps)
-        dparent, _ = yield from self._walk_parent(dst_comps)
+        sparent, _ = yield from self._walk_parent(src_comps, ctx=ctx)
+        dparent, _ = yield from self._walk_parent(dst_comps, ctx=ctx)
         self.metrics.counter("requests").inc("rename")
-        yield self.call(self._server_name(sparent.ino), "rename", {
-            "src_key": [sparent.ino, src_comps[-1]],
-            "dst_key": [dparent.ino, dst_comps[-1]],
-        })
+        with ctx.span("rpc", CAT_PHASE, node=self.name,
+                      attrs={"op": "rename"}):
+            yield from deadline_call(
+                self, ctx, self._server_name(sparent.ino), "rename", {
+                    "src_key": [sparent.ino, src_comps[-1]],
+                    "dst_key": [dparent.ino, dst_comps[-1]],
+                },
+            )
         self._drop_cached(src)
 
     def readdir(self, path):
+        ctx = self._begin_op("readdir", path)
+        return (yield from self._traced(ctx, self._readdir_body(path, ctx)))
+
+    def _readdir_body(self, path, ctx):
         if self.costs.client_op_us:
-            yield self.env.timeout(self.costs.client_op_us)
+            yield from self._client_cpu(ctx, self.costs.client_op_us)
         components = split_path(path)
         if components:
-            result = yield from self.walker.walk(path)
+            result = yield from self.walker.walk(path, ctx=ctx)
             dir_ino = result.attrs.ino
         else:
             dir_ino = ROOT_INO
         data = yield from self._send_keyed(
-            "readdir", dir_ino, {"pid": dir_ino}
+            "readdir", dir_ino, {"pid": dir_ino}, ctx=ctx
         )
         return sorted(tuple(entry) for entry in data["entries"])
 
     def read_file(self, path):
-        attrs = yield from self.open_file(path)
-        yield from self.blocks.read(attrs["ino"], attrs["size"])
-        if self.profile.data_overhead_us:
-            yield self.env.timeout(self.profile.data_overhead_us)
-        if self.profile.close_releases_caps:
-            yield from self._meta_op("close", path, {}, cache_result=False)
+        ctx = self._begin_op("read", path)
+
+        def body():
+            attrs = yield from self.open_file(path, ctx=ctx)
+            yield from self.blocks.read(attrs["ino"], attrs["size"],
+                                        ctx=ctx)
+            if self.profile.data_overhead_us:
+                yield from self._client_cpu(
+                    ctx, self.profile.data_overhead_us
+                )
+            if self.profile.close_releases_caps:
+                yield from self._meta_op("close", path, {},
+                                         cache_result=False, ctx=ctx)
+            return attrs
+
+        attrs = yield from self._traced(ctx, body())
         self.metrics.counter("files").inc("read")
         return attrs["size"]
 
     def write_file(self, path, size, mode=0o644, exclusive=True):
-        ino = yield from self.create(path, mode=mode, exclusive=exclusive)
-        yield from self.blocks.write(ino, size)
-        if self.profile.data_overhead_us:
-            yield self.env.timeout(self.profile.data_overhead_us)
-        yield from self.close(path, size)
+        ctx = self._begin_op("write", path)
+
+        def body():
+            ino = yield from self.create(path, mode=mode,
+                                         exclusive=exclusive, ctx=ctx)
+            yield from self.blocks.write(ino, size, ctx=ctx)
+            if self.profile.data_overhead_us:
+                yield from self._client_cpu(
+                    ctx, self.profile.data_overhead_us
+                )
+            yield from self.close(path, size, ctx=ctx)
+            return ino
+
+        ino = yield from self._traced(ctx, body())
         self.metrics.counter("files").inc("written")
         return ino
 
@@ -664,12 +788,13 @@ class BaselineCluster:
 
     profile = SystemProfile()
 
-    def __init__(self, config=None, costs=None, env=None):
+    def __init__(self, config=None, costs=None, env=None, tracer=None):
         self.config = config or FalconConfig()
         self.env = env or Environment()
         self.costs = costs or CostModel()
         self.costs.server_cores = self.config.server_cores
-        self.shared = ClusterShared(self.env, self.costs, self.config)
+        self.shared = ClusterShared(self.env, self.costs, self.config,
+                                    tracer=tracer)
         self.network = Network(self.env, self.costs)
         self.servers = [
             MetaServer(self.env, self.network, self.shared, i, self.profile)

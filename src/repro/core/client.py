@@ -23,20 +23,21 @@ meantime (§4.2.1).
 """
 
 from repro.core.filestore import BlockClient
-from repro.core.indexing import (
-    ROUTE_PATHWALK,
-    ExceptionTable,
-    HybridIndex,
-)
+from repro.core.indexing import ExceptionTable, HybridIndex
 from repro.core.mnode import exception_table_from_wire
 from repro.net import Node
 from repro.net.rpc import RpcError, RpcFailure
+from repro.obs import (
+    CAT_CPU,
+    CAT_PHASE,
+    OpContext,
+    RetryPolicy,
+    deadline_call,
+    retry,
+)
 from repro.vfs import DentryCache, InodeAttrs, ROOT_INO
 from repro.vfs.attrs import make_fake_dir_attrs
 from repro.vfs.pathwalk import split_path
-
-#: Give-up threshold for ERETRY (migration window / invalidation races).
-MAX_OP_RETRIES = 64
 
 CLIENT_MODES = ("vfs", "libfs", "nobypass")
 
@@ -61,6 +62,10 @@ class FalconClient(Node):
         #: stale-table corner-case experiment disables it to hold the
         #: client at an old version.
         self.auto_refresh_xt = True
+        #: Per-op deadline (us; 0 = none) and shared retry policy, both
+        #: stamped onto every operation's OpContext.
+        self.deadline_us = shared.config.op_deadline_us
+        self.retry_policy = RetryPolicy.from_config(shared.config)
         self._fake_inos = {}
         self._fake_next = -2
 
@@ -68,48 +73,55 @@ class FalconClient(Node):
     # public API (generators; drive via the cluster facade or env.process)
     # ------------------------------------------------------------------
 
-    def mkdir(self, path, mode=0o755):
-        data = yield from self._meta_op("mkdir", path, {"mode": mode})
+    def mkdir(self, path, mode=0o755, ctx=None):
+        data = yield from self._meta_op("mkdir", path, {"mode": mode},
+                                        ctx=ctx)
         return data["ino"]
 
-    def create(self, path, mode=0o644, exclusive=True):
+    def create(self, path, mode=0o644, exclusive=True, ctx=None):
         data = yield from self._meta_op(
-            "create", path, {"mode": mode, "exclusive": exclusive}
+            "create", path, {"mode": mode, "exclusive": exclusive}, ctx=ctx
         )
         return data["ino"]
 
-    def open_file(self, path):
+    def open_file(self, path, ctx=None):
         """Open for reading; returns the attrs dict (ino, size, ...)."""
-        data = yield from self._meta_op("open", path, {})
+        data = yield from self._meta_op("open", path, {}, ctx=ctx)
         return data["attrs"]
 
-    def getattr(self, path):
+    def getattr(self, path, ctx=None):
         if split_path(path) == []:
             return {
                 "ino": ROOT_INO, "is_dir": True, "mode": 0o777,
                 "uid": 0, "gid": 0, "size": 0, "mtime": 0.0, "nlink": 1,
             }
-        data = yield from self._meta_op("getattr", path, {})
+        data = yield from self._meta_op("getattr", path, {}, ctx=ctx)
         return data["attrs"]
 
-    def close(self, path, size):
+    def close(self, path, size, ctx=None):
         """Close after writing: persists size/mtime on the owner MNode."""
-        yield from self._meta_op("close", path, {"size": size})
+        yield from self._meta_op("close", path, {"size": size}, ctx=ctx)
 
     def unlink(self, path):
         yield from self._meta_op("unlink", path, {})
 
     def chmod(self, path, mode):
         """chmod; files at their owner MNode, directories via coordinator."""
-        try:
-            yield from self._meta_op("setattr", path, {"mode": mode})
-        except RpcFailure as failure:
-            if failure.code != RpcError.EISDIR:
-                raise
-            yield from self._coordinator_op(
-                "chmod_dir", {"path": path, "mode": mode}
-            )
-            self._drop_cached(path)
+        ctx = self._begin_op("chmod", path)
+
+        def body():
+            try:
+                yield from self._meta_op("setattr", path, {"mode": mode},
+                                         ctx=ctx)
+            except RpcFailure as failure:
+                if failure.code != RpcError.EISDIR:
+                    raise
+                yield from self._coordinator_op(
+                    "chmod_dir", {"path": path, "mode": mode}, ctx=ctx
+                )
+                self._drop_cached(path)
+
+        yield from self._traced(ctx, body())
 
     def rmdir(self, path):
         yield from self._coordinator_op("rmdir", {"path": path})
@@ -121,25 +133,41 @@ class FalconClient(Node):
 
     def readdir(self, path):
         """List a directory; returns a sorted list of (name, is_dir)."""
+        ctx = self._begin_op("readdir", path)
         name = split_path(path)[-1] if split_path(path) else "/"
         target, _ = self.index.client_target(name, self.rng)
-        data = yield from self._request(
-            self.shared.mnode_name(target), "readdir", {"path": path}
-        )
+        data = yield from self._traced(ctx, self._request(
+            self.shared.mnode_name(target), "readdir", {"path": path},
+            ctx=ctx,
+        ))
         return [tuple(entry) for entry in data["entries"]]
 
     def read_file(self, path):
         """open + read all blocks (+ client-local close); returns size."""
-        attrs = yield from self.open_file(path)
-        yield from self.blocks.read(attrs["ino"], attrs["size"])
+        ctx = self._begin_op("read", path)
+
+        def body():
+            attrs = yield from self.open_file(path, ctx=ctx)
+            yield from self.blocks.read(attrs["ino"], attrs["size"],
+                                        ctx=ctx)
+            return attrs
+
+        attrs = yield from self._traced(ctx, body())
         self.metrics.counter("files").inc("read")
         return attrs["size"]
 
     def write_file(self, path, size, mode=0o644, exclusive=True):
         """create + write all blocks + close; returns the new ino."""
-        ino = yield from self.create(path, mode=mode, exclusive=exclusive)
-        yield from self.blocks.write(ino, size)
-        yield from self.close(path, size)
+        ctx = self._begin_op("write", path)
+
+        def body():
+            ino = yield from self.create(path, mode=mode,
+                                         exclusive=exclusive, ctx=ctx)
+            yield from self.blocks.write(ino, size, ctx=ctx)
+            yield from self.close(path, size, ctx=ctx)
+            return ino
+
+        ino = yield from self._traced(ctx, body())
         self.metrics.counter("files").inc("written")
         return ino
 
@@ -163,20 +191,67 @@ class FalconClient(Node):
     # metadata request path
     # ------------------------------------------------------------------
 
-    def _meta_op(self, op, path, extra):
-        """Generator: walk according to the client mode, send the op."""
+    def _begin_op(self, op, path=None):
+        """New :class:`OpContext` for one client-visible operation."""
+        deadline = None
+        if self.deadline_us:
+            deadline = self.env.now + self.deadline_us
+        ctx = OpContext(
+            self.env, op, origin=self.name, tracer=self.shared.tracer,
+            deadline=deadline, retry_policy=self.retry_policy,
+        )
+        ctx.begin(node=self.name,
+                  attrs={"path": path} if path is not None else None)
+        return ctx
+
+    def _traced(self, ctx, gen):
+        """Generator: run ``gen`` to completion under ``ctx``'s root span."""
+        try:
+            result = yield from gen
+        except BaseException as exc:
+            ctx.finish(error=repr(exc))
+            raise
+        ctx.finish()
+        return result
+
+    def _client_cpu(self, ctx, cost_us):
+        """Generator: charge client-side CPU, attributed to ``ctx``."""
+        start = self.env.now
+        yield self.env.timeout(cost_us)
+        ctx.record("client", CAT_CPU, start, self.env.now, node=self.name)
+
+    def _meta_op(self, op, path, extra, ctx=None):
+        """Generator: walk according to the client mode, send the op.
+
+        With ``ctx=None`` this is a root operation (it opens and closes
+        the root span); otherwise it runs as a sub-op phase of a
+        composite operation such as ``read_file``.
+        """
+        if ctx is None:
+            ctx = self._begin_op(op, path)
+            data = yield from self._traced(
+                ctx, self._meta_op_body(op, path, extra, ctx)
+            )
+            return data
+        with ctx.span("op." + op, CAT_PHASE, node=self.name):
+            data = yield from self._meta_op_body(op, path, extra, ctx)
+        return data
+
+    def _meta_op_body(self, op, path, extra, ctx):
         if self.costs.client_op_us:
-            yield self.env.timeout(self.costs.client_op_us)
+            yield from self._client_cpu(ctx, self.costs.client_op_us)
         components = split_path(path)
         if not components:
             raise RpcFailure(RpcError.EINVAL, "operation on /")
         if self.mode == "vfs":
-            yield from self._vfs_shortcut_walk(components)
+            with ctx.span("walk", CAT_PHASE, node=self.name):
+                yield from self._vfs_shortcut_walk(components)
         elif self.mode == "nobypass":
-            yield from self._stateful_walk(components)
+            with ctx.span("walk", CAT_PHASE, node=self.name):
+                yield from self._stateful_walk(components, ctx)
         payload = dict(extra)
         payload["path"] = path
-        data = yield from self._send_routed(op, components[-1], payload)
+        data = yield from self._send_routed(op, components[-1], payload, ctx)
         self._cache_final(components, data)
         return data
 
@@ -204,7 +279,7 @@ class FalconClient(Node):
             self.metrics.counter("revalidate_fake").inc()
             self.dcache.invalidate(current, components[-1])
 
-    def _stateful_walk(self, components):
+    def _stateful_walk(self, components, ctx):
         """NoBypass: real client-side resolution through the dcache."""
         current = self.root_attrs
         for name in components[:-1]:
@@ -217,7 +292,7 @@ class FalconClient(Node):
             entry = self.dcache.lookup(current.ino, name)
             if entry is None:
                 data = yield from self._send_routed(
-                    "lookup", name, {"pid": current.ino, "name": name}
+                    "lookup", name, {"pid": current.ino, "name": name}, ctx
                 )
                 wire = data["attrs"]
                 attrs = InodeAttrs(
@@ -228,32 +303,34 @@ class FalconClient(Node):
                 entry = self.dcache.insert(current.ino, name, attrs)
             current = entry.attrs
 
-    def _send_routed(self, op, name, payload):
-        """Generator: route by hybrid indexing, retry on ERETRY."""
+    def _send_routed(self, op, name, payload, ctx):
+        """Generator: route by hybrid indexing; retries (with the shared
+        exponential-backoff helper) on ERETRY, honouring a redirect hint
+        on EREDIRECT."""
         payload["xt_version"] = self.xt.version
-        backoff = self.shared.config.retry_backoff_us
-        for attempt in range(MAX_OP_RETRIES):
-            if op == "lookup" and "pid" in payload:
+
+        def attempt(_attempt, hint):
+            if hint is not None:
+                target_name = hint
+            elif op == "lookup" and "pid" in payload:
                 target = self.index.locate(payload["pid"], name)
+                target_name = self.shared.mnode_name(target)
             else:
                 target, _ = self.index.client_target(name, self.rng)
-            try:
-                data = yield from self._request(
-                    self.shared.mnode_name(target), op, payload
-                )
-            except RpcFailure as failure:
-                if failure.code == RpcError.ERETRY:
-                    yield self.env.timeout(backoff * (attempt + 1))
-                    payload["xt_version"] = self.xt.version
-                    continue
-                raise
+                target_name = self.shared.mnode_name(target)
+            payload["xt_version"] = self.xt.version
+            data = yield from self._request(target_name, op, payload, ctx)
             return data
-        raise RpcFailure(RpcError.ERETRY, name)
 
-    def _request(self, target, op, payload):
+        data = yield from retry(self, ctx, attempt)
+        return data
+
+    def _request(self, target, op, payload, ctx):
         """Generator: one RPC, with lazy exception-table refresh."""
         self.metrics.counter("requests").inc(op)
-        body = yield self.call(target, op, payload)
+        with ctx.span("rpc", CAT_PHASE, node=self.name,
+                      attrs={"op": op, "target": target}):
+            body = yield from deadline_call(self, ctx, target, op, payload)
         if isinstance(body, dict):
             table = body.get("xt")
             if table is not None:
@@ -262,11 +339,33 @@ class FalconClient(Node):
                 return body["data"]
         return body
 
-    def _coordinator_op(self, op, payload):
-        self.metrics.counter("requests").inc(op)
+    def _coordinator_op(self, op, payload, ctx=None):
+        if ctx is None:
+            ctx = self._begin_op(op, payload.get("path") or
+                                 payload.get("src"))
+            body = yield from self._traced(
+                ctx, self._coordinator_op_body(op, payload, ctx)
+            )
+            return body
+        with ctx.span("op." + op, CAT_PHASE, node=self.name):
+            body = yield from self._coordinator_op_body(op, payload, ctx)
+        return body
+
+    def _coordinator_op_body(self, op, payload, ctx):
         if self.costs.client_op_us:
-            yield self.env.timeout(self.costs.client_op_us)
-        body = yield self.call(self.shared.coordinator_name, op, payload)
+            yield from self._client_cpu(ctx, self.costs.client_op_us)
+
+        def attempt(_attempt, _hint):
+            self.metrics.counter("requests").inc(op)
+            with ctx.span("rpc", CAT_PHASE, node=self.name,
+                          attrs={"op": op,
+                                 "target": self.shared.coordinator_name}):
+                body = yield from deadline_call(
+                    self, ctx, self.shared.coordinator_name, op, payload
+                )
+            return body
+
+        body = yield from retry(self, ctx, attempt)
         return body
 
     def _install_xt(self, table):

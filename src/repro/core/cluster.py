@@ -33,12 +33,13 @@ from repro.vfs.pathwalk import basename, join_path, parent_path, split_path
 class FalconCluster:
     """A complete simulated FalconFS deployment."""
 
-    def __init__(self, config=None, costs=None, env=None):
+    def __init__(self, config=None, costs=None, env=None, tracer=None):
         self.config = config or FalconConfig()
         self.env = env or Environment()
         self.costs = costs or CostModel()
         self.costs.server_cores = self.config.server_cores
-        self.shared = ClusterShared(self.env, self.costs, self.config)
+        self.shared = ClusterShared(self.env, self.costs, self.config,
+                                    tracer=tracer)
         self.network = Network(self.env, self.costs)
         self.mnodes = [
             MNode(self.env, self.network, self.shared, i)

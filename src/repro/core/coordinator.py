@@ -24,6 +24,7 @@ from repro.core.mnode import exception_table_to_wire
 from repro.core.replica import NamespaceReplicaMixin
 from repro.net import Node
 from repro.net.rpc import RpcError, RpcFailure
+from repro.obs import CAT_PHASE, NULL_CONTEXT
 from repro.storage import LockMode
 from repro.sim import Resource
 from repro.vfs.pathwalk import split_path
@@ -58,22 +59,22 @@ class Coordinator(NamespaceReplicaMixin, Node):
     # path helpers
     # ------------------------------------------------------------------
 
-    def _resolve_and_lock(self, components):
+    def _resolve_and_lock(self, components, ctx=None):
         """Resolve the parent chain and lock it (S ancestors, X target).
 
         Returns ``(pid, grants)``; the caller must release the grants.
         """
         parents = components[:-1]
         name = components[-1]
-        resolved = yield from self.resolve_dir(parents)
+        resolved = yield from self.resolve_dir(parents, ctx=ctx)
         grants = []
         try:
             for dkey, _, _ in resolved.chain:
-                grant = self.locks.acquire(dkey, LockMode.SHARED)
+                grant = self.locks.acquire(dkey, LockMode.SHARED, ctx=ctx)
                 yield grant.event
                 grants.append(grant)
             target = self.locks.acquire(
-                ("d", resolved.ino, name), LockMode.EXCLUSIVE
+                ("d", resolved.ino, name), LockMode.EXCLUSIVE, ctx=ctx
             )
             yield target.event
             grants.append(target)
@@ -83,7 +84,8 @@ class Coordinator(NamespaceReplicaMixin, Node):
             raise
         yield from self.execute(
             self.costs.resolve_component_us * len(components)
-            + len(grants) * self.costs.lock_acquire_us
+            + len(grants) * self.costs.lock_acquire_us,
+            ctx=ctx,
         )
         return resolved.ino, grants
 
@@ -100,11 +102,13 @@ class Coordinator(NamespaceReplicaMixin, Node):
 
     def _on_rmdir(self, message):
         payload = message.payload
+        ctx = message.ctx
         try:
             components = split_path(payload["path"])
             if not components:
                 raise RpcFailure(RpcError.EINVAL, "rmdir /")
-            pid, grants = yield from self._resolve_and_lock(components)
+            pid, grants = yield from self._resolve_and_lock(components,
+                                                            ctx=ctx)
         except (ValueError, RpcFailure) as failure:
             if not isinstance(failure, RpcFailure):
                 failure = RpcFailure(RpcError.EINVAL, payload["path"])
@@ -116,11 +120,12 @@ class Coordinator(NamespaceReplicaMixin, Node):
             # cluster-size-proportional share of rmdir's overhead (§6.2).
             yield from self.execute(
                 self.costs.invalidate_apply_us * 2
-                * self.shared.config.num_mnodes
+                * self.shared.config.num_mnodes,
+                ctx=ctx,
             )
             yield self.call(self._owner(pid, name), "rmdir_exec", {
                 "pid": pid, "name": name, "path": payload["path"],
-            })
+            }, ctx=ctx)
         except RpcFailure as failure:
             self.respond_error(message, failure)
             return
@@ -134,11 +139,13 @@ class Coordinator(NamespaceReplicaMixin, Node):
 
     def _on_chmod_dir(self, message):
         payload = message.payload
+        ctx = message.ctx
         try:
             components = split_path(payload["path"])
             if not components:
                 raise RpcFailure(RpcError.EINVAL, "chmod /")
-            pid, grants = yield from self._resolve_and_lock(components)
+            pid, grants = yield from self._resolve_and_lock(components,
+                                                            ctx=ctx)
         except (ValueError, RpcFailure) as failure:
             if not isinstance(failure, RpcFailure):
                 failure = RpcFailure(RpcError.EINVAL, payload["path"])
@@ -149,7 +156,7 @@ class Coordinator(NamespaceReplicaMixin, Node):
             yield self.call(self._owner(pid, name), "chmod_exec", {
                 "pid": pid, "name": name, "path": payload["path"],
                 "mode": payload["mode"],
-            })
+            }, ctx=ctx)
         except RpcFailure as failure:
             self.respond_error(message, failure)
             return
@@ -163,6 +170,7 @@ class Coordinator(NamespaceReplicaMixin, Node):
 
     def _on_rename(self, message):
         payload = message.payload
+        ctx = message.ctx
         mutex = self._rename_mutex.request()
         yield mutex
         grants = []
@@ -177,8 +185,8 @@ class Coordinator(NamespaceReplicaMixin, Node):
                 raise RpcFailure(
                     RpcError.EINVAL, "rename into own subtree"
                 )
-            spid_res = yield from self.resolve_dir(src[:-1])
-            dpid_res = yield from self.resolve_dir(dst[:-1])
+            spid_res = yield from self.resolve_dir(src[:-1], ctx=ctx)
+            dpid_res = yield from self.resolve_dir(dst[:-1], ctx=ctx)
             spid, dpid = spid_res.ino, dpid_res.ino
             sname, dname = src[-1], dst[-1]
             skey, dkey = (spid, sname), (dpid, dname)
@@ -190,12 +198,13 @@ class Coordinator(NamespaceReplicaMixin, Node):
                 for key, _, _ in chain:
                     lock_keys.setdefault(key, LockMode.SHARED)
             for key in sorted(lock_keys):
-                grant = self.locks.acquire(key, lock_keys[key])
+                grant = self.locks.acquire(key, lock_keys[key], ctx=ctx)
                 yield grant.event
                 grants.append(grant)
             yield from self.execute(
                 len(grants) * self.costs.lock_acquire_us
-                + 2 * self.costs.two_phase_round_us
+                + 2 * self.costs.two_phase_round_us,
+                ctx=ctx,
             )
             yield from self._rename_2pc(message, skey, dkey)
         except RpcFailure as failure:
@@ -209,41 +218,49 @@ class Coordinator(NamespaceReplicaMixin, Node):
             self._rename_mutex.release(mutex)
 
     def _rename_2pc(self, message, skey, dkey):
+        ctx = message.ctx or NULL_CONTEXT
         txid = "rn-{}".format(next(self._txids))
         src_owner = self._owner(*skey)
         dst_owner = self._owner(*dkey)
-        vote = yield self.call(src_owner, "rename_prepare", {
-            "txid": txid, "action": "delete", "key": list(skey),
-        })
-        if not vote["ok"]:
-            yield self.call(src_owner, "rename_abort", {"txid": txid})
-            raise RpcFailure(RpcError.ENOENT, skey)
-        record = vote["record"]
-        vote = yield self.call(dst_owner, "rename_prepare", {
-            "txid": txid, "action": "insert", "key": list(dkey),
-            "record": record,
-        })
-        if not vote["ok"]:
-            # One abort per participant releases everything staged.
+        with ctx.span("2pc", CAT_PHASE, node=self.name,
+                      attrs={"txid": txid}):
+            vote = yield self.call(src_owner, "rename_prepare", {
+                "txid": txid, "action": "delete", "key": list(skey),
+            }, ctx=ctx)
+            if not vote["ok"]:
+                yield self.call(src_owner, "rename_abort",
+                                {"txid": txid}, ctx=ctx)
+                raise RpcFailure(RpcError.ENOENT, skey)
+            record = vote["record"]
+            vote = yield self.call(dst_owner, "rename_prepare", {
+                "txid": txid, "action": "insert", "key": list(dkey),
+                "record": record,
+            }, ctx=ctx)
+            if not vote["ok"]:
+                # One abort per participant releases everything staged.
+                for owner in {src_owner, dst_owner}:
+                    yield self.call(owner, "rename_abort",
+                                    {"txid": txid}, ctx=ctx)
+                raise RpcFailure(RpcError.EEXIST, dkey)
+            if record["is_dir"]:
+                # Invalidate the source dentry everywhere; the two owners
+                # already hold it locked and update their replicas at
+                # commit.
+                peers = [
+                    peer for peer in self.shared.mnode_names
+                    if peer not in (src_owner, dst_owner)
+                ]
+                if peers:
+                    yield self.env.all_of([
+                        self.call(peer, "invalidate",
+                                  {"keys": [list(skey)]}, ctx=ctx)
+                        for peer in peers
+                    ])
+                self.dentries.delete(skey)
+                self.inval_seq[("d",) + skey] += 1
             for owner in {src_owner, dst_owner}:
-                yield self.call(owner, "rename_abort", {"txid": txid})
-            raise RpcFailure(RpcError.EEXIST, dkey)
-        if record["is_dir"]:
-            # Invalidate the source dentry everywhere; the two owners
-            # already hold it locked and update their replicas at commit.
-            peers = [
-                peer for peer in self.shared.mnode_names
-                if peer not in (src_owner, dst_owner)
-            ]
-            if peers:
-                yield self.env.all_of([
-                    self.call(peer, "invalidate", {"keys": [list(skey)]})
-                    for peer in peers
-                ])
-            self.dentries.delete(skey)
-            self.inval_seq[("d",) + skey] += 1
-        for owner in {src_owner, dst_owner}:
-            yield self.call(owner, "rename_commit", {"txid": txid})
+                yield self.call(owner, "rename_commit",
+                                {"txid": txid}, ctx=ctx)
         self.metrics.counter("ops").inc("rename")
         self.respond(message, {"ok": True})
 

@@ -13,6 +13,7 @@ differences across systems come from their metadata paths only.
 from repro.core.indexing import stable_hash
 from repro.net import Node
 from repro.net.rpc import RpcError, RpcFailure
+from repro.obs import CAT_DISK, CAT_PHASE, NULL_CONTEXT
 from repro.sim import Resource
 
 
@@ -62,7 +63,8 @@ class StorageNode(Node):
         payload = message.payload
         size = payload["size"]
         yield from self._disk_io(
-            size, self.costs.ssd_read_bandwidth_bytes_per_us
+            size, self.costs.ssd_read_bandwidth_bytes_per_us,
+            ctx=message.ctx, label="disk.read",
         )
         self.bytes_read += size
         self.metrics.counter("blocks").inc("read")
@@ -77,29 +79,38 @@ class StorageNode(Node):
         if "checksum" in payload:
             self.block_sums[(payload["ino"], payload["block"])] = \
                 payload["checksum"]
+        ctx = message.ctx or NULL_CONTEXT
         if size <= 4096:
             request = self.small_io.request()
             yield request
             try:
-                yield self.env.timeout(self.costs.ssd_io_us)
+                with ctx.span("disk.write", CAT_DISK, node=self.name,
+                              attrs={"bytes": size}):
+                    yield self.env.timeout(self.costs.ssd_io_us)
             finally:
                 self.small_io.release(request)
         else:
             yield from self._disk_io(
-                size, self.costs.ssd_write_bandwidth_bytes_per_us
+                size, self.costs.ssd_write_bandwidth_bytes_per_us,
+                ctx=message.ctx, label="disk.write",
             )
         self.bytes_written += size
         self.metrics.counter("blocks").inc("write")
         self.respond(message, {"size": size})
 
-    def _disk_io(self, size, bandwidth):
+    def _disk_io(self, size, bandwidth, ctx=None, label="disk.io"):
         """One device IO: fixed submission cost plus transfer at the
         device bandwidth shared across the queue depth."""
+        ctx = ctx or NULL_CONTEXT
         request = self.disk.request()
         yield request
         try:
             effective = bandwidth / self.costs.ssd_queue_depth
-            yield self.env.timeout(self.costs.ssd_io_us + size / effective)
+            with ctx.span(label, CAT_DISK, node=self.name,
+                          attrs={"bytes": size}):
+                yield self.env.timeout(
+                    self.costs.ssd_io_us + size / effective
+                )
         finally:
             self.disk.release(request)
 
@@ -124,7 +135,7 @@ class BlockClient:
             offset += block
             index += 1
 
-    def read(self, ino, size, verify=True):
+    def read(self, ino, size, verify=True, ctx=None):
         """Generator: fetch all blocks of a file in parallel.
 
         With ``verify`` (default), every returned block's checksum is
@@ -134,16 +145,20 @@ class BlockClient:
         never written through the protocol (bulk-loaded files) carry no
         stored checksum and are skipped.
         """
-        calls = []
-        expected = []
-        for index, chunk in self._blocks(size):
-            target = self.shared.storage_for(ino, index)
-            expected.append((index, block_checksum(ino, index)))
-            calls.append(self.node.call(
-                target, "read_block",
-                {"ino": ino, "block": index, "size": chunk},
-            ))
-        replies = yield self.node.env.all_of(calls)
+        ctx = ctx or NULL_CONTEXT
+        with ctx.span("data.read", CAT_PHASE, node=self.node.name,
+                      attrs={"bytes": size}):
+            calls = []
+            expected = []
+            for index, chunk in self._blocks(size):
+                target = self.shared.storage_for(ino, index)
+                expected.append((index, block_checksum(ino, index)))
+                calls.append(self.node.call(
+                    target, "read_block",
+                    {"ino": ino, "block": index, "size": chunk},
+                    ctx=ctx if ctx is not NULL_CONTEXT else None,
+                ))
+            replies = yield self.node.env.all_of(calls)
         if verify:
             for reply, (index, want) in zip(replies, expected):
                 stored = reply.get("checksum")
@@ -154,16 +169,20 @@ class BlockClient:
                     )
         return size
 
-    def write(self, ino, size):
+    def write(self, ino, size, ctx=None):
         """Generator: store all blocks of a file in parallel."""
-        calls = []
-        for index, chunk in self._blocks(size):
-            target = self.shared.storage_for(ino, index)
-            calls.append(self.node.call(
-                target, "write_block",
-                {"ino": ino, "block": index, "size": chunk,
-                 "checksum": block_checksum(ino, index)},
-                size=chunk + self.node.costs.rpc_request_bytes,
-            ))
-        yield self.node.env.all_of(calls)
+        ctx = ctx or NULL_CONTEXT
+        with ctx.span("data.write", CAT_PHASE, node=self.node.name,
+                      attrs={"bytes": size}):
+            calls = []
+            for index, chunk in self._blocks(size):
+                target = self.shared.storage_for(ino, index)
+                calls.append(self.node.call(
+                    target, "write_block",
+                    {"ino": ino, "block": index, "size": chunk,
+                     "checksum": block_checksum(ino, index)},
+                    size=chunk + self.node.costs.rpc_request_bytes,
+                    ctx=ctx if ctx is not NULL_CONTEXT else None,
+                ))
+            yield self.node.env.all_of(calls)
         return size

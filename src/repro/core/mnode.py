@@ -36,6 +36,8 @@ from repro.core.replica import NamespaceReplicaMixin
 from repro.net import Node
 from repro.net.message import Message
 from repro.net.rpc import RpcError, RpcFailure
+from repro.obs import CAT_PHASE, CAT_QUEUE, NULL_CONTEXT, OpContext
+from repro.obs.tracer import CAT_BATCH
 from repro.storage import LockMode, Table, Transaction, WriteAheadLog
 from repro.vfs.pathwalk import split_path
 
@@ -132,29 +134,72 @@ class MNode(NamespaceReplicaMixin, Node):
 
         self.shipper = LogShipper(self, standby_name)
 
-    def _txn(self):
+    def _txn(self, ctx=None):
         on_commit = self.shipper.ship if self.shipper else None
         return Transaction(self.env, self.wal, self.costs,
-                           on_commit=on_commit)
+                           on_commit=on_commit, ctx=ctx)
 
     # ------------------------------------------------------------------
     # batch execution (concurrent request merging, §4.4)
     # ------------------------------------------------------------------
 
+    def _batch_ctx(self, kind, batch):
+        """Batch-level context: its root span carries the member op ids,
+        so the analyzer can amortize shared costs (dispatch, coalesced
+        locks, the single WAL flush) across the merged operations."""
+        tracer = self.shared.tracer
+        if not tracer.enabled:
+            return None
+        members = [
+            message.ctx.op_id for message in batch
+            if message.ctx is not None
+        ]
+        ctx = OpContext(self.env, "batch:" + kind, origin=self.name,
+                        tracer=tracer)
+        ctx.begin(node=self.name, category=CAT_BATCH,
+                  attrs={"members": members, "n": len(batch)})
+        # Per-member queue wait: network arrival to batch pickup.
+        for message in batch:
+            mctx = message.ctx
+            if (mctx is not None and mctx.tracer.enabled
+                    and message.arrive_time is not None):
+                mctx.record("queue.wait", CAT_QUEUE, message.arrive_time,
+                            self.env.now, node=self.name)
+        return ctx
+
     def _execute_batch(self, kind, batch):
+        bctx = self._batch_ctx(kind, batch)
+        if bctx is None:
+            yield from self._execute_batch_body(kind, batch, None)
+            return
+        try:
+            yield from self._execute_batch_body(kind, batch, bctx)
+        except BaseException as exc:
+            bctx.finish(error=repr(exc))
+            raise
+        bctx.finish()
+
+    def _execute_batch_body(self, kind, batch, bctx):
         cfg = self.shared.config
         if cfg.merging:
             # One dispatch per batch: the queue hand-off is amortized.
-            yield from self.execute(self.costs.dispatch_us)
+            yield from self.execute(self.costs.dispatch_us, ctx=bctx)
         else:
             # Every request individually contends on the shared queue;
             # under high concurrency the cache-line bouncing inflates the
             # dispatch cost well beyond the uncontended slice (§6.7).
             req = self.pool.dispatch_lock.request()
-            yield req
+            if bctx is not None and not req.triggered:
+                start = self.env.now
+                yield req
+                bctx.record("dispatch.wait", CAT_QUEUE, start, self.env.now,
+                            node=self.name)
+            else:
+                yield req
             try:
                 yield from self.execute(
-                    self.costs.dispatch_us * cfg.unmerged_dispatch_factor
+                    self.costs.dispatch_us * cfg.unmerged_dispatch_factor,
+                    ctx=bctx,
                 )
             finally:
                 self.pool.dispatch_lock.release(req)
@@ -184,7 +229,7 @@ class MNode(NamespaceReplicaMixin, Node):
                     lock_modes[key] = mode
         grants = []
         for key in sorted(lock_modes):
-            grant = self.locks.acquire(key, lock_modes[key])
+            grant = self.locks.acquire(key, lock_modes[key], ctx=bctx)
             yield grant.event
             grants.append(grant)
 
@@ -208,9 +253,9 @@ class MNode(NamespaceReplicaMixin, Node):
         cpu = len(grants) * (costs.lock_acquire_us + costs.lock_release_us)
         cpu += sum(plan.cpu_us for plan in live)
         cpu += costs.txn_begin_us + costs.txn_commit_us
-        yield from self.execute(cpu)
+        yield from self.execute(cpu, ctx=bctx)
 
-        txn = self._txn()
+        txn = self._txn(ctx=bctx)
         outcomes = []
         for plan in live:
             try:
@@ -235,6 +280,13 @@ class MNode(NamespaceReplicaMixin, Node):
         or answered with an error.
         """
         payload = message.payload
+        ctx = message.ctx
+        if ctx is not None and ctx.expired():
+            # The client already gave up on this op; don't do its work.
+            self._respond_error(
+                message, RpcFailure(RpcError.ETIMEDOUT, message.kind)
+            )
+            return None
         if message.kind == "lookup":
             # Stateful-client component lookup: keyed (pid, name) access,
             # no path resolution (the client is doing the walking).
@@ -264,7 +316,7 @@ class MNode(NamespaceReplicaMixin, Node):
             return None
 
         try:
-            resolved = yield from self.resolve_dir(components[:-1])
+            resolved = yield from self.resolve_dir(components[:-1], ctx=ctx)
         except RpcFailure as failure:
             self._respond_error(message, failure)
             return None
@@ -450,6 +502,7 @@ class MNode(NamespaceReplicaMixin, Node):
         forwarded = Message(
             self.name, self.shared.mnode_name(target_index), message.kind,
             message.payload, message.size, message.reply_to,
+            ctx=message.ctx,
         )
         self.network.send(forwarded)
 
@@ -460,7 +513,9 @@ class MNode(NamespaceReplicaMixin, Node):
     def _mkdir_eager(self, plan):
         """mkdir with 2PC dentry replication to every MNode."""
         key = plan.inode_key
-        grant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE)
+        ctx = plan.message.ctx or NULL_CONTEXT
+        grant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE,
+                                   ctx=ctx)
         yield grant.event
         try:
             if self.inodes.get(key) is not None:
@@ -476,37 +531,45 @@ class MNode(NamespaceReplicaMixin, Node):
                 peer for peer in self.shared.mnode_names
                 if peer != self.name
             ]
-            votes = yield self.env.all_of([
-                self.call(peer, "replica_prepare",
-                          {"txid": txid, "key": list(key), "record": wire})
-                for peer in peers
-            ])
-            yield from self.execute(
-                self.costs.two_phase_round_us * max(1, len(peers))
-            )
-            if not all(vote.get("ok") for vote in votes):
-                yield self.env.all_of([
-                    self.call(peer, "replica_abort", {"txid": txid})
+            with ctx.span("2pc", CAT_PHASE, node=self.name,
+                          attrs={"txid": txid}):
+                votes = yield self.env.all_of([
+                    self.call(peer, "replica_prepare",
+                              {"txid": txid, "key": list(key),
+                               "record": wire}, ctx=ctx)
                     for peer in peers
                 ])
-                self._respond_error(
-                    plan.message, RpcFailure(RpcError.ERETRY, plan.name)
+                yield from self.execute(
+                    self.costs.two_phase_round_us * max(1, len(peers)),
+                    ctx=ctx,
                 )
-                return
-            txn = self._txn()
-            inode = InodeRecord(ino=ino, is_dir=True, mode=mode,
-                                mtime=self.env.now)
-            txn.put(self.inodes, key, inode)
-            txn.put(self.dentries, key, DentryRecord(ino=ino, mode=mode))
-            yield from txn.commit()
-            self._track_name(key, +1)
-            yield self.env.all_of([
-                self.call(peer, "replica_commit", {"txid": txid})
-                for peer in peers
-            ])
-            yield from self.execute(
-                self.costs.two_phase_round_us * max(1, len(peers))
-            )
+                if not all(vote.get("ok") for vote in votes):
+                    yield self.env.all_of([
+                        self.call(peer, "replica_abort", {"txid": txid},
+                                  ctx=ctx)
+                        for peer in peers
+                    ])
+                    self._respond_error(
+                        plan.message, RpcFailure(RpcError.ERETRY, plan.name)
+                    )
+                    return
+                txn = self._txn(ctx=ctx)
+                inode = InodeRecord(ino=ino, is_dir=True, mode=mode,
+                                    mtime=self.env.now)
+                txn.put(self.inodes, key, inode)
+                txn.put(self.dentries, key, DentryRecord(ino=ino,
+                                                         mode=mode))
+                yield from txn.commit()
+                self._track_name(key, +1)
+                yield self.env.all_of([
+                    self.call(peer, "replica_commit", {"txid": txid},
+                              ctx=ctx)
+                    for peer in peers
+                ])
+                yield from self.execute(
+                    self.costs.two_phase_round_us * max(1, len(peers)),
+                    ctx=ctx,
+                )
             self.metrics.counter("ops").inc("mkdir")
             self._respond_ok(plan.message, {"ino": ino})
         finally:
@@ -515,11 +578,12 @@ class MNode(NamespaceReplicaMixin, Node):
     def _on_replica_prepare(self, message):
         payload = message.payload
         key = tuple(payload["key"])
-        grant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE)
+        grant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE,
+                                   ctx=message.ctx)
         yield grant.event
-        yield from self.execute(self.costs.index_insert_us)
+        yield from self.execute(self.costs.index_insert_us, ctx=message.ctx)
         # Participants persist their vote before answering (2PC rule).
-        yield self.wal.commit(self.costs.wal_record_bytes)
+        yield self.wal.commit(self.costs.wal_record_bytes, ctx=message.ctx)
         self._staged[payload["txid"]] = {"key": key, "grant": grant,
                                          "record": payload["record"]}
         self.respond(message, {"ok": True})
@@ -555,10 +619,12 @@ class MNode(NamespaceReplicaMixin, Node):
         """
         payload = message.payload
         key = (payload["pid"], payload["name"])
-        grant = self.locks.acquire(("i",) + key, LockMode.SHARED)
+        grant = self.locks.acquire(("i",) + key, LockMode.SHARED,
+                                   ctx=message.ctx)
         yield grant.event
         try:
-            yield from self.execute(self.costs.index_lookup_us)
+            yield from self.execute(self.costs.index_lookup_us,
+                                    ctx=message.ctx)
             record = self.inodes.get(key)
         finally:
             self.locks.release(grant)
@@ -594,13 +660,16 @@ class MNode(NamespaceReplicaMixin, Node):
         """Owner-side rmdir: lock, broadcast invalidation + child check,
         then delete inode and local dentry if the directory is empty."""
         payload = message.payload
+        ctx = message.ctx
         key = (payload["pid"], payload["name"])
-        dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE)
+        dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE,
+                                    ctx=ctx)
         yield dgrant.event
-        igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE)
+        igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE,
+                                    ctx=ctx)
         yield igrant.event
         try:
-            yield from self.execute(self.costs.index_lookup_us)
+            yield from self.execute(self.costs.index_lookup_us, ctx=ctx)
             record = self.inodes.get(key)
             if record is None:
                 raise RpcFailure(RpcError.ENOENT, payload["path"])
@@ -613,18 +682,19 @@ class MNode(NamespaceReplicaMixin, Node):
             # Marshaling one invalidation per peer costs owner CPU —
             # the cluster-size-proportional overhead of §6.2's rmdir.
             yield from self.execute(
-                self.costs.invalidate_apply_us * 4 * len(peers)
+                self.costs.invalidate_apply_us * 4 * len(peers), ctx=ctx
             )
             replies = yield self.env.all_of([
                 self.call(peer, "invalidate",
-                          {"keys": [list(key)], "children_of": record.ino})
+                          {"keys": [list(key)], "children_of": record.ino},
+                          ctx=ctx)
                 for peer in peers
             ])
-            yield from self.execute(self.costs.index_lookup_us)
+            yield from self.execute(self.costs.index_lookup_us, ctx=ctx)
             local_children = self.inodes.has_prefix((record.ino,))
             if local_children or any(r.get("has_children") for r in replies):
                 raise RpcFailure(RpcError.ENOTEMPTY, payload["path"])
-            txn = self._txn()
+            txn = self._txn(ctx=ctx)
             txn.delete(self.inodes, key)
             txn.delete(self.dentries, key)
             yield from txn.commit()
@@ -642,10 +712,13 @@ class MNode(NamespaceReplicaMixin, Node):
         """Owner-side directory permission change: invalidate everywhere,
         then update the inode and the local replica dentry."""
         payload = message.payload
+        ctx = message.ctx
         key = (payload["pid"], payload["name"])
-        dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE)
+        dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE,
+                                    ctx=ctx)
         yield dgrant.event
-        igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE)
+        igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE,
+                                    ctx=ctx)
         yield igrant.event
         try:
             record = self.inodes.get(key)
@@ -656,12 +729,13 @@ class MNode(NamespaceReplicaMixin, Node):
                 if peer != self.name
             ]
             yield self.env.all_of([
-                self.call(peer, "invalidate", {"keys": [list(key)]})
+                self.call(peer, "invalidate", {"keys": [list(key)]},
+                          ctx=ctx)
                 for peer in peers
             ])
             updated = record.copy()
             updated.mode = payload["mode"]
-            txn = self._txn()
+            txn = self._txn(ctx=ctx)
             txn.put(self.inodes, key, updated)
             if record.is_dir:
                 txn.put(self.dentries, key, DentryRecord(
@@ -684,11 +758,13 @@ class MNode(NamespaceReplicaMixin, Node):
         txid = payload["txid"]
         key = tuple(payload["key"])
         action = payload["action"]
-        igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE)
+        igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE,
+                                    ctx=message.ctx)
         yield igrant.event
-        dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE)
+        dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE,
+                                    ctx=message.ctx)
         yield dgrant.event
-        yield from self.execute(self.costs.index_lookup_us)
+        yield from self.execute(self.costs.index_lookup_us, ctx=message.ctx)
         record = self.inodes.get(key)
         ok = record is not None if action == "delete" else record is None
         staged = self._staged.setdefault(txid, [])
@@ -697,7 +773,7 @@ class MNode(NamespaceReplicaMixin, Node):
             "record": payload.get("record"),
         })
         # Persist the vote.
-        yield self.wal.commit(self.costs.wal_record_bytes)
+        yield self.wal.commit(self.costs.wal_record_bytes, ctx=message.ctx)
         response = {"ok": ok}
         if ok and action == "delete":
             response["record"] = inode_to_wire(record)
@@ -705,7 +781,7 @@ class MNode(NamespaceReplicaMixin, Node):
 
     def _on_rename_commit(self, message):
         staged = self._staged.pop(message.payload["txid"], [])
-        txn = self._txn()
+        txn = self._txn(ctx=message.ctx)
         for entry in staged:
             key = entry["key"]
             if entry["action"] == "delete":
@@ -749,7 +825,8 @@ class MNode(NamespaceReplicaMixin, Node):
         payload = message.payload
         try:
             components = split_path(payload["path"])
-            resolved = yield from self.resolve_dir(components)
+            resolved = yield from self.resolve_dir(components,
+                                                   ctx=message.ctx)
         except (ValueError, RpcFailure) as failure:
             if not isinstance(failure, RpcFailure):
                 failure = RpcFailure(RpcError.EINVAL, payload["path"])
@@ -760,12 +837,14 @@ class MNode(NamespaceReplicaMixin, Node):
             peer for peer in self.shared.mnode_names if peer != self.name
         ]
         replies = yield self.env.all_of([
-            self.call(peer, "scan_children", {"pid": dir_ino})
+            self.call(peer, "scan_children", {"pid": dir_ino},
+                      ctx=message.ctx)
             for peer in peers
         ])
         local = self._scan_children(dir_ino)
         yield from self.execute(
-            self.costs.index_lookup_us + 0.02 * len(local)
+            self.costs.index_lookup_us + 0.02 * len(local),
+            ctx=message.ctx,
         )
         entries = list(local)
         for reply in replies:

@@ -16,11 +16,18 @@ from collections import defaultdict
 
 from repro.core.records import INVALID, VALID, DentryRecord
 from repro.net.rpc import RpcError, RpcFailure
+from repro.obs import NULL_CONTEXT, RetryPolicy, retry
 from repro.storage import LockManager, LockMode, Table
 from repro.vfs.attrs import ROOT_INO
 
 #: Resolution gives up after this many discarded (stale) fetches.
 MAX_FETCH_RETRIES = 16
+
+#: Stale fetches retry immediately (zero backoff keeps the protocol's
+#: interleavings deterministic); the +1 turns the retry cap into an
+#: attempt budget.
+_FETCH_POLICY = RetryPolicy(max_attempts=MAX_FETCH_RETRIES + 1,
+                            base_us=0.0)
 
 
 class ResolvedDir:
@@ -50,7 +57,7 @@ class NamespaceReplicaMixin:
 
     # -- resolution ---------------------------------------------------------
 
-    def resolve_dir(self, components):
+    def resolve_dir(self, components, ctx=None):
         """Generator: resolve a directory path locally, fetching missing
         dentries from their owners.  Returns a :class:`ResolvedDir`.
 
@@ -65,49 +72,58 @@ class NamespaceReplicaMixin:
             if not mode & 0o111:
                 raise RpcFailure(RpcError.EACCES, "/".join(components))
             key = (current, name)
-            record = yield from self._dentry_record(key)
+            record = yield from self._dentry_record(key, ctx)
             dkey = ("d",) + key
             chain.append((dkey, record, self.inval_seq[dkey]))
             current = record.ino
             mode = record.mode
         return ResolvedDir(current, chain)
 
-    def _dentry_record(self, key):
-        """Generator: return a VALID dentry record for ``key``."""
-        record = self.dentries.get(key)
-        retries = 0
-        while record is None or record.state == INVALID:
-            if self._owns_dentry(key):
-                # We are the owner: absence is authoritative.
-                if record is not None:
-                    self.dentries.delete(key)
-                raise RpcFailure(RpcError.ENOENT, key)
-            dkey = ("d",) + key
-            seq = self.inval_seq[dkey]
-            self.metrics.counter("remote_lookups").inc()
-            try:
-                attrs = yield self.call(
-                    self._owner_name(key),
-                    "lookup_dentry",
-                    {"pid": key[0], "name": key[1]},
-                )
-            except RpcFailure as failure:
-                if failure.code == RpcError.ENOENT and record is not None:
-                    self.dentries.delete(key)
-                raise
-            if self.inval_seq[dkey] != seq:
-                # Invalidated while the lookup was in flight: discard the
-                # response and retry (§4.3 conflict resolution, case 2).
-                retries += 1
-                if retries > MAX_FETCH_RETRIES:
+    def _dentry_record(self, key, ctx=None):
+        """Generator: return a VALID dentry record for ``key``.
+
+        A fetch whose response was invalidated in flight is discarded
+        and re-issued (§4.3 conflict resolution, case 2) via the shared
+        retry helper, with zero backoff and a bounded attempt budget.
+        """
+
+        def attempt(_attempt, _hint):
+            record = self.dentries.get(key)
+            while record is None or record.state == INVALID:
+                if self._owns_dentry(key):
+                    # We are the owner: absence is authoritative.
+                    if record is not None:
+                        self.dentries.delete(key)
+                    raise RpcFailure(RpcError.ENOENT, key)
+                dkey = ("d",) + key
+                seq = self.inval_seq[dkey]
+                self.metrics.counter("remote_lookups").inc()
+                try:
+                    attrs = yield self.call(
+                        self._owner_name(key),
+                        "lookup_dentry",
+                        {"pid": key[0], "name": key[1]},
+                        ctx=ctx,
+                    )
+                except RpcFailure as failure:
+                    if (failure.code == RpcError.ENOENT
+                            and record is not None):
+                        self.dentries.delete(key)
+                    raise
+                if self.inval_seq[dkey] != seq:
+                    # Stale response: let the retry helper re-issue.
                     raise RpcFailure(RpcError.ERETRY, key)
-                record = self.dentries.get(key)
-                continue
-            record = DentryRecord(
-                ino=attrs["ino"], mode=attrs["mode"], uid=attrs["uid"],
-                gid=attrs["gid"], state=VALID,
-            )
-            self.dentries.put(key, record)
+                record = DentryRecord(
+                    ino=attrs["ino"], mode=attrs["mode"], uid=attrs["uid"],
+                    gid=attrs["gid"], state=VALID,
+                )
+                self.dentries.put(key, record)
+            return record
+
+        record = yield from retry(
+            self, ctx or NULL_CONTEXT, attempt, policy=_FETCH_POLICY,
+            retryable=(RpcError.ERETRY,),
+        )
         return record
 
     def _owns_dentry(self, key):

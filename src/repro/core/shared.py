@@ -1,9 +1,10 @@
 """Cluster-wide configuration and shared context."""
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.records import InodeAllocator
 from repro.net.costs import CostModel
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.rng import RandomStreams
 
 
@@ -28,8 +29,18 @@ class FalconConfig:
     unmerged_dispatch_factor: float = 24.0
     #: Load-balance bound: no node may exceed (1/n + epsilon) of inodes.
     epsilon: float = 0.02
-    #: Retry backoff for blocked (migrating) inodes, microseconds.
+    #: Retry backoff for blocked (migrating) inodes, microseconds — the
+    #: base of the shared exponential backoff schedule.
     retry_backoff_us: float = 100.0
+    #: Exponential backoff growth factor and cap for the shared
+    #: :class:`~repro.obs.RetryPolicy`.
+    retry_backoff_multiplier: float = 2.0
+    retry_backoff_max_us: float = 6400.0
+    #: Attempt budget per operation before the client gives up.
+    retry_max_attempts: int = 64
+    #: Absolute per-operation deadline, microseconds (0 = no deadline).
+    #: Enforced at every hop via the kernel's Interrupt machinery.
+    op_deadline_us: float = 0.0
     #: Asynchronous log-shipping replication to per-MNode standbys (the
     #: evaluation runs with this disabled, like the paper's).
     replication: bool = False
@@ -39,10 +50,12 @@ class FalconConfig:
 class ClusterShared:
     """Identity and service directory shared by every node in a cluster."""
 
-    def __init__(self, env, costs, config):
+    def __init__(self, env, costs, config, tracer=None):
         self.env = env
         self.costs = costs if costs is not None else CostModel()
         self.config = config
+        #: Cluster-wide tracer; the null tracer allocates no spans.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.streams = RandomStreams(config.seed)
         self.allocator = InodeAllocator()
         self.mnode_names = [

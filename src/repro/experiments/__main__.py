@@ -13,6 +13,7 @@ import time
 
 from repro.experiments import (
     ablation,
+    breakdown,
     burst,
     cache_sweep,
     corner_cases,
@@ -56,6 +57,7 @@ EXPERIMENTS = {
     "sensitivity": (sensitivity, {}, {"num_ops": 600, "threads": 128}),
     "straggler": (straggler, {},
                   {"num_dirs": 16, "files_per_dir": 25, "threads": 96}),
+    "breakdown": (breakdown, {}, {"num_ops": 40}),
 }
 
 

@@ -14,8 +14,13 @@ _BUILDERS = {
 }
 
 
-def build_cluster(system, num_mnodes=4, num_storage=12, seed=0, **config):
-    """Build a cluster for ``system`` ("falconfs" or a baseline name)."""
+def build_cluster(system, num_mnodes=4, num_storage=12, seed=0,
+                  tracer=None, **config):
+    """Build a cluster for ``system`` ("falconfs" or a baseline name).
+
+    Pass a :class:`repro.obs.Tracer` as ``tracer`` to capture request
+    spans across the whole cluster (zero-cost when omitted).
+    """
     if system not in _BUILDERS:
         raise KeyError(
             "unknown system {!r}; choose from {}".format(system, SYSTEMS)
@@ -23,7 +28,7 @@ def build_cluster(system, num_mnodes=4, num_storage=12, seed=0, **config):
     cfg = FalconConfig(
         num_mnodes=num_mnodes, num_storage=num_storage, seed=seed, **config
     )
-    return _BUILDERS[system](cfg)
+    return _BUILDERS[system](cfg, tracer=tracer)
 
 
 def add_workload_client(cluster, system, mode="libfs",

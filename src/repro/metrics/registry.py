@@ -25,7 +25,9 @@ class Counter:
         self._counts[label] += amount
 
     def get(self, label=None):
-        return self._counts[label]
+        # Plain .get: reading through the defaultdict would materialize
+        # the label with a zero count, polluting by_label() snapshots.
+        return self._counts.get(label, 0)
 
     def total(self):
         return sum(self._counts.values())

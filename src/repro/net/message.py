@@ -12,7 +12,9 @@ class Message:
     ``"invalidate"``); ``payload`` is an arbitrary Python object (the
     simulated wire format); ``size`` is the modeled wire size in bytes used
     for bandwidth accounting; ``reply_to`` is the event a server triggers to
-    answer an RPC.
+    answer an RPC; ``ctx`` is the originating operation's
+    :class:`~repro.obs.OpContext` (or ``None``), propagated across every
+    hop so deadlines and trace spans follow the request.
     """
 
     __slots__ = (
@@ -23,11 +25,13 @@ class Message:
         "payload",
         "size",
         "reply_to",
+        "ctx",
         "send_time",
+        "arrive_time",
     )
 
     def __init__(self, sender, recipient, kind, payload=None, size=256,
-                 reply_to=None):
+                 reply_to=None, ctx=None):
         self.msg_id = next(_message_ids)
         self.sender = sender
         self.recipient = recipient
@@ -35,7 +39,9 @@ class Message:
         self.payload = payload
         self.size = size
         self.reply_to = reply_to
+        self.ctx = ctx
         self.send_time = None
+        self.arrive_time = None
 
     def __repr__(self):
         return "<Message #{} {}:{} -> {}>".format(

@@ -2,6 +2,7 @@
 
 from repro.metrics import MetricsRegistry
 from repro.net.message import Message
+from repro.obs.tracer import CAT_CPU, CAT_NET, CAT_QUEUE
 from repro.sim import Resource, Store
 
 
@@ -38,7 +39,7 @@ class Node:
 
     def _handle_guard(self, message):
         # Every message costs a decode/dispatch slice on the receiver.
-        yield from self.execute(self.costs.dispatch_us)
+        yield from self.execute(self.costs.dispatch_us, ctx=message.ctx)
         result = yield from self.handle(message)
         return result
 
@@ -49,16 +50,22 @@ class Node:
         )
         yield  # pragma: no cover - makes this a generator
 
-    def send(self, recipient, kind, payload=None, size=None, reply_to=None):
-        """Send a message to ``recipient``; returns immediately."""
+    def send(self, recipient, kind, payload=None, size=None, reply_to=None,
+             ctx=None):
+        """Send a message to ``recipient``; returns immediately.
+
+        ``ctx`` (an :class:`~repro.obs.OpContext`) rides on the message so
+        the receiver inherits the operation's deadline and trace identity.
+        """
         if size is None:
             size = self.costs.rpc_request_bytes
-        msg = Message(self.name, recipient, kind, payload, size, reply_to)
+        msg = Message(self.name, recipient, kind, payload, size, reply_to,
+                      ctx=ctx)
         self.metrics.counter("sent").inc(kind)
         self.network.send(msg)
         return msg
 
-    def call(self, recipient, kind, payload=None, size=None):
+    def call(self, recipient, kind, payload=None, size=None, ctx=None):
         """Issue an RPC; returns the reply event to ``yield`` on.
 
         The reply event succeeds with the responder's payload, or fails
@@ -66,7 +73,7 @@ class Node:
         :class:`~repro.net.rpc.RpcError` code.
         """
         reply = self.env.event()
-        self.send(recipient, kind, payload, size, reply_to=reply)
+        self.send(recipient, kind, payload, size, reply_to=reply, ctx=ctx)
         return reply
 
     def respond(self, message, payload=None, size=None):
@@ -77,9 +84,16 @@ class Node:
             size = self.costs.rpc_response_bytes
         delay = self.costs.hop_us(size)
         reply_to = message.reply_to
+        ctx = message.ctx
 
-        def arrive(env=self.env):
+        def arrive(env=self.env, start=self.env.now):
             yield env.timeout(delay)
+            if ctx is not None and ctx.tracer.enabled:
+                ctx.record(
+                    "net.response", CAT_NET, start, env.now,
+                    node=message.sender,
+                    attrs={"kind": message.kind, "bytes": size},
+                )
             reply_to.succeed(payload)
 
         if message.sender == self.name:
@@ -94,9 +108,16 @@ class Node:
             return
         delay = self.costs.hop_us(self.costs.rpc_response_bytes)
         reply_to = message.reply_to
+        ctx = message.ctx
 
-        def arrive(env=self.env):
+        def arrive(env=self.env, start=self.env.now):
             yield env.timeout(delay)
+            if ctx is not None and ctx.tracer.enabled:
+                ctx.record(
+                    "net.response", CAT_NET, start, env.now,
+                    node=message.sender,
+                    attrs={"kind": message.kind, "error": str(failure)},
+                )
             reply_to.fail(failure)
 
         if message.sender == self.name:
@@ -107,12 +128,25 @@ class Node:
 
     # -- CPU -------------------------------------------------------------
 
-    def execute(self, cost_us):
-        """Consume ``cost_us`` of one CPU core (generator; yield from it)."""
+    def execute(self, cost_us, ctx=None):
+        """Consume ``cost_us`` of one CPU core (generator; yield from it).
+
+        With a traced ``ctx``, records a ``cpu.wait`` span for time spent
+        queued for a core and a ``cpu`` span for the busy slice itself.
+        """
+        traced = ctx is not None and ctx.tracer.enabled
         req = self.cpu.request()
+        wait_start = self.env.now if (traced and not req.triggered) else None
         yield req
+        if wait_start is not None:
+            ctx.record("cpu.wait", CAT_QUEUE, wait_start, self.env.now,
+                       node=self.name)
         try:
             if cost_us > 0:
+                start = self.env.now
                 yield self.env.timeout(cost_us)
+                if traced:
+                    ctx.record("cpu", CAT_CPU, start, self.env.now,
+                               node=self.name)
         finally:
             self.cpu.release(req)

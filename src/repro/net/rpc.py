@@ -17,6 +17,8 @@ class RpcError:
     ENOTDIR = errno.ENOTDIR
     EISDIR = errno.EISDIR
     EINVAL = errno.EINVAL
+    #: The operation's deadline expired before a reply arrived.
+    ETIMEDOUT = errno.ETIMEDOUT
     #: The receiving server is not responsible for this key; the payload
     #: carries the correct destination (used for stale exception tables).
     EREDIRECT = 1001
@@ -31,6 +33,7 @@ class RpcError:
         errno.ENOTDIR: "ENOTDIR",
         errno.EISDIR: "EISDIR",
         errno.EINVAL: "EINVAL",
+        errno.ETIMEDOUT: "ETIMEDOUT",
         1001: "EREDIRECT",
         1002: "ERETRY",
     }

@@ -8,7 +8,12 @@ the endpoints.
 """
 
 from repro.metrics import MetricsRegistry
+from repro.obs.tracer import CAT_NET
 from repro.sim.engine import SimulationError
+
+#: Metric label for co-located deliveries, which take zero network hops.
+#: Keeping them out of the per-kind buckets keeps hop counts exact.
+LOCAL_LABEL = "local"
 
 
 class Network:
@@ -40,25 +45,39 @@ class Network:
         """Put ``message`` on the wire; it arrives after one hop delay.
 
         Messages between co-located endpoints (same machine name) skip the
-        network and are delivered immediately.
+        network and are delivered immediately; they are counted under the
+        ``local`` label rather than the message kind, so per-kind counts
+        equal actual network hops.
         """
         dst = self.node(message.recipient)
         message.send_time = self.env.now
-        self.metrics.counter("messages").inc(message.kind)
-        self.metrics.counter("bytes").inc(message.kind, message.size)
         if message.sender == message.recipient:
+            self.metrics.counter("messages").inc(LOCAL_LABEL)
+            self.metrics.counter("bytes").inc(LOCAL_LABEL, message.size)
+            message.arrive_time = self.env.now
             dst.deliver(message)
             return
+        self.metrics.counter("messages").inc(message.kind)
+        self.metrics.counter("bytes").inc(message.kind, message.size)
         delay = self.costs.hop_us(message.size)
+        ctx = message.ctx
 
         def arrive(env=self.env):
             yield env.timeout(delay)
+            message.arrive_time = env.now
+            if ctx is not None and ctx.tracer.enabled:
+                ctx.record(
+                    "net.hop", CAT_NET, message.send_time, env.now,
+                    node=message.recipient,
+                    attrs={"kind": message.kind, "bytes": message.size},
+                )
             dst.deliver(message)
 
         self.env.process(arrive())
 
     def message_count(self, kind=None):
-        """Total messages sent, optionally filtered by kind."""
+        """Messages sent: network hops of ``kind``, or the grand total
+        (co-located deliveries included) when ``kind`` is ``None``."""
         counter = self.metrics.counter("messages")
         if kind is None:
             return counter.total()

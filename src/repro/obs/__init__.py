@@ -1,0 +1,57 @@
+"""Observability: request-scoped contexts, tracing spans and retry policy.
+
+The substrate every layer of the simulated cluster threads through:
+
+* :class:`OpContext` — one per client-visible operation; carries the
+  trace identity, the absolute deadline and the retry policy across
+  every hop, from the POSIX entry point down to the WAL;
+* :class:`Span` / :class:`Tracer` / :class:`JsonlSink` — distributed
+  tracing with zero cost when disabled (:data:`NULL_TRACER` allocates
+  no spans);
+* :class:`RetryPolicy`, :func:`retry`, :func:`deadline_call` — the
+  shared context-driven retry/backoff and deadline-enforcement helpers
+  that replace per-call-site retry loops.
+"""
+
+from repro.obs.context import NULL_CONTEXT, OpContext
+from repro.obs.retry import RetryPolicy, deadline_call, retry
+from repro.obs.tracer import (
+    CAT_CPU,
+    CAT_DISK,
+    CAT_LOCK,
+    CAT_NET,
+    CAT_OP,
+    CAT_PHASE,
+    CAT_QUEUE,
+    CAT_RETRY,
+    CAT_WAL,
+    COMPONENT_CATEGORIES,
+    JsonlSink,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "CAT_CPU",
+    "CAT_DISK",
+    "CAT_LOCK",
+    "CAT_NET",
+    "CAT_OP",
+    "CAT_PHASE",
+    "CAT_QUEUE",
+    "CAT_RETRY",
+    "CAT_WAL",
+    "COMPONENT_CATEGORIES",
+    "JsonlSink",
+    "NULL_CONTEXT",
+    "NULL_TRACER",
+    "NullTracer",
+    "OpContext",
+    "RetryPolicy",
+    "Span",
+    "Tracer",
+    "deadline_call",
+    "retry",
+]

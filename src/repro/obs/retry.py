@@ -1,0 +1,157 @@
+"""Shared retry/backoff policy and deadline-enforced RPC.
+
+Two helpers replace the ad-hoc retry loops that used to live at every
+call site:
+
+* :func:`retry` runs an attempt generator until it succeeds, backing off
+  exponentially on retryable :class:`~repro.net.rpc.RpcFailure` codes
+  (``ERETRY``, ``EREDIRECT``) according to the context's
+  :class:`RetryPolicy`, and giving up with the last failure when the
+  attempt budget is exhausted or the next backoff would overshoot the
+  deadline.
+* :func:`deadline_call` issues one RPC and enforces
+  ``OpContext.deadline`` on it using the sim kernel's
+  :class:`~repro.sim.engine.Interrupt` machinery: a watchdog process
+  interrupts the waiter at the deadline, the abandoned reply event is
+  defused (a late error response must not crash the simulation), and the
+  caller sees ``RpcFailure(ETIMEDOUT)``.
+"""
+
+from repro.net.rpc import RpcError, RpcFailure
+from repro.obs.tracer import CAT_RETRY
+from repro.sim.engine import Interrupt
+
+#: Codes the shared :func:`retry` helper treats as transient by default.
+RETRYABLE = (RpcError.ERETRY, RpcError.EREDIRECT)
+
+#: Sentinel passed as the interrupt cause by the deadline watchdog.
+DEADLINE_EXPIRED = object()
+
+
+class RetryPolicy:
+    """Exponential backoff schedule: ``base * multiplier ** attempt``,
+    capped at ``max_backoff_us``.  ``base_us == 0`` means retry
+    immediately (no simulated delay — used where determinism matters,
+    e.g. stale-replica refetches)."""
+
+    __slots__ = ("max_attempts", "base_us", "multiplier", "max_backoff_us")
+
+    def __init__(self, max_attempts=64, base_us=100.0, multiplier=2.0,
+                 max_backoff_us=6400.0):
+        self.max_attempts = max_attempts
+        self.base_us = base_us
+        self.multiplier = multiplier
+        self.max_backoff_us = max_backoff_us
+
+    def backoff_us(self, attempt):
+        """Delay before attempt ``attempt + 1`` (attempt is 0-based)."""
+        if self.base_us <= 0:
+            return 0.0
+        return min(self.max_backoff_us,
+                   self.base_us * self.multiplier ** attempt)
+
+    @classmethod
+    def from_config(cls, config):
+        return cls(
+            max_attempts=config.retry_max_attempts,
+            base_us=config.retry_backoff_us,
+            multiplier=config.retry_backoff_multiplier,
+            max_backoff_us=config.retry_backoff_max_us,
+        )
+
+    def __repr__(self):
+        return "<RetryPolicy x{} {}us*{}^n<={}us>".format(
+            self.max_attempts, self.base_us, self.multiplier,
+            self.max_backoff_us,
+        )
+
+
+_DEFAULT_POLICY = RetryPolicy()
+
+
+def retry(node, ctx, attempt_fn, policy=None, retryable=RETRYABLE):
+    """Generator: drive ``attempt_fn`` to success with backoff.
+
+    ``attempt_fn(attempt, hint)`` must be a generator function; ``hint``
+    is the redirect destination from the previous ``EREDIRECT`` failure
+    (``None`` otherwise).  Non-retryable failures propagate immediately;
+    exhausting the budget re-raises the last retryable failure (so an
+    ``ERETRY`` storm still surfaces as ``ERETRY`` to the caller).
+    """
+    if policy is None:
+        policy = ctx.retry_policy or _DEFAULT_POLICY
+    hint = None
+    failure = None
+    for attempt in range(policy.max_attempts):
+        ctx.attempt = attempt
+        try:
+            result = yield from attempt_fn(attempt, hint)
+            return result
+        except RpcFailure as exc:
+            if exc.code not in retryable:
+                raise
+            failure = exc
+            hint = exc.detail if exc.code == RpcError.EREDIRECT else None
+        delay = policy.backoff_us(attempt)
+        if delay > 0:
+            if (ctx.deadline is not None
+                    and node.env.now + delay >= ctx.deadline):
+                raise RpcFailure(
+                    RpcError.ETIMEDOUT,
+                    "backoff past deadline ({})".format(failure),
+                )
+            with ctx.span("backoff", CAT_RETRY, node=node.name,
+                          attrs={"attempt": attempt}):
+                yield node.env.timeout(delay)
+    raise failure
+
+
+def deadline_call(node, ctx, target, kind, payload=None, size=None):
+    """Generator: one RPC from ``node`` to ``target`` under the
+    context's deadline.  Returns the reply payload; raises
+    ``RpcFailure(ETIMEDOUT)`` at the deadline (without waiting for the
+    straggling reply, whose event is defused so a late error cannot
+    crash the run), or the responder's failure."""
+    env = node.env
+    if ctx.deadline is None:
+        result = yield node.call(target, kind, payload, size, ctx=ctx)
+        return result
+    remaining = ctx.deadline - env.now
+    if remaining <= 0:
+        raise RpcFailure(
+            RpcError.ETIMEDOUT, "{} to {} (not sent)".format(kind, target)
+        )
+    reply = node.call(target, kind, payload, size, ctx=ctx)
+    waiter = env.process(_await(reply))
+    watchdog = env.process(_watchdog(env, waiter, remaining))
+    try:
+        result = yield waiter
+    except Interrupt:
+        # The watchdog fired: abandon the in-flight RPC.  A late reply
+        # now resolves an event nobody waits on; defusing it keeps a
+        # late *error* response from surfacing as an unhandled failure.
+        reply.defused = True
+        raise RpcFailure(
+            RpcError.ETIMEDOUT, "{} to {}".format(kind, target)
+        ) from None
+    except BaseException:
+        if watchdog.is_alive:
+            watchdog.interrupt()
+        raise
+    if watchdog.is_alive:
+        watchdog.interrupt()
+    return result
+
+
+def _await(reply):
+    result = yield reply
+    return result
+
+
+def _watchdog(env, victim, delay):
+    try:
+        yield env.timeout(delay)
+    except Interrupt:
+        return
+    if victim.is_alive:
+        victim.interrupt(DEADLINE_EXPIRED)

@@ -12,6 +12,7 @@ itself is charged by the caller (FalconFS coalesces it per batch, §4.4).
 
 from collections import deque
 
+from repro.obs.tracer import CAT_LOCK
 from repro.sim.engine import SimulationError
 
 
@@ -23,13 +24,15 @@ class LockMode:
 class Grant:
     """A held (or queued) lock; pass back to :meth:`LockManager.release`."""
 
-    __slots__ = ("key", "mode", "event", "granted")
+    __slots__ = ("key", "mode", "event", "granted", "span")
 
     def __init__(self, key, mode, event):
         self.key = key
         self.mode = mode
         self.event = event
         self.granted = False
+        #: Open ``lock.wait`` span while the grant is queued (traced only).
+        self.span = None
 
     def __repr__(self):
         state = "held" if self.granted else "waiting"
@@ -51,9 +54,10 @@ class LockManager:
         self.env = env
         self._locks = {}
 
-    def acquire(self, key, mode):
+    def acquire(self, key, mode, ctx=None):
         """Request a lock; returns a :class:`Grant` whose ``event`` fires
-        once the lock is held."""
+        once the lock is held.  With a traced ``ctx``, a ``lock.wait``
+        span covers any time spent queued behind other holders."""
         if mode not in (LockMode.SHARED, LockMode.EXCLUSIVE):
             raise SimulationError("bad lock mode: {!r}".format(mode))
         state = self._locks.get(key)
@@ -64,6 +68,11 @@ class LockManager:
         if self._grantable(state, mode):
             self._grant(state, grant)
         else:
+            if ctx is not None and ctx.tracer.enabled:
+                grant.span = ctx.start_span(
+                    "lock.wait", CAT_LOCK,
+                    attrs={"key": str(key), "mode": mode},
+                )
             state.waiters.append(grant)
         return grant
 
@@ -88,6 +97,9 @@ class LockManager:
             state.holders.remove(grant)
         else:
             state.waiters.remove(grant)
+            if grant.span is not None:
+                grant.span.finish(self.env.now, cancelled=True)
+                grant.span = None
         self._wake(state)
         if not state.holders and not state.waiters:
             del self._locks[grant.key]
@@ -104,6 +116,9 @@ class LockManager:
 
     def _grant(self, state, grant):
         grant.granted = True
+        if grant.span is not None:
+            grant.span.finish(self.env.now)
+            grant.span = None
         state.holders.append(grant)
         grant.event.succeed(grant)
 

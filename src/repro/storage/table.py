@@ -68,11 +68,13 @@ class Transaction:
     committed records to a standby.
     """
 
-    def __init__(self, env, wal, costs, on_commit=None):
+    def __init__(self, env, wal, costs, on_commit=None, ctx=None):
         self.env = env
         self.wal = wal
         self.costs = costs
         self.on_commit = on_commit
+        #: Operation (or batch) context the WAL commit is attributed to.
+        self.ctx = ctx
         self._writes = {}
         self.committed = False
         self.aborted = False
@@ -106,7 +108,7 @@ class Transaction:
         records = self.write_count
         if records:
             nbytes = records * self.costs.wal_record_bytes
-            yield self.wal.commit(nbytes, records=records)
+            yield self.wal.commit(nbytes, records=records, ctx=self.ctx)
         for table, bucket in self._writes.values():
             for key, value in bucket.items():
                 if value is _DELETED:

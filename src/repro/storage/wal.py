@@ -8,6 +8,8 @@ share one fsync.  This is the mechanism behind FalconFS's WAL coalescing
 one, and the log's metrics expose exactly that ratio.
 """
 
+from repro.obs.tracer import CAT_WAL
+
 
 class WriteAheadLog:
     """Group-committing log owned by one MNode."""
@@ -23,9 +25,20 @@ class WriteAheadLog:
         self.bytes_written = 0
         self.records_written = 0
 
-    def commit(self, nbytes, records=1):
-        """Request durability of ``nbytes`` of log; returns an event."""
+    def commit(self, nbytes, records=1, ctx=None):
+        """Request durability of ``nbytes`` of log; returns an event.
+
+        With a traced ``ctx``, a ``wal.commit`` span covers the full wait
+        (queueing behind an in-flight flush plus the fsync itself)."""
         done = self.env.event()
+        if ctx is not None and ctx.tracer.enabled:
+            span = ctx.start_span(
+                "wal.commit", CAT_WAL,
+                attrs={"bytes": nbytes, "records": records},
+            )
+            done.callbacks.append(
+                lambda _event, span=span: span.finish(self.env.now)
+            )
         self._pending.append((done, nbytes, records))
         if not self._flushing:
             self._flushing = True

@@ -1,6 +1,6 @@
 """Inode attributes and VFS sizing constants."""
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Inode number of the file system root directory.
 ROOT_INO = 1

@@ -5,12 +5,16 @@ dentry cache, calling out to a pluggable *ops* object — the file system's
 client module — on cache misses and cache hits alike, exactly as the VFS
 calls ``lookup()`` and ``d_revalidate()``:
 
-* ``ops.lookup(parent_attrs, name, flags, full_path)`` — generator; returns
-  the component's :class:`~repro.vfs.attrs.InodeAttrs`.  ``flags`` contains
-  :data:`LOOKUP_PARENT` while the final component has not been reached
-  (the Linux >= 5.7 semantics FalconFS's shortcut relies on).
-* ``ops.revalidate(entry, flags, full_path)`` — generator; returns the
-  (possibly refreshed) attrs for a cache hit, or ``None`` to force a miss.
+* ``ops.lookup(parent_attrs, name, flags, full_path, ctx=None)`` —
+  generator; returns the component's :class:`~repro.vfs.attrs.InodeAttrs`.
+  ``flags`` contains :data:`LOOKUP_PARENT` while the final component has
+  not been reached (the Linux >= 5.7 semantics FalconFS's shortcut relies
+  on).  ``ctx`` is the walking operation's
+  :class:`~repro.obs.OpContext` (or ``None``), so lookup RPCs inherit
+  the op's trace identity, deadline and retry budget.
+* ``ops.revalidate(entry, flags, full_path, ctx=None)`` — generator;
+  returns the (possibly refreshed) attrs for a cache hit, or ``None`` to
+  force a miss.
 
 Stateful clients use a trivial revalidate (trust the cache) and a remote
 lookup; the FalconFS client returns fake attrs from ``lookup`` for
@@ -18,6 +22,7 @@ intermediate components and uses ``revalidate`` to avoid exposing them.
 """
 
 from repro.net.rpc import RpcError, RpcFailure
+from repro.obs import CAT_PHASE, NULL_CONTEXT
 from repro.vfs.attrs import ROOT_INO, InodeAttrs
 
 #: Flag set while the walk has not yet reached the final component.
@@ -86,52 +91,60 @@ class PathWalker:
             ino=ROOT_INO, is_dir=True, mode=0o755
         )
 
-    def walk(self, path, last_must_exist=True):
+    def walk(self, path, last_must_exist=True, ctx=None):
         """Generator resolving ``path``.
 
         Returns a :class:`WalkResult`.  When ``last_must_exist`` is False
         and only the final component is missing, ``attrs`` is None (the
         create-style walk).  Raises :class:`RpcFailure` with ``ENOENT`` /
-        ``ENOTDIR`` / ``EACCES`` as appropriate.
+        ``ENOTDIR`` / ``EACCES`` as appropriate.  ``ctx`` (an
+        :class:`~repro.obs.OpContext`) scopes the whole walk under a
+        ``walk`` span and flows into every lookup RPC.
         """
+        ctx = ctx or NULL_CONTEXT
         components = split_path(path)
         if not components:
             return WalkResult(None, self.root_attrs, "/", 0)
         current = self.root_attrs
         walked = 0
         attrs = None
-        for index, name in enumerate(components):
-            final = index == len(components) - 1
-            flags = 0 if final else LOOKUP_PARENT
-            if not current.is_dir:
-                raise RpcFailure(RpcError.ENOTDIR, path)
-            if not current.allows_exec():
-                raise RpcFailure(RpcError.EACCES, path)
-            if self.costs.cache_probe_us:
-                yield self.env.timeout(self.costs.cache_probe_us)
-            attrs = None
-            entry = self.dcache.lookup(current.ino, name)
-            if entry is not None:
-                attrs = yield from self.ops.revalidate(entry, flags, path)
-            if attrs is None:
-                try:
-                    attrs = yield from self.ops.lookup(
-                        current, name, flags, path
+        with ctx.span("walk", CAT_PHASE, attrs={"components":
+                                                len(components)}):
+            for index, name in enumerate(components):
+                final = index == len(components) - 1
+                flags = 0 if final else LOOKUP_PARENT
+                if not current.is_dir:
+                    raise RpcFailure(RpcError.ENOTDIR, path)
+                if not current.allows_exec():
+                    raise RpcFailure(RpcError.EACCES, path)
+                if self.costs.cache_probe_us:
+                    yield self.env.timeout(self.costs.cache_probe_us)
+                attrs = None
+                entry = self.dcache.lookup(current.ino, name)
+                if entry is not None:
+                    attrs = yield from self.ops.revalidate(
+                        entry, flags, path, ctx=ctx
                     )
-                except RpcFailure as failure:
-                    if (
-                        failure.code == RpcError.ENOENT
-                        and final
-                        and not last_must_exist
-                    ):
-                        return WalkResult(current, None, name, walked + 1)
-                    raise
-                if attrs is not None:
-                    self.dcache.insert(current.ino, name, attrs)
-            if attrs is None:
-                raise RpcFailure(RpcError.ENOENT, path)
-            walked += 1
-            current = attrs
+                if attrs is None:
+                    try:
+                        attrs = yield from self.ops.lookup(
+                            current, name, flags, path, ctx=ctx
+                        )
+                    except RpcFailure as failure:
+                        if (
+                            failure.code == RpcError.ENOENT
+                            and final
+                            and not last_must_exist
+                        ):
+                            return WalkResult(current, None, name,
+                                              walked + 1)
+                        raise
+                    if attrs is not None:
+                        self.dcache.insert(current.ino, name, attrs)
+                if attrs is None:
+                    raise RpcFailure(RpcError.ENOENT, path)
+                walked += 1
+                current = attrs
         parents = components[:-1]
         parent_attrs = self.root_attrs if not parents else None
         return WalkResult(

@@ -26,7 +26,7 @@ def test_registry_covers_all_paper_results():
     assert set(EXPERIMENTS) == {
         "fig02", "fig04", "fig10", "fig11", "fig12", "fig13", "fig14",
         "fig15a", "fig15b", "fig16", "fig17", "tab03", "sensitivity",
-        "straggler",
+        "straggler", "breakdown",
     }
 
 
@@ -35,6 +35,14 @@ def test_quick_run_fig11(capsys):
     out = capsys.readouterr().out
     assert "latency" in out
     assert "falconfs" in out
+
+
+def test_quick_run_breakdown(capsys):
+    assert main(["breakdown", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "falconfs" in out
+    assert "cephfs" in out
+    assert "wal_us" in out
 
 
 def test_quick_run_fig15b(capsys):

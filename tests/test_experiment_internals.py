@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.experiments import (
-    burst,
     labeling,
     memory_budget,
     metadata_scaling,

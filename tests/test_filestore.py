@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import FalconCluster, FalconConfig
-from repro.core.indexing import stable_hash
 
 
 @pytest.fixture

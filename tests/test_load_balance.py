@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import FalconCluster, FalconConfig
-from repro.metrics import load_share_extremes
 from repro.workloads.trees import TreeSpec
 
 

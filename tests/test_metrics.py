@@ -88,6 +88,18 @@ class TestCounter:
     def test_unknown_label_zero(self):
         assert Counter("c").get("nope") == 0
 
+    def test_get_does_not_materialize_label(self):
+        # Regression: reading a missing label through the backing
+        # defaultdict used to create it with a zero count, polluting
+        # by_label() snapshots and total() iteration.
+        counter = Counter("c")
+        counter.inc("real")
+        assert counter.get("phantom") == 0
+        assert counter.by_label() == {"real": 1}
+        assert counter.total() == 1
+        assert Counter("empty").get("phantom") == 0
+        assert Counter("empty").by_label() == {}
+
 
 class TestHistogram:
     def test_summary(self):

@@ -122,6 +122,27 @@ def test_message_metrics(env, net):
     assert client.metrics.counter("sent").get("echo") == 2
 
 
+def test_local_delivery_counted_under_local_label(env, net):
+    from repro.net.transport import LOCAL_LABEL
+
+    node = EchoNode(env, net, "only")
+    EchoNode(env, net, "remote")
+
+    def caller():
+        yield node.call("only", "echo", "self")
+        yield node.call("remote", "echo", "peer")
+
+    env.run(until=env.process(caller()))
+    # The co-located request lands under "local", not "echo", so the
+    # per-kind count equals actual network hops (replies resolve the
+    # reply event directly and are never counted here).
+    assert net.message_count("echo") == 1
+    assert net.message_count(LOCAL_LABEL) == 1
+    by_label = net.metrics.counter("messages").by_label()
+    assert by_label == {"echo": 1, LOCAL_LABEL: 1}
+    assert net.message_count() == 2
+
+
 def test_unhandled_kind_raises(env, net):
     EchoNode(env, net, "server")
     client = EchoNode(env, net, "client")

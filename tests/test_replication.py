@@ -1,13 +1,9 @@
 """Tests for primary-standby metadata replication (log shipping)."""
 
-import random
-
 import pytest
 
 from repro.core import FalconCluster, FalconConfig
 from repro.core.records import INVALID
-from repro.net.rpc import RpcFailure
-from repro.storage.replication import divergence
 
 
 @pytest.fixture

@@ -186,7 +186,7 @@ class _ScriptedOps:
         self.lookups = []
         self.revalidations = 0
 
-    def lookup(self, parent, name, flags, path):
+    def lookup(self, parent, name, flags, path, ctx=None):
         self.lookups.append((parent.ino, name, flags))
         attrs = self.namespace.get((parent.ino, name))
         if attrs is None:
@@ -194,7 +194,7 @@ class _ScriptedOps:
         return attrs
         yield  # pragma: no cover
 
-    def revalidate(self, entry, flags, path):
+    def revalidate(self, entry, flags, path, ctx=None):
         self.revalidations += 1
         return entry.attrs
         yield  # pragma: no cover
