@@ -31,6 +31,7 @@ from repro.obs import (
     CAT_CPU,
     CAT_PHASE,
     OpContext,
+    RETRYABLE,
     RetryPolicy,
     deadline_call,
     retry,
@@ -66,6 +67,12 @@ class FalconClient(Node):
         #: stamped onto every operation's OpContext.
         self.deadline_us = shared.config.op_deadline_us
         self.retry_policy = RetryPolicy.from_config(shared.config)
+        #: Per-attempt RPC timeout (us; 0 = none).  With a timeout set,
+        #: ETIMEDOUT becomes retryable: a black-holed request to a
+        #: crashed MNode is retried, and since each attempt re-resolves
+        #: its target through the cluster directory, the retry lands on
+        #: the promoted standby once failover installs it.
+        self.rpc_timeout_us = shared.config.rpc_timeout_us
         self._fake_inos = {}
         self._fake_next = -2
 
@@ -322,15 +329,27 @@ class FalconClient(Node):
             data = yield from self._request(target_name, op, payload, ctx)
             return data
 
-        data = yield from retry(self, ctx, attempt)
+        data = yield from retry(self, ctx, attempt,
+                                retryable=self._retryable())
         return data
+
+    def _retryable(self):
+        """Failure codes the retry loop recovers from.  Timeouts are
+        retryable only under a per-attempt timeout — without one, a
+        timeout means the whole operation deadline expired."""
+        if self.rpc_timeout_us:
+            return RETRYABLE + (RpcError.ETIMEDOUT,)
+        return RETRYABLE
 
     def _request(self, target, op, payload, ctx):
         """Generator: one RPC, with lazy exception-table refresh."""
         self.metrics.counter("requests").inc(op)
         with ctx.span("rpc", CAT_PHASE, node=self.name,
                       attrs={"op": op, "target": target}):
-            body = yield from deadline_call(self, ctx, target, op, payload)
+            body = yield from deadline_call(
+                self, ctx, target, op, payload,
+                timeout_us=self.rpc_timeout_us or None,
+            )
         if isinstance(body, dict):
             table = body.get("xt")
             if table is not None:
@@ -361,11 +380,13 @@ class FalconClient(Node):
                           attrs={"op": op,
                                  "target": self.shared.coordinator_name}):
                 body = yield from deadline_call(
-                    self, ctx, self.shared.coordinator_name, op, payload
+                    self, ctx, self.shared.coordinator_name, op, payload,
+                    timeout_us=self.rpc_timeout_us or None,
                 )
             return body
 
-        body = yield from retry(self, ctx, attempt)
+        body = yield from retry(self, ctx, attempt,
+                                retryable=self._retryable())
         return body
 
     def _install_xt(self, table):

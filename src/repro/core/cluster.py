@@ -60,6 +60,14 @@ class FalconCluster:
             for name in self.shared.storage_names
         ]
         self.clients = []
+        #: Crash events ({index, name, at, lag_at_crash}) — see crash_mnode.
+        self.crash_log = []
+        #: Dead primaries kept for post-mortem inspection (tests compare
+        #: their tables against the promoted standby's).
+        self.retired_mnodes = []
+        #: Active heartbeat failure detector, if started.
+        self.detector = None
+        self._promotions = 0
 
     # -- clients -----------------------------------------------------------
 
@@ -116,6 +124,111 @@ class FalconCluster:
     def exception_table(self):
         return self.coordinator.xt
 
+    # -- faults and failover -------------------------------------------------
+
+    def crash_mnode(self, index):
+        """Kill MNode ``index``: every message to or from it (including
+        in-flight WAL shipments) is black-holed from now on.  Returns the
+        replication lag at the instant of the crash — the
+        committed-but-unshipped transaction count that a later promotion
+        will lose."""
+        mnode = self.mnodes[index]
+        lag = 0
+        if (mnode.shipper is not None and index < len(self.standbys)
+                and self.standbys[index] is not None):
+            lag = self.standbys[index].lag(mnode.shipper)
+        self.network.set_down(mnode.name)
+        self.crash_log.append({
+            "index": index, "name": mnode.name, "at": self.env.now,
+            "lag_at_crash": lag,
+        })
+        return lag
+
+    def promote_standby(self, index):
+        """Promote MNode ``index``'s standby into the ring (state
+        surgery, called by the coordinator's failover path).
+
+        Builds a fresh MNode from the standby's replicated tables and
+        installs it under directory slot ``index``, so every client and
+        server that re-resolves the slot reaches the promoted node.
+        Returns ``(new_node, lost_txns)``.
+        """
+        from repro.core.records import VALID
+
+        if index >= len(self.standbys) or self.standbys[index] is None:
+            raise RuntimeError(
+                "MNode {} has no standby to promote".format(index)
+            )
+        old = self.mnodes[index]
+        standby = self.standbys[index]
+        lost_txns = standby.lag(old.shipper) if old.shipper else 0
+        tables = standby.promote_tables()
+        self._promotions += 1
+        new_name = "{}-p{}".format(old.name, self._promotions)
+        # The directory slot must point at the new name *before* the
+        # MNode is constructed (it takes its name from the directory) —
+        # and from here on, every retry that re-resolves slot ``index``
+        # lands on the promoted node.
+        self.shared.mnode_names[index] = new_name
+        node = MNode(self.env, self.network, self.shared, index)
+        if "inode" in tables:
+            node.inodes = tables["inode"]
+        if "dentry" in tables:
+            node.dentries = tables["dentry"]
+        # promote_tables conservatively invalidated every dentry, but
+        # the promoted node *owns* its shard: for owned directories the
+        # authoritative inode sits in the same tables, so their dentries
+        # are rebuilt from it (an owner treats INVALID as gone and would
+        # otherwise delete its own namespace).  Non-owned replicas stay
+        # INVALID and are lazily refetched.
+        for key, record in list(node.dentries.scan()):
+            if not node._owns_dentry(key):
+                continue
+            inode = node.inodes.get(key)
+            if inode is None or not inode.is_dir:
+                node.dentries.delete(key)
+                continue
+            record.ino = inode.ino
+            record.mode = inode.mode
+            record.uid = inode.uid
+            record.gid = inode.gid
+            record.state = VALID
+        # Rebuild the load-balancer statistics from the inode table.
+        for key, _ in node.inodes.scan():
+            node._track_name(key, +1)
+        # The coordinator's exception table is authoritative; copy it in
+        # place so the node's HybridIndex (bound at construction) sees it.
+        xt = self.coordinator.xt
+        node.xt.version = xt.version
+        node.xt.pathwalk = set(xt.pathwalk)
+        node.xt.override = dict(xt.override)
+        self.mnodes[index] = node
+        self.retired_mnodes.append(old)
+        self.standbys[index] = None
+        return node, lost_txns
+
+    def fail_over(self, index):
+        """Generator: the full recovery path for a dead MNode — promote
+        its standby and run the coordinator's cluster repair (survivor
+        invalidation + orphan fsck).  Returns the failover record."""
+        record = yield from self.coordinator.fail_over(
+            index, self.promote_standby
+        )
+        return record
+
+    def start_failure_detection(self, **kwargs):
+        """Start the coordinator's heartbeat failure detector; detected
+        deaths trigger :meth:`fail_over` automatically.  Returns the
+        :class:`~repro.faults.FailureDetector`."""
+        from repro.faults import FailureDetector
+
+        self.detector = FailureDetector(
+            self.coordinator, self.shared, on_failure=self.fail_over,
+            **kwargs,
+        )
+        self.detector.start()
+        return self.detector
+
     def replication_divergence(self):
         """Per-MNode primary/standby differences (requires replication).
 
@@ -130,6 +243,7 @@ class FalconCluster:
         return {
             mnode.name: divergence(mnode, standby)
             for mnode, standby in zip(self.mnodes, self.standbys)
+            if standby is not None
         }
 
     def install_exception_table(self, pathwalk=(), override=None,
@@ -202,6 +316,8 @@ class FalconCluster:
         if not self.standbys:
             return
         standby = self.standbys[self.mnodes.index(owner)]
+        if standby is None:
+            return
         standby.table("inode").put(key, record.copy())
         if is_dir:
             standby.table("dentry").put(

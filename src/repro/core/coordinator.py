@@ -46,6 +46,8 @@ class Coordinator(NamespaceReplicaMixin, Node):
         #: Serializes rename 2PC rounds (prevents cross-rename deadlock).
         self._rename_mutex = Resource(env, capacity=1)
         self.rebalance_log = []
+        #: One record per completed failover (timeline + lost window).
+        self.failover_log = []
 
     def handle(self, message):
         handler = getattr(self, "_on_" + message.kind, None)
@@ -263,6 +265,121 @@ class Coordinator(NamespaceReplicaMixin, Node):
                                 {"txid": txid}, ctx=ctx)
         self.metrics.counter("ops").inc("rename")
         self.respond(message, {"ok": True})
+
+    # ------------------------------------------------------------------
+    # failover (promote a standby into the MNode ring)
+    # ------------------------------------------------------------------
+
+    def fail_over(self, index, promote):
+        """Generator: recover from the death of MNode ``index``.
+
+        ``promote`` is the cluster's promotion hook (state surgery):
+        called synchronously, it installs the standby's tables in a new
+        MNode under the directory slot ``index`` and returns
+        ``(new_node, lost_txns)``, where ``lost_txns`` is the number of
+        committed-but-unshipped transactions (the replication lag at
+        crash) that did not survive.
+
+        After promotion the coordinator repairs the cluster around the
+        new primary: survivors invalidate their replica dentries for the
+        failed shard (they may predate the standby's state), the
+        coordinator does the same on its own replica, and an fsck sweep
+        garbage-collects inodes orphaned by the lost window (a child
+        created on a survivor whose parent directory died unshipped).
+        """
+        detected_at = self.env.now
+        failed_name = self.shared.mnode_name(index)
+        new_node, lost_txns = promote(index)
+        promoted_at = self.env.now
+        survivors = [
+            name for name in self.shared.mnode_names
+            if name != new_node.name
+        ]
+        if survivors:
+            yield self.env.all_of([
+                self.call(peer, "invalidate_owner", {"owner": index})
+                for peer in survivors
+            ])
+        own_stale = [
+            key for key, record in self.dentries.scan()
+            if self.index.locate(key[0], key[1]) == index
+        ]
+        yield from self.apply_invalidation(own_stale)
+        orphans_removed = yield from self.fsck()
+        record = {
+            "index": index,
+            "failed": failed_name,
+            "promoted": new_node.name,
+            "detected_at": detected_at,
+            "promoted_at": promoted_at,
+            "recovered_at": self.env.now,
+            "lost_txns": lost_txns,
+            "orphans_removed": orphans_removed,
+        }
+        self.failover_log.append(record)
+        self.metrics.counter("failovers").inc()
+        return record
+
+    def fsck(self):
+        """Generator: sweep and delete unreachable inodes cluster-wide.
+
+        Scans every MNode's inode table, walks the directory tree from
+        the root, and deletes entries whose parent directory no longer
+        exists (recursively: an orphaned directory takes its whole
+        subtree with it).  Replica dentries for deleted directories are
+        invalidated everywhere first.  Returns the number of entries
+        removed.
+        """
+        from repro.vfs.attrs import ROOT_INO
+
+        names = list(self.shared.mnode_names)
+        replies = yield self.env.all_of([
+            self.call(name, "fsck_scan", {}) for name in names
+        ])
+        by_parent = {}
+        holder = {}
+        info = {}
+        for name, reply in zip(names, replies):
+            for entry in reply["entries"]:
+                key = tuple(entry["key"])
+                holder[key] = name
+                info[key] = (entry["ino"], entry["is_dir"])
+                by_parent.setdefault(key[0], []).append(key)
+        reachable_dirs = {ROOT_INO}
+        frontier = [ROOT_INO]
+        while frontier:
+            pid = frontier.pop()
+            for key in by_parent.get(pid, ()):
+                ino, is_dir = info[key]
+                if is_dir and ino not in reachable_dirs:
+                    reachable_dirs.add(ino)
+                    frontier.append(ino)
+        orphans = {}
+        orphan_dir_keys = []
+        for key, name in sorted(holder.items()):
+            if key[0] not in reachable_dirs:
+                orphans.setdefault(name, []).append(list(key))
+                if info[key][1]:
+                    orphan_dir_keys.append(list(key))
+        if not orphans:
+            return 0
+        if orphan_dir_keys:
+            # Replica dentries pointing into a removed subtree must not
+            # stay VALID anywhere.
+            yield self.env.all_of([
+                self.call(name, "invalidate", {"keys": orphan_dir_keys})
+                for name in names
+            ])
+            yield from self.apply_invalidation(
+                [tuple(k) for k in orphan_dir_keys]
+            )
+        replies = yield self.env.all_of([
+            self.call(name, "fsck_delete", {"keys": keys})
+            for name, keys in sorted(orphans.items())
+        ])
+        removed = sum(reply["removed"] for reply in replies)
+        self.metrics.counter("fsck_orphans").inc(amount=removed)
+        return removed
 
     # ------------------------------------------------------------------
     # statistical load balancing (§4.2.2)

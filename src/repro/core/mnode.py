@@ -27,6 +27,7 @@ from repro.core.indexing import ROUTE_PATHWALK, ExceptionTable, HybridIndex
 from repro.core.merging import WorkerPool
 from repro.core.records import (
     INVALID,
+    VALID,
     DentryRecord,
     InodeRecord,
     inode_from_wire,
@@ -137,7 +138,8 @@ class MNode(NamespaceReplicaMixin, Node):
     def _txn(self, ctx=None):
         on_commit = self.shipper.ship if self.shipper else None
         return Transaction(self.env, self.wal, self.costs,
-                           on_commit=on_commit, ctx=ctx)
+                           on_commit=on_commit, ctx=ctx,
+                           barrier=self.alive_barrier)
 
     # ------------------------------------------------------------------
     # batch execution (concurrent request merging, §4.4)
@@ -606,6 +608,76 @@ class MNode(NamespaceReplicaMixin, Node):
         self.respond(message, {"ok": True})
         return
         yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # control plane: liveness and failover repair
+    # ------------------------------------------------------------------
+
+    def _on_ping(self, message):
+        """Heartbeat probe from the failure detector.  A crashed node
+        never answers (the network black-holes its traffic), so the
+        detector's per-ping timeout is what turns death into a signal."""
+        yield from self.execute(self.costs.dispatch_us)
+        self.respond(message, {"ok": True, "index": self.my_index})
+
+    def _on_invalidate_owner(self, message):
+        """Invalidate every replica dentry owned by a failed MNode shard.
+
+        After a promotion the survivors' cached dentries for the failed
+        shard may be stale relative to the standby's state (anything
+        from the lost-unshipped window), so they are conservatively
+        marked INVALID and lazily refetched from the promoted owner.
+        """
+        owner = message.payload["owner"]
+        keys = [
+            key for key, record in self.dentries.scan()
+            if self.index.locate(key[0], key[1]) == owner
+            and record.state == VALID
+        ]
+        yield from self.apply_invalidation(keys)
+        self.respond(message, {"invalidated": len(keys)})
+
+    def _on_fsck_scan(self, message):
+        """Report every local inode entry for the coordinator's
+        post-failover reachability sweep."""
+        entries = [
+            {"key": list(key), "ino": record.ino, "is_dir": record.is_dir}
+            for key, record in self.inodes.scan()
+        ]
+        yield from self.execute(
+            self.costs.index_lookup_us + 0.02 * len(entries)
+        )
+        self.respond(
+            message, {"entries": entries},
+            size=self.costs.rpc_response_bytes + 32 * len(entries),
+        )
+
+    def _on_fsck_delete(self, message):
+        """Garbage-collect orphaned inodes (parent directory lost in a
+        failover's unshipped window)."""
+        keys = [tuple(key) for key in message.payload["keys"]]
+        txn = self._txn(ctx=message.ctx)
+        removed = []
+        for key in keys:
+            record = self.inodes.get(key)
+            if record is None:
+                continue
+            txn.delete(self.inodes, key)
+            if record.is_dir:
+                txn.delete(self.dentries, key)
+                self.inval_seq[("d",) + key] += 1
+            removed.append(key)
+        yield from self.execute(
+            self.costs.index_delete_us * max(1, len(removed))
+        )
+        if txn.write_count:
+            yield from txn.commit()
+        else:
+            txn.abort()
+        for key in removed:
+            self._track_name(key, -1)
+        self.metrics.counter("fsck_removed").inc(amount=len(removed))
+        self.respond(message, {"removed": len(removed)})
 
     # ------------------------------------------------------------------
     # control plane: replica maintenance

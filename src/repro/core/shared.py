@@ -41,6 +41,17 @@ class FalconConfig:
     #: Absolute per-operation deadline, microseconds (0 = no deadline).
     #: Enforced at every hop via the kernel's Interrupt machinery.
     op_deadline_us: float = 0.0
+    #: Per-RPC-attempt timeout, microseconds (0 = no per-attempt bound).
+    #: Required when faults are injected: a black-holed RPC to a crashed
+    #: node otherwise waits forever, and timeouts are what turn a crash
+    #: into a retry against the promoted replacement.
+    rpc_timeout_us: float = 0.0
+    #: Failure-detector heartbeat cadence and per-ping timeout,
+    #: microseconds, plus consecutive misses before a node is declared
+    #: dead.  The coordinator pings every MNode; see repro.faults.
+    heartbeat_interval_us: float = 500.0
+    heartbeat_timeout_us: float = 200.0
+    heartbeat_miss_threshold: int = 3
     #: Asynchronous log-shipping replication to per-MNode standbys (the
     #: evaluation runs with this disabled, like the paper's).
     replication: bool = False

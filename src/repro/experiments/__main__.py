@@ -18,6 +18,7 @@ from repro.experiments import (
     cache_sweep,
     corner_cases,
     data_path,
+    failover,
     labeling,
     load_balance,
     memory_budget,
@@ -54,6 +55,9 @@ EXPERIMENTS = {
     "fig16": (labeling, {}, {"num_tasks": 400, "threads": 128}),
     "fig17": (training, {},
               {"gpu_counts": (8, 32, 64), "num_files": 2500}),
+    "failover": (failover, {},
+                 {"threads": 6, "duration_us": 20000.0,
+                  "warm_us": 5000.0}),
     "sensitivity": (sensitivity, {}, {"num_ops": 600, "threads": 128}),
     "straggler": (straggler, {},
                   {"num_dirs": 16, "files_per_dir": 25, "threads": 96}),

@@ -1,0 +1,163 @@
+"""MNode crash + standby promotion: availability and the lost window.
+
+Not a paper figure — the paper's MNodes inherit PostgreSQL
+primary-standby replication (§4.3) but its evaluation never kills one.
+This experiment does: a seeded fault schedule crashes one MNode
+mid-workload, the coordinator's heartbeat detector declares it dead,
+promotes its standby into the cluster directory, and clients retry
+transparently onto the replacement.  Reported:
+
+* client op latency (p50/p99) before, during and after the failover,
+  plus the worst single-op stall;
+* the failover timeline: crash -> detection -> promotion -> repaired;
+* the lost-unshipped-transaction window — committed transactions the
+  asynchronous shipper had not replicated at the crash (equal to the
+  replication lag at that instant);
+* the recovered cluster's ``verify`` invariants (placement, replica
+  coherence, reachability, statistics).
+
+Everything is deterministic: the same seed yields the same crash time,
+victim, gap and lost window.
+"""
+
+from repro.core import FalconCluster, FalconConfig
+from repro.faults import FaultInjector
+from repro.metrics import percentile
+from repro.net.rpc import RpcFailure
+
+
+def measure(num_mnodes=4, num_storage=2, threads=12, num_dirs=4,
+            duration_us=30000.0, warm_us=8000.0, rpc_timeout_us=400.0,
+            seed=0):
+    """Run one crash-and-recover scenario; returns a result dict."""
+    cluster = FalconCluster(FalconConfig(
+        num_mnodes=num_mnodes, num_storage=num_storage, replication=True,
+        rpc_timeout_us=rpc_timeout_us, seed=seed,
+    ))
+    env = cluster.env
+    fs = cluster.fs()
+    for d in range(num_dirs):
+        fs.mkdir("/w{}".format(d))
+    cluster.run_for(5000.0)  # drain setup shipments
+
+    cluster.start_failure_detection()
+    injector = FaultInjector(cluster)
+    crash_at = env.now + warm_us
+    victim = injector.crash_mnode_at(crash_at)
+
+    client = cluster.add_client(mode="libfs")
+    end_at = env.now + duration_us
+    records = []
+
+    def worker(wid):
+        i = 0
+        last = None
+        while env.now < end_at:
+            if last is None or i % 2 == 0:
+                path = "/w{}/f{}-{}".format(wid % num_dirs, wid, i)
+                op = client.create(path, exclusive=False)
+                nxt = path
+            else:
+                op = client.getattr(last)
+                nxt = last
+            start = env.now
+            ok = True
+            try:
+                yield from op
+            except RpcFailure:
+                ok = False
+            records.append((start, env.now, ok))
+            last = nxt
+            i += 1
+
+    workers = [env.process(worker(w)) for w in range(threads)]
+    env.run(until=env.all_of(workers))
+    cluster.detector.stop()
+    cluster.run_for(20000.0)  # quiesce: shipments, invalidations
+
+    if not cluster.coordinator.failover_log:
+        raise RuntimeError("failover never completed (run too short?)")
+    failover = cluster.coordinator.failover_log[0]
+    detection = cluster.detector.log[0]
+    crash = cluster.crash_log[0]
+    verify = cluster.verify()
+
+    phases = {
+        "before": [r for r in records if r[1] < crash_at],
+        "during": [
+            r for r in records
+            if r[1] >= crash_at and r[0] <= failover["recovered_at"]
+        ],
+        "after": [r for r in records if r[0] > failover["recovered_at"]],
+    }
+    windows = {
+        "before": crash_at - (end_at - duration_us),
+        "during": failover["recovered_at"] - crash_at,
+        "after": end_at - failover["recovered_at"],
+    }
+    overlapping = [
+        end - start for start, end, _ in records
+        if start <= crash_at <= end
+    ]
+    return {
+        "phases": phases,
+        "windows": windows,
+        "victim": victim,
+        "crash_at_us": crash["at"],
+        "lag_at_crash": crash["lag_at_crash"],
+        "detection_us": detection["declared_at"] - crash["at"],
+        "gap_us": failover["recovered_at"] - crash["at"],
+        "max_stall_us": max(overlapping) if overlapping else 0.0,
+        "lost_txns": failover["lost_txns"],
+        "orphans_removed": failover["orphans_removed"],
+        "verify": "ok ({} inodes)".format(verify["inodes"]),
+        "cluster": cluster,
+    }
+
+
+def run(**kwargs):
+    result = measure(**kwargs)
+    rows = []
+    for phase in ("before", "during", "after"):
+        latencies = [end - start for start, end, _ in result["phases"][phase]]
+        errors = sum(1 for _, _, ok in result["phases"][phase] if not ok)
+        rows.append({
+            "kind": "phase",
+            "phase": phase,
+            "window_us": result["windows"][phase],
+            "ops": len(latencies),
+            "errors": errors,
+            "p50_us": percentile(latencies, 50) if latencies else 0.0,
+            "p99_us": percentile(latencies, 99) if latencies else 0.0,
+        })
+    rows.append({
+        "kind": "failover",
+        "victim": "mnode-{}".format(result["victim"]),
+        "crash_at_us": result["crash_at_us"],
+        "detection_us": result["detection_us"],
+        "gap_us": result["gap_us"],
+        "max_stall_us": result["max_stall_us"],
+        "lost_txns": result["lost_txns"],
+        "orphans_removed": result["orphans_removed"],
+        "verify": result["verify"],
+    })
+    return rows
+
+
+def format_rows(rows):
+    from repro.experiments.common import format_table
+
+    phase_rows = [r for r in rows if r.get("kind") == "phase"]
+    failover_rows = [r for r in rows if r.get("kind") == "failover"]
+    out = format_table(
+        phase_rows,
+        ["phase", "window_us", "ops", "errors", "p50_us", "p99_us"],
+        title="Client ops through an MNode crash",
+    )
+    out += "\n\n" + format_table(
+        failover_rows,
+        ["victim", "crash_at_us", "detection_us", "gap_us", "max_stall_us",
+         "lost_txns", "orphans_removed", "verify"],
+        title="Failover timeline (crash -> detect -> promote -> repair)",
+    )
+    return out

@@ -1,0 +1,103 @@
+"""Heartbeat failure detection on the coordinator.
+
+The coordinator periodically pings every MNode *slot* in the cluster
+directory with a per-ping timeout; a slot that misses
+``miss_threshold`` consecutive pings is declared dead and the
+``on_failure`` hook (normally the cluster's promote-and-repair path) is
+spawned for it.  Pinging slots rather than names means monitoring heals
+itself: once failover installs the promoted standby in the directory,
+the same slot resolves to the live replacement.
+
+Detection latency is therefore bounded by roughly
+``miss_threshold * interval + timeout`` — the availability-gap floor
+the failover experiment measures against.
+"""
+
+from collections import defaultdict
+
+from repro.net.rpc import RpcFailure
+from repro.obs import NULL_CONTEXT, deadline_call
+
+
+class FailureDetector:
+    """Coordinator-side heartbeat/lease monitor for the MNode ring."""
+
+    def __init__(self, coordinator, shared, on_failure=None,
+                 interval_us=None, timeout_us=None, miss_threshold=None):
+        cfg = shared.config
+        self.node = coordinator
+        self.shared = shared
+        self.env = coordinator.env
+        self.on_failure = on_failure
+        self.interval_us = (interval_us if interval_us is not None
+                            else cfg.heartbeat_interval_us)
+        self.timeout_us = (timeout_us if timeout_us is not None
+                           else cfg.heartbeat_timeout_us)
+        self.miss_threshold = (miss_threshold if miss_threshold is not None
+                               else cfg.heartbeat_miss_threshold)
+        #: Consecutive misses per slot index.
+        self.misses = defaultdict(int)
+        #: Slots declared dead and not yet recovered (not pinged).
+        self.declared = set()
+        #: Detection log: one record per declared failure.
+        self.log = []
+        self._running = False
+        self._proc = None
+
+    def start(self):
+        """Start the heartbeat loop; returns its process."""
+        if self._running:
+            return self._proc
+        self._running = True
+        self._proc = self.env.process(self._loop())
+        return self._proc
+
+    def stop(self):
+        """Ask the loop to exit at its next wakeup."""
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            yield self.env.timeout(self.interval_us)
+            if not self._running:
+                return
+            probes = [
+                self.env.process(self._ping(index))
+                for index in range(len(self.shared.mnode_names))
+                if index not in self.declared
+            ]
+            if probes:
+                yield self.env.all_of(probes)
+
+    def _ping(self, index):
+        target = self.shared.mnode_name(index)
+        try:
+            yield from deadline_call(
+                self.node, NULL_CONTEXT, target, "ping", {},
+                timeout_us=self.timeout_us,
+            )
+        except RpcFailure:
+            self.misses[index] += 1
+            if (self.misses[index] >= self.miss_threshold
+                    and index not in self.declared):
+                self._declare(index, target)
+        else:
+            self.misses[index] = 0
+
+    def _declare(self, index, target):
+        self.declared.add(index)
+        self.log.append({
+            "index": index, "name": target, "declared_at": self.env.now,
+            "misses": self.misses[index],
+        })
+        self.node.metrics.counter("failures_declared").inc()
+        if self.on_failure is not None:
+            self.env.process(self._recover(index))
+
+    def _recover(self, index):
+        result = yield from self.on_failure(index)
+        # The directory slot now resolves to the replacement; resume
+        # monitoring it.
+        self.misses[index] = 0
+        self.declared.discard(index)
+        return result

@@ -1,0 +1,118 @@
+"""Deterministic fault schedules driven by the simulation RNG.
+
+The injector turns "a node dies mid-run" into a reproducible experiment
+input: fault times and victims are either given explicitly or drawn from
+the cluster's seeded ``faults`` random stream, so the same seed yields
+the same crash at the same microsecond, every run.
+"""
+
+
+class FaultInjector:
+    """Schedules crashes, hangs and partitions on a cluster."""
+
+    def __init__(self, cluster, stream="faults"):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.rng = cluster.shared.streams.stream(stream)
+        #: Chronological log of injected fault events.
+        self.events = []
+
+    def _log(self, kind, target, **extra):
+        event = {"kind": kind, "target": target, "at": self.env.now}
+        event.update(extra)
+        self.events.append(event)
+        return event
+
+    def _at(self, time_us, thunk):
+        """Run ``thunk()`` at absolute sim time ``time_us``."""
+
+        def proc():
+            delay = time_us - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            thunk()
+
+        return self.env.process(proc())
+
+    # -- crashes ---------------------------------------------------------
+
+    def crash_mnode_at(self, time_us, index=None):
+        """Schedule an MNode crash; a random victim when ``index`` is
+        None.  Returns the victim index (known up front: the draw happens
+        at scheduling time so the schedule is part of the seed)."""
+        if index is None:
+            index = self.rng.randrange(len(self.cluster.mnodes))
+
+        def crash():
+            lag = self.cluster.crash_mnode(index)
+            self._log("crash", self.cluster.mnodes[index].name,
+                      index=index, lag_at_crash=lag)
+
+        self._at(time_us, crash)
+        return index
+
+    def crash_storage_at(self, time_us, index=None):
+        """Schedule a storage-node crash (black-holed, never recovered)."""
+        if index is None:
+            index = self.rng.randrange(len(self.cluster.storage))
+        name = self.cluster.storage[index].name
+
+        def crash():
+            self.cluster.network.set_down(name)
+            self._log("crash", name, index=index)
+
+        self._at(time_us, crash)
+        return index
+
+    # -- hangs -----------------------------------------------------------
+
+    def hang_at(self, time_us, name, duration_us):
+        """Schedule a transient hang: ``name`` is unreachable for
+        ``duration_us`` then comes back with its state intact (a GC
+        pause / network brown-out, not a crash)."""
+
+        def hang():
+            self.cluster.network.set_down(name)
+            self._log("hang", name, duration_us=duration_us)
+
+            def recover():
+                yield self.env.timeout(duration_us)
+                self.cluster.network.set_up(name)
+                self._log("unhang", name)
+
+            self.env.process(recover())
+
+        return self._at(time_us, hang)
+
+    # -- partitions ------------------------------------------------------
+
+    def partition_at(self, time_us, group_a, group_b, duration_us=None):
+        """Schedule a bidirectional partition between two node-name
+        groups; heals after ``duration_us`` if given, else persists."""
+        group_a = list(group_a)
+        group_b = list(group_b)
+
+        def split():
+            self.cluster.network.partition(group_a, group_b)
+            self._log("partition", "|".join(group_a) + "//"
+                      + "|".join(group_b), duration_us=duration_us)
+
+            if duration_us is not None:
+                def heal():
+                    yield self.env.timeout(duration_us)
+                    self.cluster.network.heal(group_a, group_b)
+                    self._log("heal", "|".join(group_a) + "//"
+                              + "|".join(group_b))
+
+                self.env.process(heal())
+
+        return self._at(time_us, split)
+
+    # -- randomized schedules -------------------------------------------
+
+    def crash_random_mnode_between(self, lo_us, hi_us):
+        """Crash one RNG-chosen MNode at an RNG-chosen time in
+        [lo_us, hi_us).  Returns ``(index, time_us)``."""
+        time_us = self.rng.uniform(lo_us, hi_us)
+        index = self.crash_mnode_at(time_us)
+        return index, time_us

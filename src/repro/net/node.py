@@ -77,18 +77,22 @@ class Node:
         return reply
 
     def respond(self, message, payload=None, size=None):
-        """Answer an RPC ``message`` successfully with ``payload``."""
+        """Answer an RPC ``message`` successfully with ``payload``.
+
+        The response hop goes through the :class:`~repro.net.transport.
+        Network`, so it shows up in network metrics and obeys the fault
+        model (a reply from a node that just crashed is black-holed).
+        """
         if message.reply_to is None:
             return
         if size is None:
             size = self.costs.rpc_response_bytes
-        delay = self.costs.hop_us(size)
         reply_to = message.reply_to
         ctx = message.ctx
+        start = self.env.now
 
-        def arrive(env=self.env, start=self.env.now):
-            yield env.timeout(delay)
-            if ctx is not None and ctx.tracer.enabled:
+        def deliver(env=self.env):
+            if ctx is not None and ctx.tracer.enabled and env.now > start:
                 ctx.record(
                     "net.response", CAT_NET, start, env.now,
                     node=message.sender,
@@ -96,23 +100,20 @@ class Node:
                 )
             reply_to.succeed(payload)
 
-        if message.sender == self.name:
-            reply_to.succeed(payload)
-        else:
-            self.env.process(arrive())
+        self.network.send_response(self.name, message, size, deliver)
         self.metrics.counter("responded").inc(message.kind)
 
     def respond_error(self, message, failure):
         """Answer an RPC ``message`` with a failure exception."""
         if message.reply_to is None:
             return
-        delay = self.costs.hop_us(self.costs.rpc_response_bytes)
+        size = self.costs.rpc_response_bytes
         reply_to = message.reply_to
         ctx = message.ctx
+        start = self.env.now
 
-        def arrive(env=self.env, start=self.env.now):
-            yield env.timeout(delay)
-            if ctx is not None and ctx.tracer.enabled:
+        def deliver(env=self.env):
+            if ctx is not None and ctx.tracer.enabled and env.now > start:
                 ctx.record(
                     "net.response", CAT_NET, start, env.now,
                     node=message.sender,
@@ -120,20 +121,33 @@ class Node:
                 )
             reply_to.fail(failure)
 
-        if message.sender == self.name:
-            reply_to.fail(failure)
-        else:
-            self.env.process(arrive())
+        self.network.send_response(self.name, message, size, deliver)
         self.metrics.counter("responded_error").inc(message.kind)
 
     # -- CPU -------------------------------------------------------------
+
+    def alive_barrier(self):
+        """Generator: park while this node is down (crashed or hung).
+
+        A crash never resumes it; a transient hang resumes it at
+        :meth:`~repro.net.transport.Network.set_up`.
+        """
+        while self.network.is_down(self.name):
+            yield self.network.resume_event(self.name)
 
     def execute(self, cost_us, ctx=None):
         """Consume ``cost_us`` of one CPU core (generator; yield from it).
 
         With a traced ``ctx``, records a ``cpu.wait`` span for time spent
         queued for a core and a ``cpu`` span for the busy slice itself.
+
+        A down node's CPU is frozen: execution parks on the network's
+        resume event, both before the slice and after it (so a handler
+        whose timer straddles the crash instant cannot run on and commit
+        a zombie transaction).  A crash never resumes; a transient hang
+        (:meth:`~repro.net.transport.Network.set_up`) does.
         """
+        yield from self.alive_barrier()
         traced = ctx is not None and ctx.tracer.enabled
         req = self.cpu.request()
         wait_start = self.env.now if (traced and not req.triggered) else None
@@ -148,5 +162,6 @@ class Node:
                 if traced:
                     ctx.record("cpu", CAT_CPU, start, self.env.now,
                                node=self.name)
+            yield from self.alive_barrier()
         finally:
             self.cpu.release(req)

@@ -5,6 +5,23 @@ divided by link bandwidth.  Link-level contention is not modeled — in the
 paper's metadata experiments the bottleneck is server CPU and WAL, and in
 the data experiments it is SSD bandwidth; both are modeled explicitly at
 the endpoints.
+
+Fault model
+-----------
+The fabric also owns the cluster's failure state: nodes can be marked
+*down* (crashed or hung) and node pairs can be *partitioned*.  A message
+whose sender or recipient is unreachable is **black-holed** — dropped
+silently, counted under the ``dropped`` counter — never answered with an
+error.  Reachability is re-checked at *arrival* time too, so a crash also
+loses the victim's in-flight messages (the kernel socket buffers die with
+the machine); that is what makes asynchronous replication's lost-window
+observable.  Callers survive black holes via the deadline/retry machinery
+(:mod:`repro.obs.retry`), not via transport-level failure signals.
+
+RPC responses take the same fabric path (:meth:`Network.send_response`),
+so response hops/bytes appear in network metrics (under the ``responses``
+/ ``response_bytes`` counters, keyed by the request kind) and a dead or
+partitioned responder cannot deliver a reply.
 """
 
 from repro.metrics import MetricsRegistry
@@ -24,6 +41,13 @@ class Network:
         self.costs = costs
         self.metrics = MetricsRegistry("network")
         self._nodes = {}
+        #: Names of nodes currently down (crashed or hung).
+        self._down = set()
+        #: Directed (src, dst) pairs currently partitioned.
+        self._blocked = set()
+        #: Per-down-node event fired by :meth:`set_up` — what a frozen
+        #: node's processes park on (see :meth:`resume_event`).
+        self._resume = {}
 
     def register(self, node):
         """Attach ``node`` to the fabric under its unique name."""
@@ -41,6 +65,61 @@ class Network:
     def nodes(self):
         return list(self._nodes.values())
 
+    # -- fault state -----------------------------------------------------
+
+    def set_down(self, name):
+        """Mark ``name`` down: all its traffic is black-holed from now on,
+        including messages already in flight to or from it, and its CPU
+        freezes (in-flight handlers park at their next execute slice
+        instead of committing zombie transactions after the crash)."""
+        self.node(name)  # validate
+        self._down.add(name)
+        if name not in self._resume:
+            self._resume[name] = self.env.event()
+
+    def set_up(self, name):
+        """Bring ``name`` back (a hang ending, not a state recovery):
+        traffic flows again and frozen processes resume where they were."""
+        self._down.discard(name)
+        event = self._resume.pop(name, None)
+        if event is not None:
+            event.succeed()
+
+    def is_down(self, name):
+        return name in self._down
+
+    def resume_event(self, name):
+        """The event a down node's frozen processes wait on; fires at
+        :meth:`set_up` (never, for a crash that is not recovered)."""
+        return self._resume.setdefault(name, self.env.event())
+
+    def partition(self, group_a, group_b):
+        """Block traffic (both directions) between the two node groups."""
+        for a in group_a:
+            for b in group_b:
+                self._blocked.add((a, b))
+                self._blocked.add((b, a))
+
+    def heal(self, group_a=None, group_b=None):
+        """Undo a partition; with no arguments, heal every partition."""
+        if group_a is None and group_b is None:
+            self._blocked.clear()
+            return
+        for a in group_a:
+            for b in group_b:
+                self._blocked.discard((a, b))
+                self._blocked.discard((b, a))
+
+    def reachable(self, src, dst):
+        """True when a message from ``src`` can currently reach ``dst``."""
+        return (src not in self._down and dst not in self._down
+                and (src, dst) not in self._blocked)
+
+    def _drop(self, message):
+        self.metrics.counter("dropped").inc(message.kind)
+
+    # -- sending ---------------------------------------------------------
+
     def send(self, message):
         """Put ``message`` on the wire; it arrives after one hop delay.
 
@@ -48,9 +127,16 @@ class Network:
         network and are delivered immediately; they are counted under the
         ``local`` label rather than the message kind, so per-kind counts
         equal actual network hops.
+
+        Unreachable messages (down endpoint, partition) are black-holed —
+        both at send time and again at arrival time, so a crash loses the
+        victim's in-flight traffic.
         """
         dst = self.node(message.recipient)
         message.send_time = self.env.now
+        if not self.reachable(message.sender, message.recipient):
+            self._drop(message)
+            return
         if message.sender == message.recipient:
             self.metrics.counter("messages").inc(LOCAL_LABEL)
             self.metrics.counter("bytes").inc(LOCAL_LABEL, message.size)
@@ -64,6 +150,9 @@ class Network:
 
         def arrive(env=self.env):
             yield env.timeout(delay)
+            if not self.reachable(message.sender, message.recipient):
+                self._drop(message)
+                return
             message.arrive_time = env.now
             if ctx is not None and ctx.tracer.enabled:
                 ctx.record(
@@ -75,10 +164,62 @@ class Network:
 
         self.env.process(arrive())
 
+    def send_response(self, responder, message, size, deliver):
+        """Model the response hop for an RPC ``message``.
+
+        ``deliver()`` is invoked when the response reaches the original
+        sender — after one hop delay, or immediately for a co-located
+        pair.  Response hops/bytes are accounted under the ``responses``
+        and ``response_bytes`` counters keyed by the *request* kind
+        (co-located responses under ``local``, mirroring requests), and
+        the hop obeys the fault model: a response from a crashed node, or
+        across a partition, is black-holed.
+        """
+        requester = message.sender
+        if not self.reachable(responder, requester):
+            self._drop(message)
+            return
+        if responder == requester:
+            self.metrics.counter("responses").inc(LOCAL_LABEL)
+            self.metrics.counter("response_bytes").inc(LOCAL_LABEL, size)
+            deliver()
+            return
+        self.metrics.counter("responses").inc(message.kind)
+        self.metrics.counter("response_bytes").inc(message.kind, size)
+        delay = self.costs.hop_us(size)
+
+        def arrive(env=self.env):
+            yield env.timeout(delay)
+            if not self.reachable(responder, requester):
+                self._drop(message)
+                return
+            deliver()
+
+        self.env.process(arrive())
+
+    # -- accounting ------------------------------------------------------
+
     def message_count(self, kind=None):
-        """Messages sent: network hops of ``kind``, or the grand total
-        (co-located deliveries included) when ``kind`` is ``None``."""
+        """Request messages sent: network hops of ``kind``, or the grand
+        total (co-located deliveries included) when ``kind`` is ``None``.
+        Response hops are counted separately — see :meth:`response_count`.
+        """
         counter = self.metrics.counter("messages")
+        if kind is None:
+            return counter.total()
+        return counter.get(kind)
+
+    def response_count(self, kind=None):
+        """Response deliveries, keyed by the request kind (or the grand
+        total when ``kind`` is ``None``)."""
+        counter = self.metrics.counter("responses")
+        if kind is None:
+            return counter.total()
+        return counter.get(kind)
+
+    def dropped_count(self, kind=None):
+        """Black-holed messages (down node or partition), by kind."""
+        counter = self.metrics.counter("dropped")
         if kind is None:
             return counter.total()
         return counter.get(kind)

@@ -14,7 +14,7 @@ The substrate every layer of the simulated cluster threads through:
 """
 
 from repro.obs.context import NULL_CONTEXT, OpContext
-from repro.obs.retry import RetryPolicy, deadline_call, retry
+from repro.obs.retry import RETRYABLE, RetryPolicy, deadline_call, retry
 from repro.obs.tracer import (
     CAT_CPU,
     CAT_DISK,
@@ -49,6 +49,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "OpContext",
+    "RETRYABLE",
     "RetryPolicy",
     "Span",
     "Tracer",

@@ -106,17 +106,29 @@ def retry(node, ctx, attempt_fn, policy=None, retryable=RETRYABLE):
     raise failure
 
 
-def deadline_call(node, ctx, target, kind, payload=None, size=None):
+def deadline_call(node, ctx, target, kind, payload=None, size=None,
+                  timeout_us=None):
     """Generator: one RPC from ``node`` to ``target`` under the
     context's deadline.  Returns the reply payload; raises
     ``RpcFailure(ETIMEDOUT)`` at the deadline (without waiting for the
     straggling reply, whose event is defused so a late error cannot
-    crash the run), or the responder's failure."""
+    crash the run), or the responder's failure.
+
+    ``timeout_us`` additionally bounds *this attempt*: the effective
+    budget is ``min(deadline remaining, timeout_us)``.  A per-attempt
+    timeout is what lets a retry loop survive a black-holed RPC (crashed
+    or partitioned peer) without burning the whole operation deadline on
+    a reply that will never come.
+    """
     env = node.env
-    if ctx.deadline is None:
+    if ctx.deadline is None and timeout_us is None:
         result = yield node.call(target, kind, payload, size, ctx=ctx)
         return result
-    remaining = ctx.deadline - env.now
+    remaining = float("inf")
+    if ctx.deadline is not None:
+        remaining = ctx.deadline - env.now
+    if timeout_us is not None:
+        remaining = min(remaining, timeout_us)
     if remaining <= 0:
         raise RpcFailure(
             RpcError.ETIMEDOUT, "{} to {} (not sent)".format(kind, target)

@@ -77,13 +77,20 @@ class LockManager:
         return grant
 
     def try_acquire(self, key, mode):
-        """Non-blocking acquire: a granted :class:`Grant` or ``None``."""
+        """Non-blocking acquire: a granted :class:`Grant` or ``None``.
+
+        A miss must not create state: only :meth:`release` prunes empty
+        ``_LockState`` entries, so inserting one on the failure path would
+        leak an entry per missed poll.
+        """
         state = self._locks.get(key)
-        if state is None:
+        fresh = state is None
+        if fresh:
             state = _LockState()
-            self._locks[key] = state
         if not self._grantable(state, mode):
             return None
+        if fresh:
+            self._locks[key] = state
         grant = Grant(key, mode, self.env.event())
         self._grant(state, grant)
         return grant

@@ -32,6 +32,10 @@ class LogShipper:
         self.standby_name = standby_name
         self.next_lsn = 1
         self.shipped_records = 0
+        #: (lsn, [(table, key), ...]) per shipped transaction — the
+        #: primary's WAL index.  After a crash, the entries above the
+        #: standby's applied LSN are exactly the lost-unshipped window.
+        self.history = []
 
     def ship(self, txn):
         """Ship one committed transaction's writes (fire-and-forget;
@@ -42,6 +46,9 @@ class LogShipper:
         lsn = self.next_lsn
         self.next_lsn += 1
         self.shipped_records += len(records)
+        self.history.append(
+            (lsn, [(table, key) for table, key, _ in records])
+        )
         self.node.send(
             self.standby_name, "wal_ship",
             {"lsn": lsn, "records": records},

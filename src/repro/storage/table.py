@@ -66,13 +66,20 @@ class Transaction:
     ``on_commit`` (optional) is invoked with the transaction after its
     writes are applied — the hook log-shipping replication uses to ship
     committed records to a standby.
+
+    ``barrier`` (optional) is a generator function run after WAL
+    durability but before the writes are applied — the hook a node uses
+    to freeze a commit whose fsync wait straddled a crash, so a dead
+    machine cannot apply zombie writes.
     """
 
-    def __init__(self, env, wal, costs, on_commit=None, ctx=None):
+    def __init__(self, env, wal, costs, on_commit=None, ctx=None,
+                 barrier=None):
         self.env = env
         self.wal = wal
         self.costs = costs
         self.on_commit = on_commit
+        self.barrier = barrier
         #: Operation (or batch) context the WAL commit is attributed to.
         self.ctx = ctx
         self._writes = {}
@@ -109,6 +116,8 @@ class Transaction:
         if records:
             nbytes = records * self.costs.wal_record_bytes
             yield self.wal.commit(nbytes, records=records, ctx=self.ctx)
+        if self.barrier is not None:
+            yield from self.barrier()
         for table, bucket in self._writes.values():
             for key, value in bucket.items():
                 if value is _DELETED:

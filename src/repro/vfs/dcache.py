@@ -72,8 +72,13 @@ class DentryCache:
         """Like lookup but without touching LRU order or hit stats."""
         return self._entries.get((parent_ino, name))
 
-    def insert(self, parent_ino, name, attrs, pinned=False, cold=False):
+    def insert(self, parent_ino, name, attrs, pinned=None, cold=False):
         """Insert or replace an entry; reclaims LRU entries if over budget.
+
+        ``pinned=None`` (the default) preserves an existing entry's pin —
+        a refresh of a pinned entry must not make it evictable; new
+        entries default to unpinned.  Pass an explicit boolean to set the
+        pin either way.
 
         ``cold`` inserts at the LRU end (evicted first) — used for
         accessed-once file entries so they do not displace the directory
@@ -81,6 +86,9 @@ class DentryCache:
         do for scans).
         """
         key = (parent_ino, name)
+        if pinned is None:
+            existing = self._entries.get(key)
+            pinned = existing.pinned if existing is not None else False
         entry = CacheEntry(parent_ino, name, attrs, pinned)
         self._entries[key] = entry
         self._entries.move_to_end(key, last=not cold)

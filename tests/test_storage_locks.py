@@ -85,6 +85,40 @@ def test_try_acquire(locks):
     assert grant is not None and grant.granted
 
 
+def test_try_acquire_miss_leaves_no_state(locks):
+    """A failed non-blocking acquire must not materialize lock state:
+    only release() prunes entries, so a miss that inserted an empty
+    ``_LockState`` would leak it forever (the dict grew unboundedly
+    under polling).  Force the miss outcome for fresh keys to exercise
+    the failure path regardless of grant policy."""
+    locks._grantable = lambda state, mode: False
+    for i in range(50):
+        assert locks.try_acquire(("fresh", i), LockMode.SHARED) is None
+    assert not locks._locks
+
+
+def test_try_acquire_contended_key_leaves_no_extra_state(locks):
+    """Misses against a held key reuse its state and add nothing."""
+    held = locks.acquire("k", LockMode.EXCLUSIVE)
+    for _ in range(50):
+        assert locks.try_acquire("k", LockMode.SHARED) is None
+    assert set(locks._locks) == {"k"}
+    locks.release(held)
+    assert not locks._locks
+
+
+def test_try_acquire_polling_many_contended_keys(locks):
+    """Polling across many keys held elsewhere accumulates nothing."""
+    held = [locks.acquire(("d", i), LockMode.EXCLUSIVE) for i in range(8)]
+    for _ in range(10):
+        for i in range(8):
+            assert locks.try_acquire(("d", i), LockMode.EXCLUSIVE) is None
+    assert len(locks._locks) == 8
+    for grant in held:
+        locks.release(grant)
+    assert not locks._locks
+
+
 def test_independent_keys(locks):
     a = locks.acquire("a", LockMode.EXCLUSIVE)
     b = locks.acquire("b", LockMode.EXCLUSIVE)

@@ -127,6 +127,27 @@ class TestDentryCache:
             cache.insert(ROOT_INO, "d{}".format(i), _attrs(i + 2))
         assert cache.peek(ROOT_INO, "pin") is not None
 
+    def test_reinsert_preserves_pin(self):
+        """A default-args refresh of a pinned entry must keep the pin —
+        unpinning on re-insert let the root-directory working set be
+        evicted after a refresh."""
+        cache = DentryCache(budget_bytes=2 * DENTRY_CACHE_COST_BYTES)
+        cache.insert(ROOT_INO, "pin", _attrs(1, is_dir=True), pinned=True)
+        # Refresh with new attrs, default pinned argument.
+        entry = cache.insert(ROOT_INO, "pin", _attrs(1, is_dir=True))
+        assert entry.pinned
+        for i in range(10):
+            cache.insert(ROOT_INO, "d{}".format(i), _attrs(i + 2))
+        assert cache.peek(ROOT_INO, "pin") is not None
+
+    def test_reinsert_explicit_unpin(self):
+        """An explicit ``pinned=False`` still clears the pin."""
+        cache = DentryCache()
+        cache.insert(ROOT_INO, "pin", _attrs(1, is_dir=True), pinned=True)
+        entry = cache.insert(ROOT_INO, "pin", _attrs(1, is_dir=True),
+                             pinned=False)
+        assert not entry.pinned
+
     def test_cold_insertion_evicted_first(self):
         cache = DentryCache(budget_bytes=3 * DENTRY_CACHE_COST_BYTES)
         cache.insert(ROOT_INO, "hot1", _attrs(1, is_dir=True))
