@@ -65,6 +65,10 @@ class FalconCluster:
         #: Dead primaries kept for post-mortem inspection (tests compare
         #: their tables against the promoted standby's).
         self.retired_mnodes = []
+        #: slot index -> crashed-and-not-yet-restarted node object.
+        self._crashed = {}
+        #: One record per completed crash-restart — see restart_mnode.
+        self.restart_log = []
         #: Active heartbeat failure detector, if started.
         self.detector = None
         self._promotions = 0
@@ -128,16 +132,20 @@ class FalconCluster:
 
     def crash_mnode(self, index):
         """Kill MNode ``index``: every message to or from it (including
-        in-flight WAL shipments) is black-holed from now on.  Returns the
-        replication lag at the instant of the crash — the
-        committed-but-unshipped transaction count that a later promotion
-        will lose."""
+        in-flight WAL shipments) is black-holed from now on, and its WAL
+        power-fails — an fsync in flight becomes a torn tail and its
+        waiters are never acknowledged.  Returns the replication lag at
+        the instant of the crash — the committed-but-unshipped
+        transaction count that a later promotion will lose (a later
+        *restart* loses only the unfsynced tail)."""
         mnode = self.mnodes[index]
         lag = 0
         if (mnode.shipper is not None and index < len(self.standbys)
                 and self.standbys[index] is not None):
             lag = self.standbys[index].lag(mnode.shipper)
         self.network.set_down(mnode.name)
+        mnode.wal.power_fail()
+        self._crashed[index] = mnode
         self.crash_log.append({
             "index": index, "name": mnode.name, "at": self.env.now,
             "lag_at_crash": lag,
@@ -153,8 +161,6 @@ class FalconCluster:
         server that re-resolves the slot reaches the promoted node.
         Returns ``(new_node, lost_txns)``.
         """
-        from repro.core.records import VALID
-
         if index >= len(self.standbys) or self.standbys[index] is None:
             raise RuntimeError(
                 "MNode {} has no standby to promote".format(index)
@@ -175,14 +181,43 @@ class FalconCluster:
             node.inodes = tables["inode"]
         if "dentry" in tables:
             node.dentries = tables["dentry"]
-        # promote_tables conservatively invalidated every dentry, but
-        # the promoted node *owns* its shard: for owned directories the
-        # authoritative inode sits in the same tables, so their dentries
-        # are rebuilt from it (an owner treats INVALID as gone and would
-        # otherwise delete its own namespace).  Non-owned replicas stay
-        # INVALID and are lazily refetched.
+        self._rebuild_owned_state(node)
+        # Base-backup the installed tables into the promoted node's WAL
+        # so the new primary is itself restartable: a later crash
+        # redo-replays this base image plus whatever it commits on top.
+        node.wal.bootstrap(
+            [[("inode", key, record.copy())]
+             for key, record in node.inodes.scan()]
+            + [[("dentry", key, record.copy())]
+               for key, record in node.dentries.scan()]
+        )
+        self.mnodes[index] = node
+        # The dead original can never be resumed in place now that the
+        # slot moved on; if it restarts it rejoins as a standby.  Halt it
+        # so its frozen handlers stay dead if its *name* is reincarnated.
+        old.halted = True
+        self.retired_mnodes.append(old)
+        self.standbys[index] = None
+        return node, lost_txns
+
+    def _rebuild_owned_state(self, node):
+        """State surgery after installing tables into a fresh MNode
+        (promotion or redo recovery): revalidate owned dentries from the
+        authoritative inodes, conservatively invalidate non-owned
+        replicas, rebuild load-balancer statistics and copy in the
+        coordinator's exception table.
+
+        Owned directories' dentries are rebuilt from the inode table
+        sitting alongside them (an owner treats INVALID as gone and
+        would otherwise delete its own namespace); non-owned replicas
+        may have missed invalidation broadcasts while the node was dead,
+        so they are marked INVALID and lazily refetched.
+        """
+        from repro.core.records import INVALID, VALID
+
         for key, record in list(node.dentries.scan()):
             if not node._owns_dentry(key):
+                record.state = INVALID
                 continue
             inode = node.inodes.get(key)
             if inode is None or not inode.is_dir:
@@ -193,7 +228,6 @@ class FalconCluster:
             record.uid = inode.uid
             record.gid = inode.gid
             record.state = VALID
-        # Rebuild the load-balancer statistics from the inode table.
         for key, _ in node.inodes.scan():
             node._track_name(key, +1)
         # The coordinator's exception table is authoritative; copy it in
@@ -202,10 +236,119 @@ class FalconCluster:
         node.xt.version = xt.version
         node.xt.pathwalk = set(xt.pathwalk)
         node.xt.override = dict(xt.override)
+
+    def restart_mnode(self, index):
+        """Generator: restart the crashed former occupant of slot
+        ``index`` from its durable WAL.
+
+        Redo-replays the fsynced log prefix (truncating at the first
+        torn or corrupted record), then either
+
+        * **resumes as primary** — the failure detector has not promoted
+          anyone, so the rebuilt node re-registers under its own name
+          and slot, reconciles with its standby (queries the applied
+          LSN, re-ships the durable delta the standby missed), or
+        * **rejoins as standby** — a promoted node owns the slot; the
+          restarted machine becomes its fresh standby and catches up via
+          snapshot + log-shipping delta.
+
+        Returns the restart record (also appended to ``restart_log``).
+        """
+        old = self._crashed.pop(index, None)
+        if old is None:
+            raise RuntimeError(
+                "MNode slot {} has no crashed node to restart".format(index)
+            )
+        started_at = self.env.now
+        payloads, torn = old.wal.replay()
+        # Reboot + redo take real time; the node serves nothing meanwhile.
+        yield self.env.timeout(
+            self.costs.wal_fsync_us
+            + self.costs.wal_replay_us_per_record * len(payloads)
+        )
+        # The old incarnation is retired for good: its frozen handler
+        # processes must stay dead once the name is reachable again.
+        old.halted = True
+        promoted_away = self.shared.mnode_names[index] != old.name
+        if promoted_away:
+            role = "standby"
+            node = yield from self._rejoin_standby(index, old)
+        else:
+            role = "primary"
+            node = yield from self._resume_primary(index, old, payloads)
+        if self.detector is not None:
+            self.detector.node_restarted(index)
+        record = {
+            "index": index, "name": node.name, "role": role,
+            "restarted_at": started_at, "recovered_at": self.env.now,
+            "recovery_us": self.env.now - started_at,
+            "replayed_txns": len(payloads), "torn_records": torn,
+        }
+        self.restart_log.append(record)
+        return record
+
+    def _resume_primary(self, index, old, payloads):
+        """Generator: rebuild the crashed node from its durable WAL and
+        re-install it under its own name and slot, then reconcile log
+        shipping with the surviving standby."""
+        self.network.reincarnate(old.name)
+        node = MNode(self.env, self.network, self.shared, index)
+        tables = {"inode": node.inodes, "dentry": node.dentries}
+        for _, payload in payloads:
+            if not payload:
+                continue
+            for table_name, key, value in payload:
+                table = tables[table_name]
+                if value is None:
+                    table.delete(key)
+                else:
+                    table.put(key, value.copy())
+        node.wal.bootstrap([payload for _, payload in payloads])
+        self._rebuild_owned_state(node)
         self.mnodes[index] = node
         self.retired_mnodes.append(old)
-        self.standbys[index] = None
-        return node, lost_txns
+        standby = (self.standbys[index] if index < len(self.standbys)
+                   else None)
+        if standby is not None and old.shipper is not None:
+            # Map durable WAL records back onto shipping LSNs: every
+            # replicable transaction after the old ship anchor occupied
+            # one LSN, starting at the old base.  Whatever the standby
+            # has not applied is the durable-but-unshipped window —
+            # exactly what a promotion would have lost; re-ship it.
+            anchor, base = old._ship_anchor, old._ship_base
+            shippable = [payload for lsn, payload in payloads
+                         if lsn > anchor and payload]
+            node.attach_standby(
+                standby.name, start_lsn=base + len(shippable),
+                anchor=anchor, base=base,
+            )
+            reply = yield node.call(standby.name, "applied_query", {})
+            applied = reply["applied_lsn"]
+            # Only the suffix past the standby's applied LSN is
+            # outstanding; acked state reflects that, not the ctor's
+            # fresh-shipper assumption.
+            node.shipper.acked_lsn = applied
+            for lsn, payload in enumerate(shippable, start=base):
+                if lsn > applied:
+                    node.shipper.ship_payload(payload, lsn=lsn)
+        return node
+
+    def _rejoin_standby(self, index, old):
+        """Generator: a promoted node owns the slot, so the restarted
+        machine rejoins as its fresh standby — attach shipping first
+        (commits from here on arrive as ordered deltas), then install a
+        snapshot that the delta stream seamlessly extends."""
+        from repro.storage.replication import Standby
+
+        self.network.reincarnate(old.name)
+        standby = Standby(self.env, self.network, old.name)
+        primary = self.mnodes[index]
+        primary.attach_standby(standby.name)
+        self.standbys[index] = standby
+        # ``old`` is already in retired_mnodes: the promotion put it
+        # there when it took over the slot.
+        yield from standby.catch_up(primary.name)
+        return standby
 
     def fail_over(self, index):
         """Generator: the full recovery path for a dead MNode — promote
@@ -291,6 +434,10 @@ class FalconCluster:
                                               mode=0o755))
             owner._track_name(key, +1)
             self._bulk_standby(owner, key, owner.inodes.get(key), True)
+            owner.wal.bootstrap([[
+                ("inode", key, owner.inodes.get(key).copy()),
+                ("dentry", key, DentryRecord(ino=ino, mode=0o755)),
+            ]])
             if replicate_dentries:
                 for mnode in self.mnodes:
                     mnode.dentries.put(key, DentryRecord(ino=ino,
@@ -308,7 +455,15 @@ class FalconCluster:
                                               size=size))
             owner._track_name(key, +1)
             self._bulk_standby(owner, key, owner.inodes.get(key), False)
+            owner.wal.bootstrap([[
+                ("inode", key, owner.inodes.get(key).copy()),
+            ]])
             path_ino[fpath] = ino
+        # Bulk records reached the standbys by direct mirroring, not log
+        # shipping; advance each ship anchor past them so a restart never
+        # tries to re-ship the preloaded dataset.
+        for mnode in self.mnodes:
+            mnode._ship_anchor = mnode.wal.appended_txns
         return path_ino
 
     def _bulk_standby(self, owner, key, record, is_dir):

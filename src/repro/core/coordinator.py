@@ -286,9 +286,32 @@ class Coordinator(NamespaceReplicaMixin, Node):
         coordinator does the same on its own replica, and an fsck sweep
         garbage-collects inodes orphaned by the lost window (a child
         created on a survivor whose parent directory died unshipped).
+
+        If the slot is answering again by the time this runs — the
+        crashed node redo-replayed its durable WAL and resumed before
+        promotion could begin — the promotion is **suppressed**: the
+        recovered primary holds every fsynced transaction, strictly more
+        than its standby, so replacing it would manufacture data loss.
         """
         detected_at = self.env.now
         failed_name = self.shared.mnode_name(index)
+        if not self.network.is_down(failed_name):
+            # Redo won the race: the restarted node already owns the
+            # slot with its durable state intact.
+            record = {
+                "index": index,
+                "failed": failed_name,
+                "promoted": failed_name,
+                "suppressed": True,
+                "detected_at": detected_at,
+                "promoted_at": self.env.now,
+                "recovered_at": self.env.now,
+                "lost_txns": 0,
+                "orphans_removed": 0,
+            }
+            self.failover_log.append(record)
+            self.metrics.counter("failovers_suppressed").inc()
+            return record
         new_node, lost_txns = promote(index)
         promoted_at = self.env.now
         survivors = [

@@ -101,6 +101,13 @@ class MNode(NamespaceReplicaMixin, Node):
         self._staged = {}
         #: Log shipper when primary-standby replication is enabled.
         self.shipper = None
+        #: Ship-LSN origin within the WAL: (wal txn count at the lsn-space
+        #: origin, first ship lsn after it).  Lets a restart map durable
+        #: WAL records back onto shipping LSNs — records at or before the
+        #: anchor reached the standby out of band (snapshot / bulk load)
+        #: and are never re-shipped.
+        self._ship_anchor = 0
+        self._ship_base = 1
         cfg = shared.config
         self.pool = WorkerPool(
             env, self._execute_batch, workers=cfg.server_cores,
@@ -130,16 +137,35 @@ class MNode(NamespaceReplicaMixin, Node):
     def _owns_dentry(self, key):
         return self.index.locate(key[0], key[1]) == self.my_index
 
-    def attach_standby(self, standby_name):
+    def attach_standby(self, standby_name, start_lsn=1, anchor=None,
+                       base=None):
+        """Point log shipping at ``standby_name``.
+
+        ``anchor``/``base`` pin the ship-LSN origin for a *resumed*
+        shipper (crash-restart); by default the origin is "now": WAL
+        transactions already appended are assumed covered out of band
+        (initial empty log, or a snapshot the standby just installed).
+        """
         from repro.storage.replication import LogShipper
 
-        self.shipper = LogShipper(self, standby_name)
+        self.shipper = LogShipper(self, standby_name, start_lsn=start_lsn)
+        self._ship_anchor = (self.wal.appended_txns if anchor is None
+                             else anchor)
+        self._ship_base = start_lsn if base is None else base
 
     def _txn(self, ctx=None):
-        on_commit = self.shipper.ship if self.shipper else None
         return Transaction(self.env, self.wal, self.costs,
-                           on_commit=on_commit, ctx=ctx,
+                           on_commit=self._ship_committed, ctx=ctx,
                            barrier=self.alive_barrier)
+
+    def _ship_committed(self, txn):
+        # Resolved at commit time, not transaction creation: a standby
+        # attached mid-flight (rejoin after a crash-restart) must see
+        # every transaction that commits after the attach, or a commit
+        # racing the attach would be neither shipped nor in the
+        # snapshot its catch-up installs.
+        if self.shipper is not None:
+            self.shipper.ship(txn)
 
     # ------------------------------------------------------------------
     # batch execution (concurrent request merging, §4.4)
@@ -619,6 +645,42 @@ class MNode(NamespaceReplicaMixin, Node):
         detector's per-ping timeout is what turns death into a signal."""
         yield from self.execute(self.costs.dispatch_us)
         self.respond(message, {"ok": True, "index": self.my_index})
+
+    def _on_wal_ack(self, message):
+        """Standby applied-LSN acknowledgement: prune the shipper's
+        retained history down to the unacknowledged suffix."""
+        if (self.shipper is not None
+                and message.sender == self.shipper.standby_name):
+            self.shipper.acknowledge(message.payload["applied_lsn"])
+        return
+        yield  # pragma: no cover
+
+    def _on_snapshot(self, message):
+        """Base-backup fetch for a (re)joining standby: a copy of the
+        replicated tables plus the shipping LSN the copy reflects.  The
+        shipper must already point at the requester, so commits after
+        this instant arrive as ordered log-shipping deltas the snapshot
+        does not cover."""
+        entries = {
+            "inode": [(key, record.copy())
+                      for key, record in self.inodes.scan()],
+            "dentry": [(key, record.copy())
+                       for key, record in self.dentries.scan()],
+        }
+        # The LSN must be read at the same instant as the table copy:
+        # transactions committing while the copy cost elapses below are
+        # not in the snapshot and must stay above its LSN so the standby
+        # keeps (rather than drops) their buffered deltas.
+        lsn = self.shipper.next_lsn - 1 if self.shipper is not None else 0
+        count = sum(len(rows) for rows in entries.values())
+        yield from self.execute(
+            self.costs.index_lookup_us + 0.02 * count, ctx=message.ctx
+        )
+        self.respond(
+            message, {"tables": entries, "lsn": lsn},
+            size=self.costs.rpc_response_bytes
+            + self.costs.wal_record_bytes * count,
+        )
 
     def _on_invalidate_owner(self, message):
         """Invalidate every replica dentry owned by a failed MNode shard.

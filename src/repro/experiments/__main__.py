@@ -24,6 +24,7 @@ from repro.experiments import (
     memory_budget,
     metadata_latency,
     metadata_scaling,
+    restart,
     sensitivity,
     straggler,
     training,
@@ -58,6 +59,9 @@ EXPERIMENTS = {
     "failover": (failover, {},
                  {"threads": 6, "duration_us": 20000.0,
                   "warm_us": 5000.0}),
+    "restart": (restart, {},
+                {"seeds": (0,), "threads": 6, "duration_us": 20000.0,
+                 "warm_us": 5000.0}),
     "sensitivity": (sensitivity, {}, {"num_ops": 600, "threads": 128}),
     "straggler": (straggler, {},
                   {"num_dirs": 16, "files_per_dir": 25, "threads": 96}),

@@ -96,8 +96,18 @@ class FailureDetector:
 
     def _recover(self, index):
         result = yield from self.on_failure(index)
-        # The directory slot now resolves to the replacement; resume
-        # monitoring it.
+        # The directory slot now resolves to the replacement (or to the
+        # redo-recovered original, when restart won the race and the
+        # failover was suppressed); resume monitoring it.
         self.misses[index] = 0
         self.declared.discard(index)
         return result
+
+    def node_restarted(self, index):
+        """A crashed node redo-recovered and re-registered under its
+        slot.  Pending misses are forgiven immediately so a declaration
+        does not fire on stale evidence; a slot already declared keeps
+        its in-flight recovery, whose promotion the coordinator
+        suppresses on arrival when it finds the slot answering again.
+        """
+        self.misses[index] = 0

@@ -64,6 +64,62 @@ class FaultInjector:
         self._at(time_us, crash)
         return index
 
+    # -- restarts --------------------------------------------------------
+
+    def restart_mnode_at(self, time_us, index):
+        """Schedule a crash-restart of slot ``index``'s dead former
+        occupant: redo-replay its durable WAL and either resume it as
+        primary (no promotion happened yet) or rejoin it as a fresh
+        standby catching up from the promoted primary.  The restart is a
+        process (replay and catch-up take simulated time); its outcome
+        record lands in ``cluster.restart_log``."""
+
+        def restart():
+            def proc():
+                record = yield from self.cluster.restart_mnode(index)
+                self._log("restart", record["name"], index=index,
+                          role=record["role"],
+                          replayed_txns=record["replayed_txns"],
+                          torn_records=record["torn_records"])
+
+            self.env.process(proc())
+
+        return self._at(time_us, restart)
+
+    # -- disk corruption -------------------------------------------------
+
+    def corrupt_wal_at(self, time_us, index=None, lsn=None):
+        """Schedule silent disk corruption of one durable WAL record on
+        MNode ``index`` (a random victim when None).  The damage is only
+        observable at restart: redo verification fails the record's
+        checksum and truncates replay there, so everything behind it is
+        lost even though it was fsynced.  ``lsn`` picks the record
+        (a random durable one when None — drawn at *fire* time, since
+        the log's length is not known at scheduling time)."""
+        if index is None:
+            index = self.rng.randrange(len(self.cluster.mnodes))
+
+        def corrupt():
+            wal = self.cluster.mnodes[index].wal
+            target = lsn
+            if target is None:
+                if wal.durable_lsn == 0:
+                    self._log("corrupt_wal_noop",
+                              self.cluster.mnodes[index].name, index=index)
+                    return
+                target = self.rng.randint(1, wal.durable_lsn)
+            for segment in wal.segments:
+                for record in segment.records:
+                    if record.lsn == target:
+                        record.corrupt()
+                        self._log("corrupt_wal",
+                                  self.cluster.mnodes[index].name,
+                                  index=index, lsn=target)
+                        return
+
+        self._at(time_us, corrupt)
+        return index
+
     # -- hangs -----------------------------------------------------------
 
     def hang_at(self, time_us, name, duration_us):

@@ -54,6 +54,10 @@ class CostModel:
     wal_us_per_byte: float = 0.002
     #: Log record payload per metadata mutation.
     wal_record_bytes: int = 160
+    #: Segment rotation threshold for the durable log.
+    wal_segment_bytes: int = 1 << 20
+    #: Redo cost per replayed WAL record at restart (read + index apply).
+    wal_replay_us_per_record: float = 0.5
 
     # -- client --------------------------------------------------------
     #: Client-side per-operation overhead (syscall + marshaling).

@@ -25,6 +25,11 @@ class Node:
         self.cpu = Resource(env, capacity=cores or network.costs.server_cores)
         self.inbox = Store(env)
         self.metrics = MetricsRegistry(name)
+        #: Set when this incarnation is retired (crashed and replaced by
+        #: a restarted instance under the same name): its in-flight
+        #: handlers park forever instead of resuming once the *name*
+        #: becomes reachable again.
+        self.halted = False
         network.register(self)
 
     def __repr__(self):
@@ -130,9 +135,16 @@ class Node:
         """Generator: park while this node is down (crashed or hung).
 
         A crash never resumes it; a transient hang resumes it at
-        :meth:`~repro.net.transport.Network.set_up`.
+        :meth:`~repro.net.transport.Network.set_up`.  A *retired*
+        incarnation (``halted`` — the machine restarted and a fresh node
+        object took over the name) parks forever: its processes died
+        with it, and must not run on just because the name is reachable
+        again.
         """
-        while self.network.is_down(self.name):
+        while self.halted or self.network.is_down(self.name):
+            if self.halted:
+                yield self.env.event()
+                continue
             yield self.network.resume_event(self.name)
 
     def execute(self, cost_us, ctx=None):

@@ -85,6 +85,26 @@ class Network:
         if event is not None:
             event.succeed()
 
+    def reincarnate(self, name):
+        """Prepare ``name`` for a restarted incarnation after a crash.
+
+        A restart is not a hang ending: the crashed process is gone, so
+        its registration is dropped and its frozen handlers are
+        *abandoned* — the resume event is discarded without firing, so
+        anything parked on it stays parked forever and can never apply
+        zombie writes or answer with the dead incarnation's state.  The
+        caller then registers the new node object under the same name,
+        and traffic flows to the fresh incarnation.
+        """
+        if name not in self._down:
+            raise SimulationError(
+                "cannot reincarnate {}: not down".format(name)
+            )
+        self.node(name)  # validate registration exists
+        del self._nodes[name]
+        self._resume.pop(name, None)
+        self._down.discard(name)
+
     def is_down(self, name):
         return name in self._down
 

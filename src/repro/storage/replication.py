@@ -8,8 +8,16 @@ implements asynchronous log shipping:
 * every committed transaction on a primary exports its logical records
   (table, key, new value or tombstone) and ships them to the standby in
   commit order;
-* the standby applies records in order, tracks its applied LSN, and
-  exposes replication lag;
+* the standby applies records in order, tracks its applied LSN, exposes
+  replication lag, and acknowledges its applied LSN back to the primary
+  (``wal_ack``), which prunes the acknowledged prefix of its shipping
+  history — retention is bounded by the unacked suffix, not the run
+  length;
+* a standby can also **catch up from scratch** (:meth:`Standby.catch_up`):
+  it fetches a snapshot of the primary's tables, installs it, fast-
+  forwards its applied LSN to the snapshot point and then drains the
+  buffered log-shipping delta — the rejoin path a redo-recovered node
+  takes after a promotion already replaced it;
 * :func:`divergence` compares a primary's tables against its standby for
   convergence checking (used by tests and by operators after drain).
 
@@ -27,24 +35,34 @@ from repro.storage.table import Table
 class LogShipper:
     """Primary-side hook: serialize committed writes to the standby."""
 
-    def __init__(self, node, standby_name):
+    def __init__(self, node, standby_name, start_lsn=1):
         self.node = node
         self.standby_name = standby_name
-        self.next_lsn = 1
+        self.next_lsn = start_lsn
+        #: Highest LSN the standby has acknowledged applying.
+        self.acked_lsn = start_lsn - 1
         self.shipped_records = 0
-        #: (lsn, [(table, key), ...]) per shipped transaction — the
-        #: primary's WAL index.  After a crash, the entries above the
-        #: standby's applied LSN are exactly the lost-unshipped window.
+        #: (lsn, [(table, key), ...]) per shipped-but-unacknowledged
+        #: transaction — the retained suffix of the primary's shipping
+        #: index.  Acknowledged entries are pruned (bounded retention);
+        #: after a crash, the entries above the standby's applied LSN
+        #: are exactly the lost-unshipped window.
         self.history = []
 
     def ship(self, txn):
         """Ship one committed transaction's writes (fire-and-forget;
         asynchronous replication does not delay the commit path)."""
-        records = txn.export_writes()
+        self.ship_payload(txn.export_writes())
+
+    def ship_payload(self, records, lsn=None):
+        """Ship a logical record list; assigns the next LSN unless a
+        re-ship ``lsn`` is given (restart catch-up resends the durable
+        suffix the standby missed under its original LSNs)."""
         if not records:
-            return
-        lsn = self.next_lsn
-        self.next_lsn += 1
+            return None
+        if lsn is None:
+            lsn = self.next_lsn
+            self.next_lsn += 1
         self.shipped_records += len(records)
         self.history.append(
             (lsn, [(table, key) for table, key, _ in records])
@@ -55,6 +73,22 @@ class LogShipper:
             size=self.node.costs.rpc_request_bytes
             + self.node.costs.wal_record_bytes * len(records),
         )
+        return lsn
+
+    def acknowledge(self, applied_lsn):
+        """Consume a standby ack: prune history up to ``applied_lsn``,
+        keeping only the unacknowledged suffix."""
+        if applied_lsn <= self.acked_lsn:
+            return
+        self.acked_lsn = applied_lsn
+        self.history = [
+            entry for entry in self.history if entry[0] > applied_lsn
+        ]
+
+    @property
+    def retained(self):
+        """Unacknowledged entries currently held (retention readout)."""
+        return len(self.history)
 
 
 class Standby(Node):
@@ -68,17 +102,42 @@ class Standby(Node):
         #: Out-of-order buffer (shipping is FIFO per sender in this
         #: simulator, but the protocol tolerates reordering).
         self._pending = {}
+        #: While True (snapshot fetch in flight), shipments are buffered
+        #: in ``_pending`` but not applied — the snapshot install decides
+        #: which of them the base image already covers.
+        self.catching_up = False
 
     def table(self, name):
         return self.tables[name]
 
     def handle(self, message):
+        if message.kind == "applied_query":
+            # A restarted primary asking where to resume the delta.
+            yield from self.execute(self.costs.index_lookup_us)
+            self.respond(message, {"applied_lsn": self.applied_lsn})
+            return
         if message.kind != "wal_ship":
             raise RuntimeError(
                 "{} cannot handle {!r}".format(self.name, message)
             )
         payload = message.payload
         self._pending[payload["lsn"]] = payload["records"]
+        applied = 0
+        if not self.catching_up:
+            applied = self._apply_ready()
+        if applied:
+            yield from self.execute(
+                self.costs.index_insert_us * applied
+            )
+        # Acknowledge the applied horizon so the primary can prune its
+        # retained history (fire-and-forget, like shipping itself).
+        self.send(message.sender, "wal_ack",
+                  {"applied_lsn": self.applied_lsn})
+        self.respond(message, {"applied_lsn": self.applied_lsn})
+
+    def _apply_ready(self):
+        """Apply every buffered shipment that extends the applied LSN
+        contiguously; returns the number of records applied."""
         applied = 0
         while self.applied_lsn + 1 in self._pending:
             self.applied_lsn += 1
@@ -92,11 +151,49 @@ class Standby(Node):
                     table.put(key, value)
                 applied += 1
         self.applied_records += applied
-        if applied:
-            yield from self.execute(
-                self.costs.index_insert_us * applied
-            )
-        self.respond(message, {"applied_lsn": self.applied_lsn})
+        return applied
+
+    # -- rejoin catch-up -------------------------------------------------
+
+    def catch_up(self, primary_name, ctx=None):
+        """Generator: full resynchronization from ``primary_name``.
+
+        Fetches a snapshot of the primary's tables (the primary's
+        shipper must already point here, so commits concurrent with the
+        snapshot arrive as buffered deltas), installs it, fast-forwards
+        the applied LSN to the snapshot point, then drains whatever
+        buffered shipments the snapshot does not cover.
+        """
+        self.catching_up = True
+        try:
+            reply = yield self.call(primary_name, "snapshot", {}, ctx=ctx)
+        except BaseException:
+            self.catching_up = False
+            raise
+        tables = {}
+        installed = 0
+        for table_name, entries in reply["tables"].items():
+            table = Table(table_name)
+            for key, value in entries:
+                table.put(tuple(key), value)
+                installed += 1
+            tables[table_name] = table
+        self.tables = tables
+        self.applied_lsn = reply["lsn"]
+        # Shipments the snapshot already covers are dropped; the rest
+        # stay buffered and apply in order below.
+        self._pending = {
+            lsn: records for lsn, records in self._pending.items()
+            if lsn > self.applied_lsn
+        }
+        self.catching_up = False
+        applied = self._apply_ready()
+        yield from self.execute(
+            self.costs.index_insert_us * (installed + applied)
+        )
+        self.send(primary_name, "wal_ack",
+                  {"applied_lsn": self.applied_lsn})
+        return installed
 
     def lag(self, shipper):
         """Transactions shipped but not yet applied."""
@@ -125,7 +222,9 @@ def divergence(primary, standby):
     means the pair has converged.  Two classes of primary-local state are
     excluded: dentry *state* flags, and dentry entries the primary does
     not own (lazily fetched copies of other MNodes' directories are
-    coherence cache, not replicated data).
+    coherence cache, not replicated data).  A key deleted on the primary
+    and never seen (or tombstoned) on the standby compares equal —
+    tombstone-vs-missing is convergence, not divergence.
     """
     differences = []
     pairs = (

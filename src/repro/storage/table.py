@@ -115,7 +115,8 @@ class Transaction:
         records = self.write_count
         if records:
             nbytes = records * self.costs.wal_record_bytes
-            yield self.wal.commit(nbytes, records=records, ctx=self.ctx)
+            yield self.wal.commit(nbytes, records=records, ctx=self.ctx,
+                                  payload=self.export_writes())
         if self.barrier is not None:
             yield from self.barrier()
         for table, bucket in self._writes.values():

@@ -1,18 +1,89 @@
-"""Write-ahead log with group commit.
+"""Durable write-ahead log with group commit, segments and redo replay.
 
-A commit request hands the log a number of record bytes and receives an
-event that fires when those bytes are durable.  If a flush is already in
-flight, the request joins the *next* flush — so concurrent committers
-share one fsync.  This is the mechanism behind FalconFS's WAL coalescing
-(§4.4): batching K operations into one transaction turns K fsyncs into
-one, and the log's metrics expose exactly that ratio.
+A commit request hands the log a transaction's logical records and
+receives an event that fires when those records are durable.  If a flush
+is already in flight, the request joins the *next* flush — so concurrent
+committers share one fsync.  This is the mechanism behind FalconFS's WAL
+coalescing (§4.4): batching K operations into one transaction turns K
+fsyncs into one, and the log's metrics expose exactly that ratio.
+
+Unlike a pure timing device, the log actually *stores* what it was asked
+to make durable, the way the paper's PostgreSQL MNodes do:
+
+* every :meth:`commit` appends one :class:`WalRecord` (LSN, logical
+  payload, per-record checksum) to the active :class:`WalSegment`;
+  segments rotate at ``costs.wal_segment_bytes``;
+* the **fsync horizon** ``durable_lsn`` advances only when a flush
+  completes — records at or below it survive a crash;
+* a crash mid-flush (:meth:`power_fail`) leaves a **torn tail**: the
+  in-flight batch was partially written, so its records fail their
+  checksum on replay and its waiters are *never* acknowledged (a dead
+  machine must not confirm durability it never reached);
+* :meth:`replay` is the redo scan a restarting node runs: it reads the
+  segments in LSN order and truncates at the first record that fails
+  verification (torn tail or injected disk corruption).
 """
+
+import zlib
 
 from repro.obs.tracer import CAT_WAL
 
 
+def wal_checksum(lsn, payload):
+    """Deterministic per-record checksum over the logical payload."""
+    return zlib.crc32(repr((lsn, payload)).encode("utf-8"))
+
+
+class WalRecord:
+    """One appended transaction: LSN, logical records, checksum.
+
+    ``payload`` is the transaction's logical record list
+    (``(table, key, value-or-None)`` tuples, as produced by
+    :meth:`~repro.storage.table.Transaction.export_writes`), or ``None``
+    for control records (2PC votes) that carry no redo content.
+    """
+
+    __slots__ = ("lsn", "payload", "nbytes", "checksum", "stored")
+
+    def __init__(self, lsn, payload, nbytes):
+        self.lsn = lsn
+        self.payload = payload
+        self.nbytes = nbytes
+        self.checksum = wal_checksum(lsn, payload)
+        #: What the medium actually holds; diverges when the record is
+        #: torn by a mid-flush crash or corrupted by fault injection.
+        self.stored = self.checksum
+
+    def tear(self):
+        """Mark the on-disk image partial (crash mid-write)."""
+        self.stored = self.checksum ^ 0xFFFFFFFF
+
+    def corrupt(self):
+        """Flip the stored checksum (disk corruption injection)."""
+        self.stored = self.checksum ^ 0x1
+
+    @property
+    def intact(self):
+        return self.stored == self.checksum
+
+
+class WalSegment:
+    """A contiguous run of records sharing one log file."""
+
+    __slots__ = ("index", "records", "nbytes")
+
+    def __init__(self, index):
+        self.index = index
+        self.records = []
+        self.nbytes = 0
+
+    def append(self, record):
+        self.records.append(record)
+        self.nbytes += record.nbytes
+
+
 class WriteAheadLog:
-    """Group-committing log owned by one MNode."""
+    """Group-committing durable log owned by one MNode."""
 
     def __init__(self, env, costs, metrics=None):
         self.env = env
@@ -20,17 +91,38 @@ class WriteAheadLog:
         self.metrics = metrics
         self._pending = []
         self._flushing = False
+        #: Monotone LSN allocator (1-based; 0 = nothing appended).
+        self.next_lsn = 1
+        #: Fsync horizon: highest LSN whose flush completed.
+        self.durable_lsn = 0
+        #: True after :meth:`power_fail` — the owning machine crashed.
+        self.failed = False
+        #: On-disk segments (records that at least entered a flush).
+        self.segments = [WalSegment(0)]
+        #: Appended commits that never reached the device (crash before
+        #: their flush started) — unfsynced and unwritten.
+        self.lost_unwritten = 0
+        #: Records physically torn by a crash mid-flush.
+        self.torn_records = 0
         #: Totals for experiment readout.
         self.flush_count = 0
         self.bytes_written = 0
         self.records_written = 0
 
-    def commit(self, nbytes, records=1, ctx=None):
-        """Request durability of ``nbytes`` of log; returns an event.
+    # -- appending -------------------------------------------------------
 
-        With a traced ``ctx``, a ``wal.commit`` span covers the full wait
-        (queueing behind an in-flight flush plus the fsync itself)."""
+    def commit(self, nbytes, records=1, ctx=None, payload=None):
+        """Request durability of one transaction; returns an event.
+
+        ``payload`` is the transaction's logical record list, retained
+        in the log for redo replay.  With a traced ``ctx``, a
+        ``wal.commit`` span covers the full wait (queueing behind an
+        in-flight flush plus the fsync itself)."""
         done = self.env.event()
+        if self.failed:
+            # A dead machine's log accepts nothing; the caller parks on
+            # an event that never fires (its process died too).
+            return done
         if ctx is not None and ctx.tracer.enabled:
             span = ctx.start_span(
                 "wal.commit", CAT_WAL,
@@ -39,21 +131,60 @@ class WriteAheadLog:
             done.callbacks.append(
                 lambda _event, span=span: span.finish(self.env.now)
             )
-        self._pending.append((done, nbytes, records))
+        record = WalRecord(self.next_lsn, payload, nbytes)
+        self.next_lsn += 1
+        self._pending.append((done, record, records))
         if not self._flushing:
             self._flushing = True
             self.env.process(self._flusher())
         return done
 
+    def bootstrap(self, payloads):
+        """Install a base image: append ``payloads`` as already-durable
+        records (no simulated time).  A promoted or redo-recovered node
+        starts from the state its tables were built from — this is the
+        base backup its future crash recovery replays before any new
+        records."""
+        for payload in payloads:
+            record = WalRecord(self.next_lsn, payload, self.costs.wal_record_bytes)
+            self.next_lsn += 1
+            self._segment_append(record)
+            self.durable_lsn = record.lsn
+
+    def _segment_append(self, record):
+        segment = self.segments[-1]
+        if segment.nbytes >= self.costs.wal_segment_bytes and segment.records:
+            segment = WalSegment(segment.index + 1)
+            self.segments.append(segment)
+        segment.append(record)
+
+    # -- flushing --------------------------------------------------------
+
     def _flusher(self):
         while self._pending:
             batch, self._pending = self._pending, []
-            nbytes = sum(b for _, b, _ in batch)
-            records = sum(r for _, _, r in batch)
+            nbytes = sum(r.nbytes for _, r, _ in batch)
+            records = sum(n for _, _, n in batch)
+            # The batch hits the device now; the barrier completes after
+            # the fsync latency.  Records are on disk but not yet safe.
+            for _, record, _ in batch:
+                self._segment_append(record)
             duration = (
                 self.costs.wal_fsync_us + nbytes * self.costs.wal_us_per_byte
             )
             yield self.env.timeout(duration)
+            if self.failed:
+                # The machine lost power while this fsync was in flight:
+                # the batch is a torn tail — partially persisted, failing
+                # checksums on replay — and its waiters are never told
+                # the write was durable (no zombie durability acks).
+                for _, record, _ in batch:
+                    record.tear()
+                self.torn_records += len(batch)
+                self.lost_unwritten += len(self._pending)
+                self._pending = []
+                return
+            self.durable_lsn = batch[-1][1].lsn
             self.flush_count += 1
             self.bytes_written += nbytes
             self.records_written += records
@@ -63,6 +194,59 @@ class WriteAheadLog:
             for done, _, _ in batch:
                 done.succeed()
         self._flushing = False
+
+    # -- crash and recovery ----------------------------------------------
+
+    def power_fail(self):
+        """The owning machine crashed.  From this instant the log
+        acknowledges nothing: an fsync in flight becomes a torn tail and
+        commits that never reached the device are dropped.  (A transient
+        hang does **not** power-fail the log — the device completes its
+        writes while the host is unreachable.)"""
+        if self.failed:
+            return
+        self.failed = True
+        if not self._flushing and self._pending:
+            self.lost_unwritten += len(self._pending)
+            self._pending = []
+
+    def replay(self):
+        """Redo scan: read the segments in LSN order.
+
+        Returns ``(payloads, torn)`` where ``payloads`` is the list of
+        ``(lsn, payload)`` for every record up to the first verification
+        failure, and ``torn`` counts the records truncated from that
+        point on (the torn tail, plus anything behind an injected
+        corruption — standard WAL recovery stops at the first bad
+        record).  Read-only and idempotent.
+        """
+        payloads = []
+        torn = 0
+        broken = False
+        for segment in self.segments:
+            for record in segment.records:
+                if broken or not record.intact:
+                    broken = True
+                    torn += 1
+                    continue
+                payloads.append((record.lsn, record.payload))
+        return payloads, torn
+
+    # -- readout ---------------------------------------------------------
+
+    @property
+    def appended_txns(self):
+        """Transactions handed to :meth:`commit` (durable or not)."""
+        return self.next_lsn - 1
+
+    @property
+    def unfsynced_txns(self):
+        """Appended transactions that never reached the fsync horizon."""
+        return self.appended_txns - self.durable_lsn
+
+    @property
+    def segment_count(self):
+        return len(self.segments)
 
     @property
     def records_per_flush(self):
