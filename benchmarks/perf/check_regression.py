@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Gate simulator performance against the committed baseline.
+
+CI's ``bench-smoke`` job runs::
+
+    python -m repro.experiments bench --quick
+    python benchmarks/perf/check_regression.py
+
+Two checks per workload:
+
+* **events** must match the baseline exactly — the event count is
+  deterministic for a fixed config and seed, so a mismatch means the
+  simulation's behaviour changed, not its speed.  Regenerate the
+  baseline (``--write-baseline``) only alongside an intentional change
+  that the golden-trace test also acknowledges.
+* **events_per_sec** must not regress more than ``--tolerance``
+  (default 25%, also settable via ``BENCH_TOLERANCE``).  Speedups and
+  small regressions pass; a committed baseline uses minimum-observed
+  numbers so shared-runner noise stays inside the tolerance.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINE = os.path.join(HERE, "baseline.json")
+DEFAULT_RESULT = "BENCH_perf.json"
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check(result, baseline, tolerance):
+    failures = []
+    for name, want in sorted(baseline["workloads"].items()):
+        got = result["workloads"].get(name)
+        if got is None:
+            failures.append("{}: missing from result".format(name))
+            continue
+        if got["events"] != want["events"]:
+            failures.append(
+                "{}: event count changed: {} != baseline {} "
+                "(determinism break or config drift)".format(
+                    name, got["events"], want["events"]))
+        floor = want["events_per_sec"] * (1.0 - tolerance)
+        ratio = got["events_per_sec"] / want["events_per_sec"]
+        status = "ok" if got["events_per_sec"] >= floor else "REGRESSION"
+        print("{:<22} {:>12,.0f} ev/s  baseline {:>12,.0f}  "
+              "ratio {:.2f}x  {}".format(
+                  name, got["events_per_sec"], want["events_per_sec"],
+                  ratio, status))
+        if status != "ok":
+            failures.append(
+                "{}: {:,.0f} ev/s is below the {:.0%}-tolerance floor "
+                "{:,.0f}".format(name, got["events_per_sec"], tolerance,
+                                 floor))
+    return failures
+
+
+def write_baseline(result, path):
+    payload = load(path)
+    for name, got in result["workloads"].items():
+        payload["workloads"][name] = {
+            "events": got["events"],
+            "events_per_sec": int(got["events_per_sec"]),
+        }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print("baseline rewritten: {}".format(path))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("result", nargs="?", default=DEFAULT_RESULT,
+                        help="BENCH_perf.json produced by the bench run")
+    parser.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE,
+                        help="committed baseline to compare against")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get("BENCH_TOLERANCE",
+                                                     "0.25")),
+                        help="allowed fractional events/sec regression "
+                             "(default 0.25)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="overwrite the baseline with this result "
+                             "instead of checking")
+    args = parser.parse_args(argv)
+
+    result = load(args.result)
+    if args.write_baseline:
+        write_baseline(result, args.baseline)
+        return 0
+    failures = check(result, load(args.baseline), args.tolerance)
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print("  " + failure, file=sys.stderr)
+        return 1
+    print("\nbench-smoke ok (tolerance {:.0%})".format(args.tolerance))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

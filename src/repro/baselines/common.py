@@ -545,7 +545,8 @@ class BaselineClient(Node):
             deadline=deadline, retry_policy=self.retry_policy,
         )
         ctx.begin(node=self.name,
-                  attrs={"path": path} if path is not None else None)
+                  attrs={"path": path}
+                  if ctx.traced and path is not None else None)
         return ctx
 
     def _traced(self, ctx, gen):
@@ -571,7 +572,8 @@ class BaselineClient(Node):
         def attempt(_attempt, _hint):
             self.metrics.counter("requests").inc(op)
             with ctx.span("rpc", CAT_PHASE, node=self.name,
-                          attrs={"op": op, "target": target}):
+                          attrs={"op": op, "target": target}
+                          if ctx.traced else None):
                 data = yield from deadline_call(self, ctx, target, op,
                                                 payload)
             return data
@@ -691,7 +693,7 @@ class BaselineClient(Node):
         dparent, _ = yield from self._walk_parent(dst_comps, ctx=ctx)
         self.metrics.counter("requests").inc("rename")
         with ctx.span("rpc", CAT_PHASE, node=self.name,
-                      attrs={"op": "rename"}):
+                      attrs={"op": "rename"} if ctx.traced else None):
             yield from deadline_call(
                 self, ctx, self._server_name(sparent.ino), "rename", {
                     "src_key": [sparent.ino, src_comps[-1]],

@@ -73,6 +73,8 @@ class FalconClient(Node):
         #: its target through the cluster directory, the retry lands on
         #: the promoted standby once failover installs it.
         self.rpc_timeout_us = shared.config.rpc_timeout_us
+        # Per-attempt counter: paid once here, not per RPC.
+        self._requests = self.metrics.counter("requests")
         self._fake_inos = {}
         self._fake_next = -2
 
@@ -81,20 +83,21 @@ class FalconClient(Node):
     # ------------------------------------------------------------------
 
     def mkdir(self, path, mode=0o755, ctx=None):
-        data = yield from self._meta_op("mkdir", path, {"mode": mode},
-                                        ctx=ctx)
-        return data["ino"]
+        # Plain functions handing back the _meta_op generator: one fewer
+        # generator frame for every resume of the operation (the field
+        # extraction rides on ``extract`` instead of a wrapper frame).
+        return self._meta_op("mkdir", path, {"mode": mode}, ctx=ctx,
+                             extract="ino")
 
     def create(self, path, mode=0o644, exclusive=True, ctx=None):
-        data = yield from self._meta_op(
-            "create", path, {"mode": mode, "exclusive": exclusive}, ctx=ctx
+        return self._meta_op(
+            "create", path, {"mode": mode, "exclusive": exclusive},
+            ctx=ctx, extract="ino",
         )
-        return data["ino"]
 
     def open_file(self, path, ctx=None):
         """Open for reading; returns the attrs dict (ino, size, ...)."""
-        data = yield from self._meta_op("open", path, {}, ctx=ctx)
-        return data["attrs"]
+        return self._meta_op("open", path, {}, ctx=ctx, extract="attrs")
 
     def getattr(self, path, ctx=None):
         if split_path(path) == []:
@@ -208,7 +211,8 @@ class FalconClient(Node):
             deadline=deadline, retry_policy=self.retry_policy,
         )
         ctx.begin(node=self.name,
-                  attrs={"path": path} if path is not None else None)
+                  attrs={"path": path}
+                  if ctx.traced and path is not None else None)
         return ctx
 
     def _traced(self, ctx, gen):
@@ -224,10 +228,10 @@ class FalconClient(Node):
     def _client_cpu(self, ctx, cost_us):
         """Generator: charge client-side CPU, attributed to ``ctx``."""
         start = self.env.now
-        yield self.env.timeout(cost_us)
+        yield self.env.schedule_timeout(cost_us)
         ctx.record("client", CAT_CPU, start, self.env.now, node=self.name)
 
-    def _meta_op(self, op, path, extra, ctx=None):
+    def _meta_op(self, op, path, extra, ctx=None, extract=None):
         """Generator: walk according to the client mode, send the op.
 
         With ``ctx=None`` this is a root operation (it opens and closes
@@ -235,18 +239,27 @@ class FalconClient(Node):
         composite operation such as ``read_file``.
         """
         if ctx is None:
+            # Root op: inline the _traced wrapper — one fewer generator
+            # frame on every resume of the op's event chain.
             ctx = self._begin_op(op, path)
-            data = yield from self._traced(
-                ctx, self._meta_op_body(op, path, extra, ctx)
-            )
-            return data
+            try:
+                data = yield from self._meta_op_body(op, path, extra, ctx)
+            except BaseException as exc:
+                ctx.finish(error=repr(exc))
+                raise
+            ctx.finish()
+            return data if extract is None else data[extract]
         with ctx.span("op." + op, CAT_PHASE, node=self.name):
             data = yield from self._meta_op_body(op, path, extra, ctx)
-        return data
+        return data if extract is None else data[extract]
 
     def _meta_op_body(self, op, path, extra, ctx):
-        if self.costs.client_op_us:
-            yield from self._client_cpu(ctx, self.costs.client_op_us)
+        cost_us = self.costs.client_op_us
+        if cost_us:
+            if ctx.traced:
+                yield from self._client_cpu(ctx, cost_us)
+            else:
+                yield self.env.schedule_timeout(cost_us)
         components = split_path(path)
         if not components:
             raise RpcFailure(RpcError.EINVAL, "operation on /")
@@ -274,7 +287,7 @@ class FalconClient(Node):
         current = ROOT_INO
         for name in components[:-1]:
             if self.costs.cache_probe_us:
-                yield self.env.timeout(self.costs.cache_probe_us)
+                yield self.env.schedule_timeout(self.costs.cache_probe_us)
             entry = self.dcache.lookup(current, name)
             if entry is None:
                 attrs = make_fake_dir_attrs(self._fake_ino(current, name))
@@ -291,7 +304,7 @@ class FalconClient(Node):
         current = self.root_attrs
         for name in components[:-1]:
             if self.costs.cache_probe_us:
-                yield self.env.timeout(self.costs.cache_probe_us)
+                yield self.env.schedule_timeout(self.costs.cache_probe_us)
             if not current.is_dir:
                 raise RpcFailure(RpcError.ENOTDIR, name)
             if not current.allows_exec():
@@ -311,9 +324,11 @@ class FalconClient(Node):
             current = entry.attrs
 
     def _send_routed(self, op, name, payload, ctx):
-        """Generator: route by hybrid indexing; retries (with the shared
+        """Route by hybrid indexing; retries (with the shared
         exponential-backoff helper) on ERETRY, honouring a redirect hint
-        on EREDIRECT."""
+        on EREDIRECT.  Returns the retry generator directly (both this
+        function and ``attempt`` are plain functions, keeping two frames
+        off every resume of the RPC chain)."""
         payload["xt_version"] = self.xt.version
 
         def attempt(_attempt, hint):
@@ -326,12 +341,9 @@ class FalconClient(Node):
                 target, _ = self.index.client_target(name, self.rng)
                 target_name = self.shared.mnode_name(target)
             payload["xt_version"] = self.xt.version
-            data = yield from self._request(target_name, op, payload, ctx)
-            return data
+            return self._request(target_name, op, payload, ctx)
 
-        data = yield from retry(self, ctx, attempt,
-                                retryable=self._retryable())
-        return data
+        return retry(self, ctx, attempt, retryable=self._retryable())
 
     def _retryable(self):
         """Failure codes the retry loop recovers from.  Timeouts are
@@ -343,13 +355,19 @@ class FalconClient(Node):
 
     def _request(self, target, op, payload, ctx):
         """Generator: one RPC, with lazy exception-table refresh."""
-        self.metrics.counter("requests").inc(op)
+        self._requests.inc(op)
+        timeout_us = self.rpc_timeout_us or None
         with ctx.span("rpc", CAT_PHASE, node=self.name,
-                      attrs={"op": op, "target": target}):
-            body = yield from deadline_call(
-                self, ctx, target, op, payload,
-                timeout_us=self.rpc_timeout_us or None,
-            )
+                      attrs={"op": op, "target": target}
+                      if ctx.traced else None):
+            if timeout_us is None and ctx.deadline is None:
+                # deadline_call's no-deadline fast path, inlined: one RPC,
+                # no watchdog, and no extra generator frame per resume.
+                body = yield self.call(target, op, payload, ctx=ctx)
+            else:
+                body = yield from deadline_call(
+                    self, ctx, target, op, payload, timeout_us=timeout_us,
+                )
         if isinstance(body, dict):
             table = body.get("xt")
             if table is not None:
@@ -362,9 +380,13 @@ class FalconClient(Node):
         if ctx is None:
             ctx = self._begin_op(op, payload.get("path") or
                                  payload.get("src"))
-            body = yield from self._traced(
-                ctx, self._coordinator_op_body(op, payload, ctx)
-            )
+            try:
+                body = yield from self._coordinator_op_body(op, payload,
+                                                            ctx)
+            except BaseException as exc:
+                ctx.finish(error=repr(exc))
+                raise
+            ctx.finish()
             return body
         with ctx.span("op." + op, CAT_PHASE, node=self.name):
             body = yield from self._coordinator_op_body(op, payload, ctx)
@@ -375,10 +397,11 @@ class FalconClient(Node):
             yield from self._client_cpu(ctx, self.costs.client_op_us)
 
         def attempt(_attempt, _hint):
-            self.metrics.counter("requests").inc(op)
+            self._requests.inc(op)
             with ctx.span("rpc", CAT_PHASE, node=self.name,
                           attrs={"op": op,
-                                 "target": self.shared.coordinator_name}):
+                                 "target": self.shared.coordinator_name}
+                          if ctx.traced else None):
                 body = yield from deadline_call(
                     self, ctx, self.shared.coordinator_name, op, payload,
                     timeout_us=self.rpc_timeout_us or None,

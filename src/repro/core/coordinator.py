@@ -225,7 +225,7 @@ class Coordinator(NamespaceReplicaMixin, Node):
         src_owner = self._owner(*skey)
         dst_owner = self._owner(*dkey)
         with ctx.span("2pc", CAT_PHASE, node=self.name,
-                      attrs={"txid": txid}):
+                      attrs={"txid": txid} if ctx.traced else None):
             vote = yield self.call(src_owner, "rename_prepare", {
                 "txid": txid, "action": "delete", "key": list(skey),
             }, ctx=ctx)

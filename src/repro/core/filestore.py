@@ -85,7 +85,8 @@ class StorageNode(Node):
             yield request
             try:
                 with ctx.span("disk.write", CAT_DISK, node=self.name,
-                              attrs={"bytes": size}):
+                              attrs={"bytes": size}
+                              if ctx.traced else None):
                     yield self.env.timeout(self.costs.ssd_io_us)
             finally:
                 self.small_io.release(request)
@@ -107,7 +108,8 @@ class StorageNode(Node):
         try:
             effective = bandwidth / self.costs.ssd_queue_depth
             with ctx.span(label, CAT_DISK, node=self.name,
-                          attrs={"bytes": size}):
+                          attrs={"bytes": size}
+                          if ctx.traced else None):
                 yield self.env.timeout(
                     self.costs.ssd_io_us + size / effective
                 )
@@ -147,7 +149,7 @@ class BlockClient:
         """
         ctx = ctx or NULL_CONTEXT
         with ctx.span("data.read", CAT_PHASE, node=self.node.name,
-                      attrs={"bytes": size}):
+                      attrs={"bytes": size} if ctx.traced else None):
             calls = []
             expected = []
             for index, chunk in self._blocks(size):
@@ -173,7 +175,7 @@ class BlockClient:
         """Generator: store all blocks of a file in parallel."""
         ctx = ctx or NULL_CONTEXT
         with ctx.span("data.write", CAT_PHASE, node=self.node.name,
-                      attrs={"bytes": size}):
+                      attrs={"bytes": size} if ctx.traced else None):
             calls = []
             for index, chunk in self._blocks(size):
                 target = self.shared.storage_for(ino, index)

@@ -69,20 +69,16 @@ class WorkerPool:
             if self.linger_us:
                 # Brief accumulation window: trades a little latency for
                 # larger batches (visible in Fig 11 vs Fig 10).
-                yield self.env.timeout(self.linger_us)
+                yield self.env.schedule_timeout(self.linger_us)
             queue = self._queues[kind]
-            batch = []
-            while queue and len(batch) < self.max_batch:
-                batch.append(queue.popleft())
+            pop = queue.popleft
+            batch = [pop() for _ in range(min(len(queue), self.max_batch))]
             if queue:
                 # Leftovers: hand the kind to the next idle worker.
                 self._ready.put(kind)
             else:
+                # No yield since the drain: the queue cannot have refilled.
                 self._scheduled.discard(kind)
-                if queue:
-                    # A submit raced with the discard; reschedule.
-                    self._scheduled.add(kind)
-                    self._ready.put(kind)
             if not batch:
                 continue
             self.batches_executed += 1

@@ -108,9 +108,24 @@ class MNode(NamespaceReplicaMixin, Node):
         #: and are never re-shipped.
         self._ship_anchor = 0
         self._ship_base = 1
+        # Hot-path metric handles: deliver/_execute_batch/_respond run
+        # once per message, so the registry lookup is paid once, here.
+        self._received_ctr = self.metrics.counter("received")
+        self._ops_ctr = self.metrics.counter("ops")
+        self._op_errors_ctr = self.metrics.counter("op_errors")
+        self._forwarded_ctr = self.metrics.counter("forwarded")
+        self._batch_size_hist = self.metrics.histogram("batch_size")
         cfg = shared.config
+        # With tracing off (every throughput experiment) the per-batch
+        # wrapper generator and _batch_ctx call are pure overhead; hand
+        # the pool a thin closure returning the body generator directly.
+        if shared.tracer.enabled:
+            executor = self._execute_batch
+        else:
+            def executor(kind, batch, _body=self._execute_batch_body):
+                return _body(kind, batch, None)
         self.pool = WorkerPool(
-            env, self._execute_batch, workers=cfg.server_cores,
+            env, executor, workers=cfg.server_cores,
             max_batch=cfg.max_batch, linger_us=cfg.merge_linger_us,
             merging=cfg.merging,
         )
@@ -120,7 +135,7 @@ class MNode(NamespaceReplicaMixin, Node):
     # ------------------------------------------------------------------
 
     def deliver(self, message):
-        self.metrics.counter("received").inc(message.kind)
+        self._received_ctr.inc(message.kind)
         if message.kind in MERGEABLE_OPS:
             self.pool.submit(message.kind, message)
         else:
@@ -189,7 +204,7 @@ class MNode(NamespaceReplicaMixin, Node):
         # Per-member queue wait: network arrival to batch pickup.
         for message in batch:
             mctx = message.ctx
-            if (mctx is not None and mctx.tracer.enabled
+            if (mctx is not None and mctx.traced
                     and message.arrive_time is not None):
                 mctx.record("queue.wait", CAT_QUEUE, message.arrive_time,
                             self.env.now, node=self.name)
@@ -231,7 +246,7 @@ class MNode(NamespaceReplicaMixin, Node):
                 )
             finally:
                 self.pool.dispatch_lock.release(req)
-        self.metrics.histogram("batch_size").observe(len(batch))
+        self._batch_size_hist.observe(len(batch))
 
         plans = []
         for message in batch:
@@ -298,7 +313,7 @@ class MNode(NamespaceReplicaMixin, Node):
             if isinstance(outcome, RpcFailure):
                 self._respond_error(plan.message, outcome)
             else:
-                self.metrics.counter("ops").inc(plan.op)
+                self._ops_ctr.inc(plan.op)
                 self._respond_ok(plan.message, outcome)
 
     def _plan(self, message):
@@ -309,7 +324,8 @@ class MNode(NamespaceReplicaMixin, Node):
         """
         payload = message.payload
         ctx = message.ctx
-        if ctx is not None and ctx.expired():
+        if (ctx is not None and ctx.deadline is not None
+                and self.env.now >= ctx.deadline):
             # The client already gave up on this op; don't do its work.
             self._respond_error(
                 message, RpcFailure(RpcError.ETIMEDOUT, message.kind)
@@ -438,17 +454,6 @@ class MNode(NamespaceReplicaMixin, Node):
         key = plan.inode_key
         where = payload.get("path", key)
         record = txn.get(self.inodes, key)
-        if op == "mkdir":
-            if record is not None:
-                raise RpcFailure(RpcError.EEXIST, where)
-            ino = self.shared.allocator.allocate()
-            mode = payload.get("mode", 0o755)
-            inode = InodeRecord(ino=ino, is_dir=True, mode=mode,
-                                mtime=self.env.now)
-            txn.put(self.inodes, key, inode)
-            txn.put(self.dentries, key, DentryRecord(ino=ino, mode=mode))
-            self._track_name(key, +1)
-            return {"ino": ino}
         if op == "create":
             if record is not None:
                 if payload.get("exclusive", True):
@@ -468,6 +473,17 @@ class MNode(NamespaceReplicaMixin, Node):
             txn.put(self.inodes, key, inode)
             self._track_name(key, +1)
             return {"ino": inode.ino}
+        if op == "mkdir":
+            if record is not None:
+                raise RpcFailure(RpcError.EEXIST, where)
+            ino = self.shared.allocator.allocate()
+            mode = payload.get("mode", 0o755)
+            inode = InodeRecord(ino=ino, is_dir=True, mode=mode,
+                                mtime=self.env.now)
+            txn.put(self.inodes, key, inode)
+            txn.put(self.dentries, key, DentryRecord(ino=ino, mode=mode))
+            self._track_name(key, +1)
+            return {"ino": ino}
         if record is None:
             raise RpcFailure(RpcError.ENOENT, where)
         if op in ("open", "getattr", "lookup"):
@@ -516,17 +532,18 @@ class MNode(NamespaceReplicaMixin, Node):
 
     def _respond_ok(self, message, data):
         body = {"ok": True, "data": data, "xt_version": self.xt.version}
-        requester_version = (message.payload or {}).get("xt_version")
+        payload = message.payload
+        requester_version = payload.get("xt_version") if payload else None
         if requester_version is not None and requester_version < self.xt.version:
             body["xt"] = exception_table_to_wire(self.xt)
         self.respond(message, body)
 
     def _respond_error(self, message, failure):
-        self.metrics.counter("op_errors").inc(RpcError.name(failure.code))
+        self._op_errors_ctr.inc(RpcError.name(failure.code))
         self.respond_error(message, failure)
 
     def _forward(self, message, target_index):
-        self.metrics.counter("forwarded").inc(message.kind)
+        self._forwarded_ctr.inc(message.kind)
         forwarded = Message(
             self.name, self.shared.mnode_name(target_index), message.kind,
             message.payload, message.size, message.reply_to,
@@ -560,7 +577,7 @@ class MNode(NamespaceReplicaMixin, Node):
                 if peer != self.name
             ]
             with ctx.span("2pc", CAT_PHASE, node=self.name,
-                          attrs={"txid": txid}):
+                          attrs={"txid": txid} if ctx.traced else None):
                 votes = yield self.env.all_of([
                     self.call(peer, "replica_prepare",
                               {"txid": txid, "key": list(key),

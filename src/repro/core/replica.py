@@ -68,11 +68,16 @@ class NamespaceReplicaMixin:
         current = ROOT_INO
         mode = self.root_dentry.mode
         chain = []
+        dget = self.dentries.get
         for name in components:
             if not mode & 0o111:
                 raise RpcFailure(RpcError.EACCES, "/".join(components))
             key = (current, name)
-            record = yield from self._dentry_record(key, ctx)
+            # Local VALID record: skip the fetch/retry machinery entirely
+            # (the overwhelmingly common case — replicas are warm).
+            record = dget(key)
+            if record is None or record.state == INVALID:
+                record = yield from self._dentry_record(key, ctx)
             dkey = ("d",) + key
             chain.append((dkey, record, self.inval_seq[dkey]))
             current = record.ino
@@ -86,6 +91,9 @@ class NamespaceReplicaMixin:
         and re-issued (§4.3 conflict resolution, case 2) via the shared
         retry helper, with zero backoff and a bounded attempt budget.
         """
+        record = self.dentries.get(key)
+        if record is not None and record.state != INVALID:
+            return record
 
         def attempt(_attempt, _hint):
             record = self.dentries.get(key)

@@ -13,6 +13,7 @@ import time
 
 from repro.experiments import (
     ablation,
+    bench,
     breakdown,
     burst,
     cache_sweep,
@@ -66,6 +67,10 @@ EXPERIMENTS = {
     "straggler": (straggler, {},
                   {"num_dirs": 16, "files_per_dir": 25, "threads": 96}),
     "breakdown": (breakdown, {}, {"num_ops": 40}),
+    "bench": (bench, {},
+              {"repeat": 1, "num_ops": 800, "threads": 32,
+               "num_files": 300, "num_gpus": 8, "num_clients": 4,
+               "duration_us": 15000.0}),
 }
 
 
@@ -80,6 +85,9 @@ def main(argv=None):
                         help="reduced scale for a fast look")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top-25 "
+                             "cumulative hot spots")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -96,7 +104,16 @@ def main(argv=None):
             args.experiment))
     kwargs = quick_kwargs if args.quick else default_kwargs
     start = time.time()
-    rows = module.run(**kwargs)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        rows = profiler.runcall(module.run, **kwargs)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(25)
+    else:
+        rows = module.run(**kwargs)
     print(module.format_rows(rows))
     print("\n({} rows in {:.1f}s wall)".format(len(rows),
                                                time.time() - start))

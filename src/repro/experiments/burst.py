@@ -36,8 +36,10 @@ def _burst_order(tree, burst_size, rng):
     order = []
     for directory in dirs:
         files = by_dir[directory]
-        for start in range(0, len(files), burst_size):
-            order.append(files[start:start + burst_size])
+        order.extend(
+            files[start:start + burst_size]
+            for start in range(0, len(files), burst_size)
+        )
     rng.shuffle(order)
     return [path for burst in order for path in burst]
 
@@ -106,12 +108,12 @@ def _start_load_sampler(cluster, servers, window_cvs, interval_us):
 def run(systems=SYSTEMS, bursts=(1, 10, 100), ops=("read", "write"),
         **kwargs):
     """Fig 14 (all systems) — pass ``systems=("cephfs",)`` for Fig 4."""
-    rows = []
-    for op in ops:
-        for system in systems:
-            for burst in bursts:
-                rows.append(measure(system, burst, op=op, **kwargs))
-    return rows
+    return [
+        measure(system, burst, op=op, **kwargs)
+        for op in ops
+        for system in systems
+        for burst in bursts
+    ]
 
 
 def format_rows(rows):

@@ -85,8 +85,9 @@ def format_table(rows, columns=None, title=None):
     header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
     lines.append(header)
     lines.append("-" * len(header))
-    for r in rendered:
-        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    lines.extend(
+        "  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rendered
+    )
     return "\n".join(lines)
 
 

@@ -67,19 +67,18 @@ def measure(system, budget_fraction, levels=3, dir_fanout=10,
 
 
 def run(systems=FIG13_SYSTEMS, budgets=(0.1, 0.4, 0.7, 1.0), **kwargs):
-    rows = []
-    for system in systems:
-        for budget in budgets:
-            rows.append(measure(system, budget, **kwargs))
-    return rows
+    return [
+        measure(system, budget, **kwargs)
+        for system in systems
+        for budget in budgets
+    ]
 
 
 def format_rows(rows):
     from repro.experiments.common import format_table
 
-    flat = []
-    for row in rows:
-        flat.append({
+    flat = [
+        {
             "system": row["system"],
             "budget_pct": row["budget_pct"],
             "files_per_sec": row["files_per_sec"],
@@ -87,7 +86,9 @@ def format_rows(rows):
             "mix": ",".join(
                 "{}:{}".format(k, v) for k, v in sorted(row["requests"].items())
             ),
-        })
+        }
+        for row in rows
+    ]
     return format_table(
         flat,
         ["system", "budget_pct", "files_per_sec", "requests_per_file", "mix"],

@@ -60,11 +60,11 @@ def measure(system, num_gpus, num_files=9000, files_per_dir=10,
 
 
 def run(systems=FIG17_SYSTEMS, gpu_counts=(8, 16, 32, 48, 64, 80, 96), **kwargs):
-    rows = []
-    for system in systems:
-        for gpus in gpu_counts:
-            rows.append(measure(system, gpus, **kwargs))
-    return rows
+    return [
+        measure(system, gpus, **kwargs)
+        for system in systems
+        for gpus in gpu_counts
+    ]
 
 
 def supported_gpus(rows, threshold=0.9):

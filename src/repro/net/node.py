@@ -1,5 +1,7 @@
 """Base class for simulated machines."""
 
+from functools import partial
+
 from repro.metrics import MetricsRegistry
 from repro.net.message import Message
 from repro.obs.tracer import CAT_CPU, CAT_NET, CAT_QUEUE
@@ -25,6 +27,12 @@ class Node:
         self.cpu = Resource(env, capacity=cores or network.costs.server_cores)
         self.inbox = Store(env)
         self.metrics = MetricsRegistry(name)
+        # Pre-bound per-message counters (send/receive/respond run once
+        # per message; the registry lookup is paid once, here).
+        self._sent = self.metrics.counter("sent")
+        self._received = self.metrics.counter("received")
+        self._responded = self.metrics.counter("responded")
+        self._responded_error = self.metrics.counter("responded_error")
         #: Set when this incarnation is retired (crashed and replaced by
         #: a restarted instance under the same name): its in-flight
         #: handlers park forever instead of resuming once the *name*
@@ -39,7 +47,7 @@ class Node:
 
     def deliver(self, message):
         """Called by the network when a message arrives."""
-        self.metrics.counter("received").inc(message.kind)
+        self._received.inc(message.kind)
         self.env.process(self._handle_guard(message))
 
     def _handle_guard(self, message):
@@ -66,7 +74,7 @@ class Node:
             size = self.costs.rpc_request_bytes
         msg = Message(self.name, recipient, kind, payload, size, reply_to,
                       ctx=ctx)
-        self.metrics.counter("sent").inc(kind)
+        self._sent.inc(kind)
         self.network.send(msg)
         return msg
 
@@ -94,19 +102,21 @@ class Node:
             size = self.costs.rpc_response_bytes
         reply_to = message.reply_to
         ctx = message.ctx
-        start = self.env.now
+        if ctx is not None and ctx.traced:
+            start = self.env.now
 
-        def deliver(env=self.env):
-            if ctx is not None and ctx.tracer.enabled and env.now > start:
-                ctx.record(
-                    "net.response", CAT_NET, start, env.now,
-                    node=message.sender,
-                    attrs={"kind": message.kind, "bytes": size},
-                )
-            reply_to.succeed(payload)
-
+            def deliver(env=self.env):
+                if env.now > start:
+                    ctx.record(
+                        "net.response", CAT_NET, start, env.now,
+                        node=message.sender,
+                        attrs={"kind": message.kind, "bytes": size},
+                    )
+                reply_to.succeed(payload)
+        else:
+            deliver = partial(reply_to.succeed, payload)
         self.network.send_response(self.name, message, size, deliver)
-        self.metrics.counter("responded").inc(message.kind)
+        self._responded.inc(message.kind)
 
     def respond_error(self, message, failure):
         """Answer an RPC ``message`` with a failure exception."""
@@ -115,19 +125,21 @@ class Node:
         size = self.costs.rpc_response_bytes
         reply_to = message.reply_to
         ctx = message.ctx
-        start = self.env.now
+        if ctx is not None and ctx.traced:
+            start = self.env.now
 
-        def deliver(env=self.env):
-            if ctx is not None and ctx.tracer.enabled and env.now > start:
-                ctx.record(
-                    "net.response", CAT_NET, start, env.now,
-                    node=message.sender,
-                    attrs={"kind": message.kind, "error": str(failure)},
-                )
-            reply_to.fail(failure)
-
+            def deliver(env=self.env):
+                if env.now > start:
+                    ctx.record(
+                        "net.response", CAT_NET, start, env.now,
+                        node=message.sender,
+                        attrs={"kind": message.kind, "error": str(failure)},
+                    )
+                reply_to.fail(failure)
+        else:
+            deliver = partial(reply_to.fail, failure)
         self.network.send_response(self.name, message, size, deliver)
-        self.metrics.counter("responded_error").inc(message.kind)
+        self._responded_error.inc(message.kind)
 
     # -- CPU -------------------------------------------------------------
 
@@ -159,21 +171,28 @@ class Node:
         a zombie transaction).  A crash never resumes; a transient hang
         (:meth:`~repro.net.transport.Network.set_up`) does.
         """
-        yield from self.alive_barrier()
-        traced = ctx is not None and ctx.tracer.enabled
+        # Guarded barrier: allocating the alive_barrier() generator twice
+        # per CPU slice costs more than the liveness check it performs,
+        # and nodes are alive for the overwhelming majority of slices.
+        network = self.network
+        if self.halted or network.is_down(self.name):
+            yield from self.alive_barrier()
+        env = self.env
+        traced = ctx is not None and ctx.traced
         req = self.cpu.request()
-        wait_start = self.env.now if (traced and not req.triggered) else None
+        wait_start = env.now if (traced and not req.triggered) else None
         yield req
         if wait_start is not None:
-            ctx.record("cpu.wait", CAT_QUEUE, wait_start, self.env.now,
+            ctx.record("cpu.wait", CAT_QUEUE, wait_start, env.now,
                        node=self.name)
         try:
             if cost_us > 0:
-                start = self.env.now
-                yield self.env.timeout(cost_us)
+                start = env.now
+                yield env.schedule_timeout(cost_us)
                 if traced:
-                    ctx.record("cpu", CAT_CPU, start, self.env.now,
+                    ctx.record("cpu", CAT_CPU, start, env.now,
                                node=self.name)
-            yield from self.alive_barrier()
+            if self.halted or network.is_down(self.name):
+                yield from self.alive_barrier()
         finally:
             self.cpu.release(req)

@@ -40,6 +40,13 @@ class Network:
         self.env = env
         self.costs = costs
         self.metrics = MetricsRegistry("network")
+        # Pre-bound counters: send/send_response run once per message, so
+        # the per-call registry lookup is paid here instead.
+        self._messages = self.metrics.counter("messages")
+        self._bytes = self.metrics.counter("bytes")
+        self._responses = self.metrics.counter("responses")
+        self._response_bytes = self.metrics.counter("response_bytes")
+        self._dropped = self.metrics.counter("dropped")
         self._nodes = {}
         #: Names of nodes currently down (crashed or hung).
         self._down = set()
@@ -136,7 +143,7 @@ class Network:
                 and (src, dst) not in self._blocked)
 
     def _drop(self, message):
-        self.metrics.counter("dropped").inc(message.kind)
+        self._dropped.inc(message.kind)
 
     # -- sending ---------------------------------------------------------
 
@@ -154,27 +161,29 @@ class Network:
         """
         dst = self.node(message.recipient)
         message.send_time = self.env.now
-        if not self.reachable(message.sender, message.recipient):
+        faults = self._down or self._blocked
+        if faults and not self.reachable(message.sender, message.recipient):
             self._drop(message)
             return
         if message.sender == message.recipient:
-            self.metrics.counter("messages").inc(LOCAL_LABEL)
-            self.metrics.counter("bytes").inc(LOCAL_LABEL, message.size)
+            self._messages.inc(LOCAL_LABEL)
+            self._bytes.inc(LOCAL_LABEL, message.size)
             message.arrive_time = self.env.now
             dst.deliver(message)
             return
-        self.metrics.counter("messages").inc(message.kind)
-        self.metrics.counter("bytes").inc(message.kind, message.size)
+        self._messages.inc(message.kind)
+        self._bytes.inc(message.kind, message.size)
         delay = self.costs.hop_us(message.size)
         ctx = message.ctx
 
         def arrive(env=self.env):
-            yield env.timeout(delay)
-            if not self.reachable(message.sender, message.recipient):
+            yield env.schedule_timeout(delay)
+            if ((self._down or self._blocked) and not
+                    self.reachable(message.sender, message.recipient)):
                 self._drop(message)
                 return
             message.arrive_time = env.now
-            if ctx is not None and ctx.tracer.enabled:
+            if ctx is not None and ctx.traced:
                 ctx.record(
                     "net.hop", CAT_NET, message.send_time, env.now,
                     node=message.recipient,
@@ -196,21 +205,23 @@ class Network:
         across a partition, is black-holed.
         """
         requester = message.sender
-        if not self.reachable(responder, requester):
+        faults = self._down or self._blocked
+        if faults and not self.reachable(responder, requester):
             self._drop(message)
             return
         if responder == requester:
-            self.metrics.counter("responses").inc(LOCAL_LABEL)
-            self.metrics.counter("response_bytes").inc(LOCAL_LABEL, size)
+            self._responses.inc(LOCAL_LABEL)
+            self._response_bytes.inc(LOCAL_LABEL, size)
             deliver()
             return
-        self.metrics.counter("responses").inc(message.kind)
-        self.metrics.counter("response_bytes").inc(message.kind, size)
+        self._responses.inc(message.kind)
+        self._response_bytes.inc(message.kind, size)
         delay = self.costs.hop_us(size)
 
         def arrive(env=self.env):
-            yield env.timeout(delay)
-            if not self.reachable(responder, requester):
+            yield env.schedule_timeout(delay)
+            if ((self._down or self._blocked) and not
+                    self.reachable(responder, requester)):
                 self._drop(message)
                 return
             deliver()
@@ -224,22 +235,19 @@ class Network:
         total (co-located deliveries included) when ``kind`` is ``None``.
         Response hops are counted separately — see :meth:`response_count`.
         """
-        counter = self.metrics.counter("messages")
         if kind is None:
-            return counter.total()
-        return counter.get(kind)
+            return self._messages.total()
+        return self._messages.get(kind)
 
     def response_count(self, kind=None):
         """Response deliveries, keyed by the request kind (or the grand
         total when ``kind`` is ``None``)."""
-        counter = self.metrics.counter("responses")
         if kind is None:
-            return counter.total()
-        return counter.get(kind)
+            return self._responses.total()
+        return self._responses.get(kind)
 
     def dropped_count(self, kind=None):
         """Black-holed messages (down node or partition), by kind."""
-        counter = self.metrics.counter("dropped")
         if kind is None:
-            return counter.total()
-        return counter.get(kind)
+            return self._dropped.total()
+        return self._dropped.get(kind)

@@ -70,8 +70,8 @@ class _SpanScope:
 class OpContext:
     """Per-operation identity, deadline and retry budget."""
 
-    __slots__ = ("op_id", "op", "origin", "env", "tracer", "deadline",
-                 "retry_policy", "attempt", "root", "current")
+    __slots__ = ("op_id", "op", "origin", "env", "tracer", "traced",
+                 "deadline", "retry_policy", "attempt", "root", "current")
 
     def __init__(self, env, op, origin=None, tracer=NULL_TRACER,
                  deadline=None, retry_policy=None):
@@ -80,6 +80,11 @@ class OpContext:
         self.origin = origin
         self.env = env
         self.tracer = tracer
+        #: Cached ``tracer.enabled`` — ``enabled`` is a class attribute on
+        #: both tracer types, fixed for the tracer's lifetime, so hot call
+        #: sites can gate span/attrs work on one attribute load.  Callers
+        #: use it to skip building ``attrs`` dicts entirely when untraced.
+        self.traced = tracer.enabled
         #: Absolute simulated time the operation must finish by, or None.
         self.deadline = deadline
         self.retry_policy = retry_policy
@@ -103,7 +108,7 @@ class OpContext:
 
     def begin(self, node=None, attrs=None, category=CAT_OP):
         """Open the root span for this operation."""
-        if not self.tracer.enabled:
+        if not self.traced:
             return None
         self.root = self.tracer.start(
             self.op_id, self.op, category, node or self.origin,
@@ -124,7 +129,7 @@ class OpContext:
 
     def start_span(self, name, category, node=None, attrs=None):
         """Open a child span of the currently-open span (or ``None``)."""
-        if not self.tracer.enabled:
+        if not self.traced:
             return None
         parent = self.current.span_id if self.current is not None else None
         return self.tracer.start(
@@ -134,7 +139,7 @@ class OpContext:
 
     def record(self, name, category, start, end, node=None, attrs=None):
         """Record an already-elapsed interval under the current span."""
-        if not self.tracer.enabled:
+        if not self.traced:
             return None
         parent = self.current.span_id if self.current is not None else None
         return self.tracer.record(
@@ -144,7 +149,7 @@ class OpContext:
 
     def span(self, name, category, node=None, attrs=None):
         """``with ctx.span(...):`` — child span scoped to the block."""
-        if not self.tracer.enabled:
+        if not self.traced:
             return _NULL_SCOPE
         return _SpanScope(self, self.start_span(name, category, node, attrs))
 
@@ -165,6 +170,7 @@ class _NullContext:
     origin = None
     env = None
     tracer = NULL_TRACER
+    traced = False
     deadline = None
     retry_policy = None
     attempt = 0

@@ -101,7 +101,8 @@ def retry(node, ctx, attempt_fn, policy=None, retryable=RETRYABLE):
                     "backoff past deadline ({})".format(failure),
                 )
             with ctx.span("backoff", CAT_RETRY, node=node.name,
-                          attrs={"attempt": attempt}):
+                          attrs={"attempt": attempt}
+                          if ctx.traced else None):
                 yield node.env.timeout(delay)
     raise failure
 

@@ -16,10 +16,34 @@ Design notes
   it is processed: errors never pass silently.
 * Time is a ``float`` in arbitrary units; the FalconFS layers use
   microseconds by convention (see :mod:`repro.net.costs`).
+
+Fast-path notes
+---------------
+Simulator speed bounds every experiment in this repository, so the hot
+path is deliberately flat (see ``docs/architecture.md`` § "Simulator
+performance" for the contract):
+
+* every event class uses ``__slots__`` — no per-event ``__dict__``;
+* the heap sequence is a plain ``int`` incremented inline, and the hot
+  constructors (:class:`Timeout`, :class:`Initialize`, ``succeed`` /
+  ``fail``) push their heap entry directly instead of going through
+  :meth:`Environment._schedule`;
+* a :class:`Timeout` starts with the shared immutable
+  ``_NO_CALLBACKS`` tuple instead of allocating a callback list; the
+  first waiter swaps in a single-element list.  ``Environment.
+  schedule_timeout`` is the fastest constructor for the overwhelmingly
+  common bare value-less timeout;
+* :meth:`Process._resume` binds the generator's ``send``/``throw`` once
+  and type-checks yielded targets with EAFP instead of ``isinstance``;
+* :meth:`Environment.run` inlines the :meth:`step` body in its loops.
+
+None of this changes *what* is simulated: the scheduling order — the
+``(time, priority, sequence)`` triple assigned to every event — is
+bit-identical to the original kernel, which the golden-trace test
+(``tests/test_perf_golden.py``) pins down.
 """
 
 from heapq import heappop, heappush
-from itertools import count
 
 #: Scheduling priorities.  URGENT entries at the same timestamp run before
 #: NORMAL ones; this keeps "wake the waiter" ahead of "start the next op".
@@ -27,6 +51,11 @@ URGENT = 0
 NORMAL = 1
 
 _PENDING = object()
+
+#: Shared immutable "no callbacks yet" marker for freshly created hot-path
+#: events (timeouts).  Distinct from ``None``, which means *processed*.
+#: The first waiter replaces it with a real single-element list.
+_NO_CALLBACKS = ()
 
 
 class SimulationError(Exception):
@@ -58,6 +87,8 @@ class Event:
     them.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
     def __init__(self, env):
         self.env = env
         self.callbacks = []
@@ -69,7 +100,7 @@ class Event:
 
     def __repr__(self):
         state = "pending"
-        if self.triggered:
+        if self._value is not _PENDING:
             state = "ok" if self._ok else "failed"
         return "<{} {} at {:#x}>".format(type(self).__name__, state, id(self))
 
@@ -99,47 +130,80 @@ class Event:
 
     def succeed(self, value=None, priority=NORMAL):
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered: {!r}".format(self))
         self._ok = True
         self._value = value
-        self.env._schedule(self, priority=priority)
+        env = self.env
+        seq = env._seq
+        env._seq = seq + 1
+        heappush(env._queue, (env._now, priority, seq, self))
         return self
 
     def fail(self, exception, priority=NORMAL):
         """Trigger the event as failed with ``exception``."""
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered: {!r}".format(self))
         self._ok = False
         self._value = exception
-        self.env._schedule(self, priority=priority)
+        env = self.env
+        seq = env._seq
+        env._seq = seq + 1
+        heappush(env._queue, (env._now, priority, seq, self))
         return self
+
+
+def _add_callback(event, callback):
+    """Append ``callback`` to a not-yet-processed event.
+
+    Swaps the shared ``_NO_CALLBACKS`` marker for a real list on first
+    use, so bare timeouts that nobody ever waits on allocate nothing.
+    """
+    callbacks = event.callbacks
+    if callbacks is _NO_CALLBACKS:
+        event.callbacks = [callback]
+    else:
+        callbacks.append(callback)
 
 
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env, delay, value=None):
         if delay < 0:
             raise SimulationError("negative delay: {!r}".format(delay))
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Flattened Event.__init__ plus direct heap push: one Timeout per
+        # CPU slice / wire hop / WAL fsync makes this the hottest
+        # constructor in the simulator.
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
         self._value = value
-        env._schedule(self, delay=delay)
+        self._ok = True
+        self.defused = False
+        self.delay = delay
+        seq = env._seq
+        env._seq = seq + 1
+        heappush(env._queue, (env._now + delay, NORMAL, seq, self))
 
 
 class Initialize(Event):
     """Internal event that starts a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env, process):
-        super().__init__(env)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        self.callbacks.append(process._resume)
-        env._schedule(self, priority=URGENT)
+        self._ok = True
+        self.defused = False
+        seq = env._seq
+        env._seq = seq + 1
+        heappush(env._queue, (env._now, URGENT, seq, self))
 
 
 class Process(Event):
@@ -150,12 +214,21 @@ class Process(Event):
     processes may therefore ``yield`` a process to wait for its completion.
     """
 
+    __slots__ = ("_generator", "_target", "_send", "_throw")
+
     def __init__(self, env, generator):
-        if not hasattr(generator, "throw"):
+        try:
+            self._send = generator.send
+            self._throw = generator.throw
+        except AttributeError:
             raise SimulationError(
                 "process() requires a generator, got {!r}".format(generator)
-            )
-        super().__init__(env)
+            ) from None
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self.defused = False
         self._generator = generator
         self._target = None
         Initialize(env, self)
@@ -167,78 +240,93 @@ class Process(Event):
 
     def interrupt(self, cause=None):
         """Throw :class:`Interrupt` into the process at its next resume."""
-        if not self.is_alive:
+        if self._value is not _PENDING:
             raise SimulationError("cannot interrupt dead process")
-        if self.env._active_process is self:
+        env = self.env
+        if env._active_process is self:
             raise SimulationError("process cannot interrupt itself")
-        event = Event(self.env)
+        event = Event(env)
         event._ok = False
         event._value = Interrupt(cause)
         event.defused = True
         event.callbacks.append(self._resume)
-        self.env._schedule(event, priority=URGENT)
+        env._schedule(event, priority=URGENT)
         # Detach from the event the process was waiting on: the interrupt
         # wins the race, and the original event must not resume us twice.
-        if self._target is not None and self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume)
             except ValueError:
                 pass
         self._target = None
 
     def _resume(self, event):
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        send = self._send
+        throw = self._throw
         while True:
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = send(event._value)
                 else:
                     event.defused = True
-                    target = self._generator.throw(event._value)
+                    target = throw(event._value)
             except StopIteration as stop:
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(stop.value, priority=URGENT)
                 return
             except BaseException as exc:
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(exc, priority=URGENT)
                 return
 
-            if not isinstance(target, Event):
+            # EAFP stand-in for ``isinstance(target, Event)``: every event
+            # has a ``callbacks`` attribute (``None`` once processed);
+            # anything else yielded is a bug in the process function.
+            try:
+                callbacks = target.callbacks
+            except AttributeError:
                 exc = SimulationError(
                     "process yielded a non-event: {!r}".format(target)
                 )
-                self.env._active_process = None
+                env._active_process = None
                 try:
-                    self._generator.throw(exc)
+                    throw(exc)
                 except BaseException as err:
                     self.fail(err, priority=URGENT)
                     return
                 raise exc
 
-            if target.processed:
-                # Already done: loop and feed the value straight back in.
+            if callbacks is None:
+                # Already processed: loop and feed the value straight in.
                 event = target
                 continue
             self._target = target
-            target.callbacks.append(self._resume)
+            if callbacks is _NO_CALLBACKS:
+                target.callbacks = [self._resume]
+            else:
+                callbacks.append(self._resume)
             break
-        self.env._active_process = None
+        env._active_process = None
 
 
 class Condition(Event):
     """Base for :class:`AllOf` / :class:`AnyOf` combinators."""
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, env, events):
         super().__init__(env)
         self._events = list(events)
         self._pending = 0
         for event in self._events:
-            if event.processed:
+            if event.callbacks is None:
                 self._observe(event)
             else:
                 self._pending += 1
-                event.callbacks.append(self._observe)
+                _add_callback(event, self._observe)
 
     def _observe(self, event):
         raise NotImplementedError
@@ -246,6 +334,8 @@ class Condition(Event):
 
 class AllOf(Condition):
     """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ()
 
     def __init__(self, env, events):
         super().__init__(env, events)
@@ -273,6 +363,8 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Fires when the first child event fires; value is that event's value."""
 
+    __slots__ = ()
+
     def __init__(self, env, events):
         if not events:
             raise SimulationError("AnyOf requires at least one event")
@@ -293,10 +385,13 @@ class AnyOf(Condition):
 class Environment:
     """The simulation clock and event queue."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process")
+
     def __init__(self, initial_time=0.0):
         self._now = float(initial_time)
         self._queue = []
-        self._seq = count()
+        #: Plain int tie-breaker; incremented inline on the hot paths.
+        self._seq = 0
         self._active_process = None
 
     def __repr__(self):
@@ -312,10 +407,16 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def events_scheduled(self):
+        """Total heap entries scheduled so far (the bench harness's
+        events metric; monotone, cheap, deterministic)."""
+        return self._seq
+
     def _schedule(self, event, delay=0.0, priority=NORMAL):
-        heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), event)
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (self._now + delay, priority, seq, event))
 
     # -- public event constructors ------------------------------------
 
@@ -326,6 +427,26 @@ class Environment:
     def timeout(self, delay, value=None):
         """Create an event that fires after ``delay`` time units."""
         return Timeout(self, delay, value)
+
+    def schedule_timeout(self, delay):
+        """Fast path for the overwhelmingly common bare timeout.
+
+        Identical scheduling to ``timeout(delay)`` — same heap entry,
+        same sequence number — minus the value/validation overhead and
+        the callback-list allocation.  Callers guarantee ``delay >= 0``
+        (every cost in :mod:`repro.net.costs` is non-negative).
+        """
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event.callbacks = _NO_CALLBACKS
+        event._value = None
+        event._ok = True
+        event.defused = False
+        event.delay = delay
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (self._now + delay, NORMAL, seq, event))
+        return event
 
     def process(self, generator):
         """Start a new :class:`Process` driving ``generator``."""
@@ -366,35 +487,57 @@ class Environment:
         ``until`` may be ``None`` (run until the queue drains), a number
         (run until that simulated time) or an :class:`Event` (run until it
         is processed, returning its value or re-raising its failure).
+
+        The loops below inline :meth:`step` — one function call per event
+        is the single largest fixed cost in the simulator.
         """
         if isinstance(until, Event):
             return self._run_until_event(until)
+        queue = self._queue
+        pop = heappop
         if until is not None:
             horizon = float(until)
             if horizon < self._now:
                 raise SimulationError(
                     "until={} is in the past (now={})".format(horizon, self._now)
                 )
-            while self._queue and self._queue[0][0] <= horizon:
-                self.step()
+            while queue and queue[0][0] <= horizon:
+                self._now, _, _, event = pop(queue)
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value
             self._now = horizon
             return None
-        while self._queue:
-            self.step()
+        while queue:
+            self._now, _, _, event = pop(queue)
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                raise event._value
         return None
 
     def _run_until_event(self, until):
         stop = []
-        if until.processed:
+        if until.callbacks is None:
             stop.append(until)
         else:
-            until.callbacks.append(stop.append)
+            _add_callback(until, stop.append)
+        queue = self._queue
+        pop = heappop
         while not stop:
-            if not self._queue:
+            if not queue:
                 raise SimulationError(
                     "simulation ran out of events before {!r} fired".format(until)
                 )
-            self.step()
+            self._now, _, _, event = pop(queue)
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                raise event._value
         if until._ok:
             return until._value
         until.defused = True

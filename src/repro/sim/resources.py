@@ -9,19 +9,33 @@ Two primitives cover everything the FalconFS layers need:
 
 Both hand out plain :class:`~repro.sim.engine.Event` objects so processes
 interact with them via ``yield``, exactly like timeouts.
+
+Cancellation discipline: a queued :class:`Request` or getter event may be
+failed out-of-band (an interrupt or timeout path).  Both primitives skip
+already-triggered entries when granting — waking a dead waiter would
+crash the grant loop with "event already triggered" — and compact them
+out of their queues so long runs do not accumulate dead events.
 """
 
 from collections import deque
 from contextlib import contextmanager
 
-from repro.sim.engine import Event, SimulationError
+from repro.sim.engine import _PENDING, Event, SimulationError
 
 
 class Request(Event):
     """Event granted by :class:`Resource.request` once capacity is free."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource):
-        super().__init__(resource.env)
+        # Flattened Event.__init__ (no super() hop): requests are made
+        # once per CPU slice / IO, one of the hottest allocation sites.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self.defused = False
         self.resource = resource
 
 
@@ -43,6 +57,8 @@ class Resource:
     ...     yield req
     ...     yield env.timeout(service_time)
     """
+
+    __slots__ = ("env", "capacity", "_users", "_waiters")
 
     def __init__(self, env, capacity=1):
         if capacity < 1:
@@ -89,6 +105,10 @@ class Resource:
             raise SimulationError("release of a request not held: {!r}".format(req))
         while self._waiters and len(self._users) < self.capacity:
             nxt = self._waiters.popleft()
+            if nxt.triggered:
+                # Cancelled/failed while queued (parity with Store.put's
+                # cancelled-getter skip): granting would double-trigger.
+                continue
             self._users.add(nxt)
             nxt.succeed()
 
@@ -114,6 +134,8 @@ class Store:
     saturation experiments).  ``get`` returns an event that fires with the
     next item as soon as one is available.
     """
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env):
         self.env = env
@@ -144,7 +166,15 @@ class Store:
         if self._items:
             event.succeed(self._items.popleft())
         else:
-            self._getters.append(event)
+            getters = self._getters
+            if getters and getters[0].triggered:
+                # Compact cancelled getters eagerly rather than waiting
+                # for a future put to walk past them — an idle store
+                # must not pin dead events for the rest of the run.
+                self._getters = getters = deque(
+                    g for g in getters if not g.triggered
+                )
+            getters.append(event)
         return event
 
     def get_nowait(self):

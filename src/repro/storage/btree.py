@@ -42,12 +42,17 @@ class BLinkTree:
         self.order = order
         self._root = _TreeNode(leaf=True)
         self._size = 0
+        #: Hash shadow of the leaf level: key -> value.  Point reads are
+        #: the hot path (every dentry/inode access); the tree structure
+        #: is only needed for ordered scans, so ``get`` answers from the
+        #: dict and ``insert``/``delete`` keep both in lockstep.
+        self._map = {}
 
     def __len__(self):
         return self._size
 
     def __contains__(self, key):
-        return self.get(key, default=_MISSING) is not _MISSING
+        return key in self._map
 
     # -- search ----------------------------------------------------------
 
@@ -68,11 +73,7 @@ class BLinkTree:
 
     def get(self, key, default=None):
         """Return the value for ``key``, or ``default`` if absent."""
-        leaf, _ = self._descend(key)
-        idx = bisect.bisect_left(leaf.keys, key)
-        if idx < len(leaf.keys) and leaf.keys[idx] == key:
-            return leaf.values[idx]
-        return default
+        return self._map.get(key, default)
 
     # -- mutation ----------------------------------------------------------
 
@@ -87,9 +88,11 @@ class BLinkTree:
         if idx < len(leaf.keys) and leaf.keys[idx] == key:
             if overwrite:
                 leaf.values[idx] = value
+                self._map[key] = value
             return False
         leaf.keys.insert(idx, key)
         leaf.values.insert(idx, value)
+        self._map[key] = value
         self._size += 1
         self._split_upward(leaf, path)
         return True
@@ -101,6 +104,7 @@ class BLinkTree:
         if idx < len(leaf.keys) and leaf.keys[idx] == key:
             leaf.keys.pop(idx)
             leaf.values.pop(idx)
+            del self._map[key]
             self._size -= 1
             return True
         return False
@@ -193,6 +197,7 @@ class BLinkTree:
         for key in self.keys():
             assert prev is None or prev < key, "leaf chain out of order"
             prev = key
+        assert self._map == dict(self.items()), "hash shadow out of sync"
 
     def _check_node(self, node, lo, hi):
         keys = node.keys

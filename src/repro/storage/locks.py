@@ -21,6 +21,9 @@ class LockMode:
     EXCLUSIVE = "X"
 
 
+_MODES = (LockMode.SHARED, LockMode.EXCLUSIVE)
+
+
 class Grant:
     """A held (or queued) lock; pass back to :meth:`LockManager.release`."""
 
@@ -58,17 +61,21 @@ class LockManager:
         """Request a lock; returns a :class:`Grant` whose ``event`` fires
         once the lock is held.  With a traced ``ctx``, a ``lock.wait``
         span covers any time spent queued behind other holders."""
-        if mode not in (LockMode.SHARED, LockMode.EXCLUSIVE):
+        if mode not in _MODES:
             raise SimulationError("bad lock mode: {!r}".format(mode))
         state = self._locks.get(key)
         if state is None:
+            # Fresh key: trivially grantable, skip the compatibility scan.
             state = _LockState()
             self._locks[key] = state
+            grant = Grant(key, mode, self.env.event())
+            self._grant(state, grant)
+            return grant
         grant = Grant(key, mode, self.env.event())
         if self._grantable(state, mode):
             self._grant(state, grant)
         else:
-            if ctx is not None and ctx.tracer.enabled:
+            if ctx is not None and ctx.traced:
                 grant.span = ctx.start_span(
                     "lock.wait", CAT_LOCK,
                     attrs={"key": str(key), "mode": mode},

@@ -233,8 +233,8 @@ def divergence(primary, standby):
     )
     for name, table in pairs:
         replica = standby.tables.get(name, Table(name))
-        keys = set(k for k, _ in table.scan())
-        keys |= set(k for k, _ in replica.scan())
+        keys = {k for k, _ in table.scan()}
+        keys |= {k for k, _ in replica.scan()}
         for key in sorted(keys):
             if name == "dentry" and not _owned_by(primary, key):
                 continue

@@ -43,28 +43,40 @@ class WalRecord:
     for control records (2PC votes) that carry no redo content.
     """
 
-    __slots__ = ("lsn", "payload", "nbytes", "checksum", "stored")
+    __slots__ = ("lsn", "payload", "nbytes", "_delta")
 
     def __init__(self, lsn, payload, nbytes):
         self.lsn = lsn
         self.payload = payload
         self.nbytes = nbytes
-        self.checksum = wal_checksum(lsn, payload)
-        #: What the medium actually holds; diverges when the record is
-        #: torn by a mid-flush crash or corrupted by fault injection.
-        self.stored = self.checksum
+        #: XOR distance between the stored and the true checksum.  Zero
+        #: means the on-disk image is intact; a mid-flush tear or fault
+        #:  injection sets a nonzero delta.  Kept as a delta so the CRC
+        #: itself is only computed when something actually reads it —
+        #: commits on the happy path never pay for it.
+        self._delta = 0
 
     def tear(self):
         """Mark the on-disk image partial (crash mid-write)."""
-        self.stored = self.checksum ^ 0xFFFFFFFF
+        self._delta = 0xFFFFFFFF
 
     def corrupt(self):
         """Flip the stored checksum (disk corruption injection)."""
-        self.stored = self.checksum ^ 0x1
+        self._delta = 0x1
+
+    @property
+    def checksum(self):
+        return wal_checksum(self.lsn, self.payload)
+
+    @property
+    def stored(self):
+        """What the medium actually holds; diverges from ``checksum``
+        when the record is torn or corrupted."""
+        return self.checksum ^ self._delta
 
     @property
     def intact(self):
-        return self.stored == self.checksum
+        return self._delta == 0
 
 
 class WalSegment:
@@ -123,7 +135,7 @@ class WriteAheadLog:
             # A dead machine's log accepts nothing; the caller parks on
             # an event that never fires (its process died too).
             return done
-        if ctx is not None and ctx.tracer.enabled:
+        if ctx is not None and ctx.traced:
             span = ctx.start_span(
                 "wal.commit", CAT_WAL,
                 attrs={"bytes": nbytes, "records": records},
@@ -172,7 +184,7 @@ class WriteAheadLog:
             duration = (
                 self.costs.wal_fsync_us + nbytes * self.costs.wal_us_per_byte
             )
-            yield self.env.timeout(duration)
+            yield self.env.schedule_timeout(duration)
             if self.failed:
                 # The machine lost power while this fsync was in flight:
                 # the batch is a torn tail — partially persisted, failing

@@ -29,20 +29,32 @@ from repro.vfs.attrs import ROOT_INO, InodeAttrs
 LOOKUP_PARENT = 0x1
 
 
-def normalize_path(path):
-    """Normalize to an absolute, no-trailing-slash, no-empty-component path."""
-    if not path or not path.startswith("/"):
-        raise ValueError("path must be absolute: {!r}".format(path))
-    parts = [p for p in path.split("/") if p]
-    for part in parts:
-        if part in (".", ".."):
-            raise ValueError("'.'/'..' components not supported: {!r}".format(path))
-    return "/" + "/".join(parts)
+_split_cache = {}
 
 
 def split_path(path):
-    """Split a normalized path into its components ('/' -> [])."""
-    return [p for p in normalize_path(path).split("/") if p]
+    """Split a path into its components ('/' -> []), validating it.
+
+    Results are memoized (every path is split at least twice: once by
+    the client, once by the serving MNode) and returned as fresh lists,
+    so callers may slice or mutate freely.  The cache grows with the
+    set of distinct paths, which the simulated namespace bounds anyway.
+    """
+    cached = _split_cache.get(path)
+    if cached is not None:
+        return list(cached)
+    if not path or path[0] != "/":
+        raise ValueError("path must be absolute: {!r}".format(path))
+    parts = [p for p in path.split("/") if p]
+    if "." in parts or ".." in parts:
+        raise ValueError("'.'/'..' components not supported: {!r}".format(path))
+    _split_cache[path] = tuple(parts)
+    return parts
+
+
+def normalize_path(path):
+    """Normalize to an absolute, no-trailing-slash, no-empty-component path."""
+    return "/" + "/".join(split_path(path))
 
 
 def join_path(directory, name):
@@ -108,8 +120,9 @@ class PathWalker:
         current = self.root_attrs
         walked = 0
         attrs = None
-        with ctx.span("walk", CAT_PHASE, attrs={"components":
-                                                len(components)}):
+        with ctx.span("walk", CAT_PHASE,
+                      attrs={"components": len(components)}
+                      if ctx.traced else None):
             for index, name in enumerate(components):
                 final = index == len(components) - 1
                 flags = 0 if final else LOOKUP_PARENT

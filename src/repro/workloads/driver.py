@@ -141,7 +141,7 @@ def training_run(cluster, clients, files, num_gpus, batch_size,
         nxt = take_batch()
         inflight = env.process(fetch(client, nxt)) if nxt else None
         while True:
-            yield env.timeout(compute_us_per_batch)
+            yield env.schedule_timeout(compute_us_per_batch)
             compute_total += compute_us_per_batch
             if inflight is None:
                 break

@@ -345,8 +345,8 @@ class TestDetectorFailover:
     def test_failover_experiment_deterministic(self):
         from repro.experiments import failover
 
-        kwargs = dict(threads=4, duration_us=12000.0, warm_us=4000.0,
-                      seed=7)
+        kwargs = {"threads": 4, "duration_us": 12000.0, "warm_us": 4000.0,
+                  "seed": 7}
         assert failover.run(**kwargs) == failover.run(**kwargs)
 
 

@@ -130,7 +130,7 @@ class TestWalDurability:
 
 
 def _cluster(**overrides):
-    kwargs = dict(num_mnodes=2, num_storage=1, replication=True)
+    kwargs = {"num_mnodes": 2, "num_storage": 1, "replication": True}
     kwargs.update(overrides)
     return FalconCluster(FalconConfig(**kwargs))
 
@@ -373,7 +373,7 @@ class TestInjectorSchedules:
 
 
 class TestRestartExperiment:
-    QUICK = dict(threads=4, duration_us=16000.0, warm_us=5000.0)
+    QUICK = {"threads": 4, "duration_us": 16000.0, "warm_us": 5000.0}
 
     def test_deterministic_per_seed(self):
         from repro.experiments.restart import measure

@@ -63,6 +63,21 @@ class TestResource:
         res.release(held)
         assert res.count == 0
 
+    def test_release_skips_triggered_waiter(self, env):
+        # A queued Request failed out-of-band (timeout/interrupt) must be
+        # skipped when capacity frees up: succeeding it again would raise
+        # "event already triggered" and crash the grant loop.
+        res = Resource(env, capacity=1)
+        held = res.request()
+        dead = res.request()
+        live = res.request()
+        dead.fail(RuntimeError("cancelled"))
+        dead.defused = True
+        res.release(held)
+        assert live.triggered and res.count == 1
+        assert res.queue_length == 0
+        env.run()
+
     def test_use_context_manager_releases(self, env):
         res = Resource(env, capacity=1)
 
@@ -176,6 +191,21 @@ class TestStore:
         first.defused = True
         store.put("item")
         assert second.triggered and second.value == "item"
+        env.run()
+
+    def test_cancelled_getters_compacted_without_put(self, env):
+        # An idle store must not pin dead getter events until some future
+        # put walks past them: the next get() compacts triggered entries.
+        store = Store(env)
+        dead = [store.get() for _ in range(4)]
+        for event in dead:
+            event.fail(RuntimeError("cancelled"))
+            event.defused = True
+        live = store.get()
+        assert len(store._getters) == 1
+        assert store._getters[0] is live
+        store.put("item")
+        assert live.triggered and live.value == "item"
         env.run()
 
 
