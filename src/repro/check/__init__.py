@@ -1,0 +1,31 @@
+"""Deterministic simulation checking for FalconFS.
+
+The checker explores the schedule space the way deterministic-simulation
+shops (FoundationDB, TigerBeetle's VOPR) do: a seed expands into a
+random workload schedule (concurrent namespace operations across many
+clients) interleaved with a nemesis schedule (crashes, restarts, hangs,
+partitions, WAL corruption built from :mod:`repro.faults` primitives);
+the run records every client-visible acknowledgement into a history; and
+an oracle checks that history — plus the healed cluster's final state —
+against what a correct filesystem is allowed to do.  Failures shrink
+automatically to a minimal reproducer.
+
+Entry points:
+
+* :func:`repro.check.schedule.generate_schedule` — seed -> schedule
+* :func:`repro.check.runner.run_schedule` — schedule -> result
+* :func:`repro.check.shrink.shrink` — failing schedule -> minimal one
+* ``python -m repro.check run --seeds N`` / ``repro <seed-file>`` — CLI
+"""
+
+from repro.check.oracle import audit_history
+from repro.check.runner import run_schedule
+from repro.check.schedule import generate_schedule
+from repro.check.shrink import shrink
+
+__all__ = [
+    "audit_history",
+    "generate_schedule",
+    "run_schedule",
+    "shrink",
+]

@@ -1,0 +1,162 @@
+"""CLI for the simulation checker.
+
+``python -m repro.check run --seeds 50``
+    explore seeds 0..49; on the first failure, shrink it and write a
+    seed file with the minimal reproducer, then exit 2.
+
+``python -m repro.check repro <seed-file>``
+    replay a written seed file (the minimal schedule by default, the
+    original with ``--original``); exit 1 if violations reproduce.
+
+``python -m repro.check gen --seed 7``
+    print the expanded schedule for one seed (debugging aid).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.check.runner import run_schedule
+from repro.check.schedule import generate_schedule
+from repro.check.shrink import shrink
+
+
+def _schedule_kwargs(args):
+    return {
+        "num_ops": args.ops,
+        "num_clients": args.clients,
+        "num_mnodes": args.mnodes,
+        "num_storage": args.storage,
+        "num_nemeses": args.nemeses,
+        "budget_us": args.budget_us,
+        "quiesce_budget_us": args.quiesce_budget_us,
+    }
+
+
+def _summarize(result):
+    stats = result["stats"]
+    return ("{} ops ({} ok, {} failed), {} nemeses, "
+            "{} promotions, t={:.0f}us").format(
+        stats["ops_total"], stats["ops_ok"], stats["ops_failed"],
+        stats["nemesis_fired"], stats["promotions"],
+        stats["final_now_us"])
+
+
+def cmd_run(args):
+    started = time.monotonic()
+    for seed in range(args.start_seed, args.start_seed + args.seeds):
+        schedule = generate_schedule(seed, **_schedule_kwargs(args))
+        result = run_schedule(schedule)
+        if not result["violations"]:
+            print("seed {:4d}: ok   {}".format(seed, _summarize(result)))
+            continue
+        print("seed {:4d}: FAIL {}".format(seed, _summarize(result)))
+        for violation in result["violations"]:
+            print("  [{}] {}".format(violation["invariant"],
+                                     violation["message"]))
+        report = {
+            "seed": seed,
+            "violations": result["violations"],
+            "stats": result["stats"],
+            "history": result["history"],
+            "schedule": schedule,
+            "minimal": None,
+        }
+        if not args.no_shrink:
+            print("shrinking (budget {} runs)...".format(
+                args.max_shrink_runs))
+            minimal, runs, min_result = shrink(
+                schedule, max_runs=args.max_shrink_runs)
+            print("shrunk to {} ops + {} nemesis events in {} runs"
+                  .format(len(minimal["ops"]), len(minimal["nemeses"]),
+                          runs))
+            report["minimal"] = minimal
+            report["minimal_violations"] = min_result["violations"]
+            report["minimal_history"] = min_result["history"]
+            report["shrink_runs"] = runs
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "seed-{}.json".format(seed))
+        with open(path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("seed file: {}".format(path))
+        print("reproduce: python -m repro.check repro {}".format(path))
+        return 2
+    elapsed_min = (time.monotonic() - started) / 60.0
+    rate = args.seeds / elapsed_min if elapsed_min > 0 else float("inf")
+    print("{} seeds clean ({:.1f} schedules/minute)".format(
+        args.seeds, rate))
+    return 0
+
+
+def cmd_repro(args):
+    with open(args.file) as handle:
+        report = json.load(handle)
+    schedule = report["schedule"]
+    if not args.original and report.get("minimal"):
+        schedule = report["minimal"]
+    result = run_schedule(schedule)
+    print(_summarize(result))
+    if not result["violations"]:
+        print("no violations (did not reproduce)")
+        return 0
+    for violation in result["violations"]:
+        print("[{}] {}".format(violation["invariant"],
+                               violation["message"]))
+    return 1
+
+
+def cmd_gen(args):
+    schedule = generate_schedule(args.seed, **_schedule_kwargs(args))
+    json.dump(schedule, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+def _add_schedule_args(parser):
+    parser.add_argument("--ops", type=int, default=80)
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--mnodes", type=int, default=3)
+    parser.add_argument("--storage", type=int, default=2)
+    parser.add_argument("--nemeses", type=int, default=3)
+    parser.add_argument("--budget-us", type=float, default=600000.0)
+    parser.add_argument("--quiesce-budget-us", type=float,
+                        default=300000.0)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="python -m repro.check")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="explore seeds; shrink and save the first failure")
+    run_parser.add_argument("--seeds", type=int, default=50)
+    run_parser.add_argument("--start-seed", type=int, default=0)
+    run_parser.add_argument("--out", default="check-artifacts")
+    run_parser.add_argument("--no-shrink", action="store_true")
+    run_parser.add_argument("--max-shrink-runs", type=int, default=150)
+    _add_schedule_args(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    repro_parser = commands.add_parser(
+        "repro", help="replay a saved seed file")
+    repro_parser.add_argument("file")
+    repro_parser.add_argument(
+        "--original", action="store_true",
+        help="replay the full original schedule, not the minimal one")
+    repro_parser.set_defaults(func=cmd_repro)
+
+    gen_parser = commands.add_parser(
+        "gen", help="print the schedule for one seed")
+    gen_parser.add_argument("--seed", type=int, required=True)
+    _add_schedule_args(gen_parser)
+    gen_parser.set_defaults(func=cmd_gen)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

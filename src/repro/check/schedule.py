@@ -1,0 +1,175 @@
+"""Seeded schedule generation: one integer -> one reproducible run.
+
+A schedule is plain JSON data — operations with think times for each
+client, and nemesis events with absolute fire times — generated entirely
+up front from a private ``random.Random(seed)``.  Nothing is drawn at
+run time, which is what makes the shrinker sound: dropping any subset of
+ops or nemesis events replays the survivors bit-identically.
+
+Generation enforces the safety envelope the oracle's loss-accounting
+depends on:
+
+* **fault windows are globally serialized** — one MNode slot is in
+  trouble at a time, and every window ends with the slot healthy again
+  (restarted, un-hung or un-partitioned) plus a settling margin.
+  Overlapping faults would wedge the coordinator's repair broadcasts
+  (``invalidate_owner``/fsck fan out to *all* peers) and make promotion
+  loss unattributable.
+* **WAL corruption is always paired** with a crash of the same slot and
+  a restart late enough that the failure detector promotes the standby
+  first — the corrupted log is then discarded by the rejoin path.  A
+  fast resume would silently restore a truncated prefix, which is real
+  unhandled data loss, not a schedule the current system can pass.
+* **namespace pools are disjoint** — file names and directory names
+  never collide, and renames/chmods target files only, so the workload
+  never triggers the directory-wide invalidation broadcasts (rmdir,
+  directory chmod/rename) that fan out unbounded to every peer.
+"""
+
+import random
+
+#: Operation mix (kind, weight).  Creates/unlinks/renames/reads dominate;
+#: mkdir targets its own (childless) subdirectory pool.
+OP_MIX = (
+    ("create", 24),
+    ("unlink", 14),
+    ("rename", 9),
+    ("getattr", 16),
+    ("readdir", 8),
+    ("mkdir", 7),
+    ("chmod", 6),
+    ("write", 8),
+    ("read", 8),
+)
+
+NEMESIS_MIX = (
+    ("crash", 40),
+    ("corrupt_wal", 15),
+    ("hang", 25),
+    ("partition", 20),
+)
+
+CHMOD_MODES = (0o600, 0o640, 0o644, 0o660, 0o664)
+WRITE_SIZES = (512, 2048, 8192)
+
+
+def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
+                      num_storage=2, num_nemeses=3, budget_us=600000.0,
+                      quiesce_budget_us=300000.0):
+    """Expand ``seed`` into a complete, self-contained schedule dict."""
+    rng = random.Random(seed)
+    num_dirs = 3
+    dirs = ["/d{}".format(i) for i in range(num_dirs)]
+    subdirs = [
+        "{}/sub{}".format(d, j) for d in dirs for j in range(3)
+    ]
+    files = [
+        "{}/s{}.dat".format(d, j) for d in dirs for j in range(4)
+    ] + [
+        "{}/c{}n{}.dat".format(d, c, j)
+        for d in dirs for c in range(num_clients) for j in range(2)
+    ]
+
+    op_kinds = [kind for kind, _ in OP_MIX]
+    op_weights = [weight for _, weight in OP_MIX]
+    ops = []
+    for op_id in range(num_ops):
+        kind = rng.choices(op_kinds, weights=op_weights)[0]
+        op = {
+            "id": op_id,
+            "client": rng.randrange(num_clients),
+            "kind": kind,
+            "delay_us": round(rng.uniform(20.0, 160.0), 3),
+        }
+        if kind == "rename":
+            src = rng.choice(files)
+            dst = rng.choice([f for f in files if f != src])
+            op["src"] = src
+            op["dst"] = dst
+        elif kind == "mkdir":
+            op["path"] = rng.choice(subdirs)
+        elif kind == "readdir":
+            op["path"] = rng.choice(dirs)
+        elif kind == "getattr":
+            pool = files if rng.random() < 0.8 else dirs + subdirs
+            op["path"] = rng.choice(pool)
+        elif kind == "chmod":
+            op["path"] = rng.choice(files)
+            op["mode"] = rng.choice(CHMOD_MODES)
+        elif kind == "write":
+            op["path"] = rng.choice(files)
+            op["size"] = rng.choice(WRITE_SIZES)
+        else:  # create / unlink / read
+            op["path"] = rng.choice(files)
+        ops.append(op)
+
+    nemesis_kinds = [kind for kind, _ in NEMESIS_MIX]
+    nemesis_weights = [weight for _, weight in NEMESIS_MIX]
+    nemeses = []
+    busy_until = 1200.0
+    for group in range(num_nemeses):
+        start = busy_until + rng.uniform(300.0, 1500.0)
+        kind = rng.choices(nemesis_kinds, weights=nemesis_weights)[0]
+        index = rng.randrange(num_mnodes)
+        if kind == "crash":
+            nemeses.append({"group": group, "kind": "crash",
+                            "at_us": round(start, 3), "index": index})
+            if rng.random() < 0.45:
+                # Fast restart: redo recovery races (and may beat) the
+                # failure detector's promotion.
+                restart_at = start + rng.uniform(600.0, 1700.0)
+            else:
+                # Slow restart: promotion wins, the machine rejoins as a
+                # standby.
+                restart_at = start + rng.uniform(4500.0, 8000.0)
+            nemeses.append({"group": group, "kind": "restart",
+                            "at_us": round(restart_at, 3), "index": index})
+            busy_until = restart_at + 3000.0
+        elif kind == "corrupt_wal":
+            nemeses.append({
+                "group": group, "kind": "corrupt_wal",
+                "at_us": round(start, 3), "index": index,
+                "rng_seed": rng.getrandbits(48),
+            })
+            crash_at = start + rng.uniform(80.0, 300.0)
+            nemeses.append({"group": group, "kind": "crash",
+                            "at_us": round(crash_at, 3), "index": index})
+            # Late enough that detection (~miss_threshold * interval)
+            # promotes the standby first; the corrupt WAL is discarded.
+            restart_at = crash_at + rng.uniform(5200.0, 8000.0)
+            nemeses.append({"group": group, "kind": "restart",
+                            "at_us": round(restart_at, 3), "index": index})
+            busy_until = restart_at + 3000.0
+        elif kind == "hang":
+            duration = rng.uniform(300.0, 2400.0)
+            nemeses.append({
+                "group": group, "kind": "hang", "at_us": round(start, 3),
+                "index": index, "duration_us": round(duration, 3),
+            })
+            busy_until = start + duration + 2600.0
+        else:  # partition
+            duration = rng.uniform(400.0, 2600.0)
+            nemeses.append({
+                "group": group, "kind": "partition",
+                "at_us": round(start, 3), "index": index,
+                "duration_us": round(duration, 3),
+            })
+            busy_until = start + duration + 2600.0
+
+    return {
+        "version": 1,
+        "seed": seed,
+        "config": {
+            "num_mnodes": num_mnodes,
+            "num_storage": num_storage,
+            "num_clients": num_clients,
+            "replication": True,
+            "rpc_timeout_us": 400.0,
+            "op_deadline_us": 30000.0,
+            "budget_us": budget_us,
+            "quiesce_budget_us": quiesce_budget_us,
+        },
+        "preload_dirs": dirs,
+        "ops": ops,
+        "nemeses": nemeses,
+    }

@@ -1,0 +1,117 @@
+"""Shrink a failing schedule to a minimal reproducer.
+
+Because every random choice lives in the schedule itself (victims, fire
+times, per-event RNG seeds), any subset of a schedule is itself a valid
+schedule that replays bit-identically — dropping an op or a nemesis
+group never perturbs the survivors.  Shrinking is therefore plain
+delta-debugging, no seed gymnastics:
+
+1. **drop nemesis groups greedily** — a group is atomic (a crash and its
+   paired restart, or corrupt+crash+restart) so pairings survive;
+2. **ddmin over the ops** — complement-of-chunk removal with the classic
+   granularity schedule, cheapest reductions first;
+3. **re-try group drops** — a smaller op list often makes a fault
+   irrelevant that the full workload needed.
+
+Candidates are cached by content, the run budget bounds total work, and
+the smallest failing result seen is returned alongside the schedule.
+"""
+
+from repro.check.runner import run_schedule
+
+
+def _key(ops, nemeses):
+    return (
+        tuple(op["id"] for op in ops),
+        tuple((e["group"], e["kind"]) for e in nemeses),
+    )
+
+
+def shrink(schedule, run_fn=run_schedule, max_runs=150):
+    """Minimize a failing ``schedule``.
+
+    Returns ``(min_schedule, runs_used, min_result)`` where
+    ``min_result`` is the run result of the minimal schedule.  Raises
+    :class:`ValueError` if the schedule does not fail in the first place.
+    """
+    runs = 0
+    cache = {}
+    results = {}
+
+    def fails(ops, nemeses):
+        nonlocal runs
+        key = _key(ops, nemeses)
+        if key in cache:
+            return cache[key]
+        if runs >= max_runs:
+            return False
+        runs += 1
+        candidate = dict(schedule)
+        candidate["ops"] = list(ops)
+        candidate["nemeses"] = list(nemeses)
+        result = run_fn(candidate)
+        failing = bool(result["violations"])
+        cache[key] = failing
+        if failing:
+            results[key] = result
+        return failing
+
+    ops = list(schedule["ops"])
+    nemeses = list(schedule["nemeses"])
+    if not fails(ops, nemeses):
+        raise ValueError("schedule does not fail; nothing to shrink")
+
+    def drop_groups(ops, nemeses):
+        changed = True
+        while changed and runs < max_runs:
+            changed = False
+            for group in sorted({e["group"] for e in nemeses}):
+                candidate = [e for e in nemeses if e["group"] != group]
+                if fails(ops, candidate):
+                    nemeses = candidate
+                    changed = True
+                    break
+        return nemeses
+
+    def ddmin_ops(ops, nemeses):
+        granularity = 2
+        while len(ops) >= 2 and runs < max_runs:
+            size = max(1, len(ops) // granularity)
+            reduced = False
+            for start in range(0, len(ops), size):
+                candidate = ops[:start] + ops[start + size:]
+                if candidate and fails(candidate, nemeses):
+                    ops = candidate
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+            if not reduced:
+                if granularity >= len(ops):
+                    break
+                granularity = min(granularity * 2, len(ops))
+        # Final pass: try dropping each remaining op individually.
+        index = 0
+        while index < len(ops) and len(ops) > 1 and runs < max_runs:
+            candidate = ops[:index] + ops[index + 1:]
+            if fails(candidate, nemeses):
+                ops = candidate
+            else:
+                index += 1
+        return ops
+
+    nemeses = drop_groups(ops, nemeses)
+    ops = ddmin_ops(ops, nemeses)
+    nemeses = drop_groups(ops, nemeses)
+
+    minimal = dict(schedule)
+    minimal["ops"] = list(ops)
+    minimal["nemeses"] = list(nemeses)
+    minimal["shrunk_from"] = {
+        "ops": len(schedule["ops"]),
+        "nemeses": len(schedule["nemeses"]),
+    }
+    key = _key(ops, nemeses)
+    result = results.get(key)
+    if result is None:
+        result = run_fn(minimal)
+    return minimal, runs, result

@@ -77,6 +77,12 @@ class FalconClient(Node):
         self._requests = self.metrics.counter("requests")
         self._fake_inos = {}
         self._fake_next = -2
+        #: Ack-history tap: when set to a list, every *root* operation
+        #: appends one client-visible completion record (op, path,
+        #: start/end time, outcome) as it acknowledges — the history the
+        #: simulation checker's oracle audits.  None (the default) keeps
+        #: the hot path untouched.
+        self.ack_log = None
 
     # ------------------------------------------------------------------
     # public API (generators; drive via the cluster facade or env.process)
@@ -131,7 +137,7 @@ class FalconClient(Node):
                 )
                 self._drop_cached(path)
 
-        yield from self._traced(ctx, body())
+        yield from self._traced(ctx, body(), path=path)
 
     def rmdir(self, path):
         yield from self._coordinator_op("rmdir", {"path": path})
@@ -149,7 +155,7 @@ class FalconClient(Node):
         data = yield from self._traced(ctx, self._request(
             self.shared.mnode_name(target), "readdir", {"path": path},
             ctx=ctx,
-        ))
+        ), path=path)
         return [tuple(entry) for entry in data["entries"]]
 
     def read_file(self, path):
@@ -162,7 +168,7 @@ class FalconClient(Node):
                                         ctx=ctx)
             return attrs
 
-        attrs = yield from self._traced(ctx, body())
+        attrs = yield from self._traced(ctx, body(), path=path)
         self.metrics.counter("files").inc("read")
         return attrs["size"]
 
@@ -177,7 +183,7 @@ class FalconClient(Node):
             yield from self.close(path, size, ctx=ctx)
             return ino
 
-        ino = yield from self._traced(ctx, body())
+        ino = yield from self._traced(ctx, body(), path=path)
         self.metrics.counter("files").inc("written")
         return ino
 
@@ -215,15 +221,31 @@ class FalconClient(Node):
                   if ctx.traced and path is not None else None)
         return ctx
 
-    def _traced(self, ctx, gen):
+    def _traced(self, ctx, gen, path=None):
         """Generator: run ``gen`` to completion under ``ctx``'s root span."""
+        start_us = self.env.now
         try:
             result = yield from gen
         except BaseException as exc:
             ctx.finish(error=repr(exc))
+            if self.ack_log is not None:
+                self._ack(ctx.op, path, start_us, exc)
             raise
         ctx.finish()
+        if self.ack_log is not None:
+            self._ack(ctx.op, path, start_us)
         return result
+
+    def _ack(self, op, path, start_us, exc=None):
+        """Append one root-operation completion to the ack history."""
+        error = None
+        if exc is not None:
+            error = exc.code if isinstance(exc, RpcFailure) else repr(exc)
+        self.ack_log.append({
+            "client": self.name, "op": op, "path": path,
+            "start_us": start_us, "end_us": self.env.now,
+            "ok": exc is None, "error": error,
+        })
 
     def _client_cpu(self, ctx, cost_us):
         """Generator: charge client-side CPU, attributed to ``ctx``."""
@@ -242,12 +264,17 @@ class FalconClient(Node):
             # Root op: inline the _traced wrapper — one fewer generator
             # frame on every resume of the op's event chain.
             ctx = self._begin_op(op, path)
+            start_us = self.env.now
             try:
                 data = yield from self._meta_op_body(op, path, extra, ctx)
             except BaseException as exc:
                 ctx.finish(error=repr(exc))
+                if self.ack_log is not None:
+                    self._ack(op, path, start_us, exc)
                 raise
             ctx.finish()
+            if self.ack_log is not None:
+                self._ack(op, path, start_us)
             return data if extract is None else data[extract]
         with ctx.span("op." + op, CAT_PHASE, node=self.name):
             data = yield from self._meta_op_body(op, path, extra, ctx)
@@ -378,15 +405,20 @@ class FalconClient(Node):
 
     def _coordinator_op(self, op, payload, ctx=None):
         if ctx is None:
-            ctx = self._begin_op(op, payload.get("path") or
-                                 payload.get("src"))
+            op_path = payload.get("path") or payload.get("src")
+            ctx = self._begin_op(op, op_path)
+            start_us = self.env.now
             try:
                 body = yield from self._coordinator_op_body(op, payload,
                                                             ctx)
             except BaseException as exc:
                 ctx.finish(error=repr(exc))
+                if self.ack_log is not None:
+                    self._ack(op, op_path, start_us, exc)
                 raise
             ctx.finish()
+            if self.ack_log is not None:
+                self._ack(op, op_path, start_us)
             return body
         with ctx.span("op." + op, CAT_PHASE, node=self.name):
             body = yield from self._coordinator_op_body(op, payload, ctx)

@@ -228,8 +228,18 @@ class FalconCluster:
             record.uid = inode.uid
             record.gid = inode.gid
             record.state = VALID
-        for key, _ in node.inodes.scan():
+        for key, inode in node.inodes.scan():
             node._track_name(key, +1)
+            # Owned dentries are derivable state: if the record itself
+            # did not survive (lost behind a torn or corrupted WAL
+            # record, or never shipped to the standby), reconstruct it
+            # from the authoritative inode alongside it.
+            if (inode.is_dir and node._owns_dentry(key)
+                    and node.dentries.get(key) is None):
+                node.dentries.put(key, DentryRecord(
+                    ino=inode.ino, mode=inode.mode,
+                    uid=inode.uid, gid=inode.gid,
+                ))
         # The coordinator's exception table is authoritative; copy it in
         # place so the node's HybridIndex (bound at construction) sees it.
         xt = self.coordinator.xt
@@ -353,11 +363,56 @@ class FalconCluster:
     def fail_over(self, index):
         """Generator: the full recovery path for a dead MNode — promote
         its standby and run the coordinator's cluster repair (survivor
-        invalidation + orphan fsck).  Returns the failover record."""
+        invalidation + orphan fsck).  Returns the failover record.
+
+        If the slot is down but has no standby to promote (an earlier
+        promotion consumed it and no restart has restored one yet),
+        recovery is **deferred**: a record is logged and nothing changes
+        — the failure detector keeps re-declaring the slot until either
+        the crashed machine restarts in place or a standby reappears.
+        Promoting nothing would otherwise crash the control plane."""
+        failed_name = self.shared.mnode_name(index)
+        if self.network.is_down(failed_name) and (
+                index >= len(self.standbys)
+                or self.standbys[index] is None):
+            record = {
+                "index": index,
+                "failed": failed_name,
+                "promoted": None,
+                "deferred": True,
+                "detected_at": self.env.now,
+                "lost_txns": 0,
+                "orphans_removed": 0,
+            }
+            self.coordinator.failover_log.append(record)
+            self.coordinator.metrics.counter("failovers_deferred").inc()
+            return record
         record = yield from self.coordinator.fail_over(
             index, self.promote_standby
         )
         return record
+
+    def heal(self, restart=True):
+        """Clear every injected fault condition so the cluster can drain:
+        stop failure detection, lift all partitions and restart any
+        still-crashed slots (in slot order; each restart runs to
+        completion).  Hung nodes recover on their own timers and are left
+        alone — blanket ``set_up`` would unfence a crashed-but-never-
+        promoted node and let it serve its pre-crash zombie state.
+        Returns the restart records."""
+        if self.detector is not None:
+            self.detector.stop()
+        self.network.heal()
+        records = []
+        if restart:
+            for index in sorted(self._crashed):
+                records.append(self.run_process(self.restart_mnode(index)))
+        return records
+
+    def quiesce(self, budget_us=None):
+        """Drain the event queue (bounded by ``budget_us`` when given);
+        True when the simulation went fully quiescent."""
+        return self.env.run_until_quiescent(budget_us)
 
     def start_failure_detection(self, **kwargs):
         """Start the coordinator's heartbeat failure detector; detected

@@ -24,7 +24,7 @@ from repro.core.mnode import exception_table_to_wire
 from repro.core.replica import NamespaceReplicaMixin
 from repro.net import Node
 from repro.net.rpc import RpcError, RpcFailure
-from repro.obs import CAT_PHASE, NULL_CONTEXT
+from repro.obs import CAT_PHASE, NULL_CONTEXT, deadline_call
 from repro.storage import LockMode
 from repro.sim import Resource
 from repro.vfs.pathwalk import split_path
@@ -45,6 +45,12 @@ class Coordinator(NamespaceReplicaMixin, Node):
         self._txids = count(1)
         #: Serializes rename 2PC rounds (prevents cross-rename deadlock).
         self._rename_mutex = Resource(env, capacity=1)
+        #: txid -> "commit" | "abort", recorded *before* the decision is
+        #: sent to any participant.  Participants left in doubt (their
+        #: commit/abort was black-holed by a fault) query this via
+        #: ``rename_resolve``; absence means no commit was ever sent, so
+        #: the answer is presumed abort.
+        self._rename_outcomes = {}
         self.rebalance_log = []
         #: One record per completed failover (timeline + lost window).
         self.failover_log = []
@@ -219,30 +225,117 @@ class Coordinator(NamespaceReplicaMixin, Node):
             self._release(grants)
             self._rename_mutex.release(mutex)
 
+    def _mnode_call(self, target, kind, payload, ctx):
+        """Generator: one participant RPC on the rename path.
+
+        Bounded by the per-attempt RPC timeout when the cluster
+        configures one, so a dead or partitioned participant surfaces as
+        ``ETIMEDOUT`` instead of parking this handler forever while it
+        holds the global rename mutex and the namespace locks.  Without
+        a configured timeout the call is the plain unbounded one."""
+        timeout_us = self.shared.config.rpc_timeout_us or None
+        if timeout_us is None:
+            result = yield self.call(target, kind, payload, ctx=ctx)
+            return result
+        result = yield from deadline_call(
+            self, ctx, target, kind, payload, timeout_us=timeout_us,
+        )
+        return result
+
+    def _abort_rename(self, owners, txid, ctx):
+        """Generator: best-effort aborts — the outcome is already
+        recorded, so a participant whose abort is lost resolves the
+        in-doubt transaction itself via ``rename_resolve``."""
+        for owner in owners:
+            try:
+                yield from self._mnode_call(owner, "rename_abort",
+                                            {"txid": txid}, ctx)
+            except RpcFailure:
+                pass
+
+    def _complete_commit(self, txid, slot, actions):
+        """Process: re-deliver a decided commit to an unreachable
+        participant until it acknowledges.
+
+        Resolves the target name per attempt so retries follow a
+        promotion to the slot's new primary.  Only spawned under a
+        bounded RPC timeout (an unbounded commit call never fails), and
+        the redo path on the participant is idempotent, so re-delivering
+        an already-applied half is harmless."""
+        backoff = 1000.0
+        timeout_us = self.shared.config.rpc_timeout_us or 1000.0
+        while True:
+            yield self.env.timeout(backoff)
+            backoff = min(backoff * 2, 8000.0)
+            target = self.shared.mnode_name(slot)
+            try:
+                yield from deadline_call(
+                    self, NULL_CONTEXT, target, "rename_commit",
+                    {"txid": txid, "actions": actions},
+                    timeout_us=timeout_us,
+                )
+            except RpcFailure:
+                continue
+            self.metrics.counter("rename_commits_completed").inc()
+            return
+
+    def _on_rename_resolve(self, message):
+        """A participant terminating an in-doubt prepared transaction:
+        report the recorded outcome (presumed abort when none — no
+        commit can have been sent before the outcome was recorded)."""
+        txid = message.payload["txid"]
+        self.respond(message, {
+            "state": self._rename_outcomes.get(txid, "abort"),
+        })
+        return
+        yield  # pragma: no cover
+
     def _rename_2pc(self, message, skey, dkey):
         ctx = message.ctx or NULL_CONTEXT
         txid = "rn-{}".format(next(self._txids))
         src_owner = self._owner(*skey)
         dst_owner = self._owner(*dkey)
+        owners = [src_owner]
+        if dst_owner != src_owner:
+            owners.append(dst_owner)
+        timeout_us = self.shared.config.rpc_timeout_us or None
         with ctx.span("2pc", CAT_PHASE, node=self.name,
                       attrs={"txid": txid} if ctx.traced else None):
-            vote = yield self.call(src_owner, "rename_prepare", {
-                "txid": txid, "action": "delete", "key": list(skey),
-            }, ctx=ctx)
+            prepare = {"txid": txid, "action": "delete", "key": list(skey)}
+            if timeout_us is not None:
+                # Participants reject prepares they pick up after this
+                # instant: by then the coordinator has timed out and its
+                # abort may already have come and gone.
+                prepare["deadline"] = self.env.now + timeout_us
+            try:
+                vote = yield from self._mnode_call(
+                    src_owner, "rename_prepare", prepare, ctx
+                )
+            except RpcFailure:
+                self._rename_outcomes[txid] = "abort"
+                yield from self._abort_rename([src_owner], txid, ctx)
+                raise
             if not vote["ok"]:
-                yield self.call(src_owner, "rename_abort",
-                                {"txid": txid}, ctx=ctx)
+                self._rename_outcomes[txid] = "abort"
+                yield from self._abort_rename([src_owner], txid, ctx)
                 raise RpcFailure(RpcError.ENOENT, skey)
             record = vote["record"]
-            vote = yield self.call(dst_owner, "rename_prepare", {
-                "txid": txid, "action": "insert", "key": list(dkey),
-                "record": record,
-            }, ctx=ctx)
+            prepare = {"txid": txid, "action": "insert", "key": list(dkey),
+                       "record": record}
+            if timeout_us is not None:
+                prepare["deadline"] = self.env.now + timeout_us
+            try:
+                vote = yield from self._mnode_call(
+                    dst_owner, "rename_prepare", prepare, ctx
+                )
+            except RpcFailure:
+                self._rename_outcomes[txid] = "abort"
+                yield from self._abort_rename(owners, txid, ctx)
+                raise
             if not vote["ok"]:
                 # One abort per participant releases everything staged.
-                for owner in {src_owner, dst_owner}:
-                    yield self.call(owner, "rename_abort",
-                                    {"txid": txid}, ctx=ctx)
+                self._rename_outcomes[txid] = "abort"
+                yield from self._abort_rename(owners, txid, ctx)
                 raise RpcFailure(RpcError.EEXIST, dkey)
             if record["is_dir"]:
                 # Invalidate the source dentry everywhere; the two owners
@@ -260,9 +353,50 @@ class Coordinator(NamespaceReplicaMixin, Node):
                     ])
                 self.dentries.delete(skey)
                 self.inval_seq[("d",) + skey] += 1
-            for owner in {src_owner, dst_owner}:
-                yield self.call(owner, "rename_commit",
-                                {"txid": txid}, ctx=ctx)
+            # The decision is recorded before any commit is sent: a
+            # participant that never hears it terminates via
+            # ``rename_resolve`` and finds "commit" here.
+            self._rename_outcomes[txid] = "commit"
+            # Commits carry the decided actions so a participant that
+            # lost its staged state (crashed after voting, restarted
+            # from a WAL that holds only the empty vote record) can
+            # still apply its half — 2PC must not leave the source
+            # record alive on one owner with the destination copy
+            # already committed on the other.
+            delete_action = {"action": "delete", "key": list(skey),
+                             "ino": record["ino"]}
+            insert_action = {"action": "insert", "key": list(dkey),
+                             "record": record}
+            if dst_owner == src_owner:
+                plans = [(self.index.locate(*skey), src_owner,
+                          [delete_action, insert_action])]
+            else:
+                plans = [
+                    (self.index.locate(*skey), src_owner, [delete_action]),
+                    (self.index.locate(*dkey), dst_owner, [insert_action]),
+                ]
+            commit_failure = None
+            for slot, owner, actions in plans:
+                try:
+                    yield from self._mnode_call(
+                        owner, "rename_commit",
+                        {"txid": txid, "actions": actions}, ctx,
+                    )
+                except RpcFailure as failure:
+                    commit_failure = failure
+                    # The participant is unreachable and may have lost
+                    # its staged half across a crash; a background
+                    # completer re-delivers the decision (by slot, so it
+                    # follows promotions) until it lands.
+                    self.env.process(
+                        self._complete_commit(txid, slot, actions)
+                    )
+            if commit_failure is not None:
+                # The rename is decided and will apply everywhere (the
+                # unreachable participant self-resolves or the completer
+                # re-delivers), but this client cannot be told it is
+                # complete.
+                raise commit_failure
         self.metrics.counter("ops").inc("rename")
         self.respond(message, {"ok": True})
 

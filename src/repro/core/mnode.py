@@ -909,12 +909,22 @@ class MNode(NamespaceReplicaMixin, Node):
         txid = payload["txid"]
         key = tuple(payload["key"])
         action = payload["action"]
+        deadline = payload.get("deadline")
         igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE,
                                     ctx=message.ctx)
         yield igrant.event
         dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE,
                                     ctx=message.ctx)
         yield dgrant.event
+        if deadline is not None and self.env.now > deadline:
+            # The coordinator timed this attempt out while we were still
+            # queued on the locks; its abort may already have arrived and
+            # found nothing.  Staging now would hold these X grants with
+            # nobody left to release them — refuse the vote instead.
+            self.locks.release(igrant)
+            self.locks.release(dgrant)
+            self.respond(message, {"ok": False, "expired": True})
+            return
         yield from self.execute(self.costs.index_lookup_us, ctx=message.ctx)
         record = self.inodes.get(key)
         ok = record is not None if action == "delete" else record is None
@@ -925,14 +935,21 @@ class MNode(NamespaceReplicaMixin, Node):
         })
         # Persist the vote.
         yield self.wal.commit(self.costs.wal_record_bytes, ctx=message.ctx)
+        if deadline is not None:
+            # In-doubt termination: if neither commit nor abort shows up
+            # (both can be black-holed by a crash or partition), ask the
+            # coordinator for the recorded outcome rather than holding
+            # the staged X locks forever.
+            self.env.process(self._resolve_in_doubt(txid, deadline))
         response = {"ok": ok}
         if ok and action == "delete":
             response["record"] = inode_to_wire(record)
         self.respond(message, response)
 
-    def _on_rename_commit(self, message):
-        staged = self._staged.pop(message.payload["txid"], [])
-        txn = self._txn(ctx=message.ctx)
+    def _apply_rename(self, staged, ctx):
+        """Generator: apply a decided rename's staged actions in one
+        transaction and release the staged locks."""
+        txn = self._txn(ctx=ctx)
         for entry in staged:
             key = entry["key"]
             if entry["action"] == "delete":
@@ -952,16 +969,106 @@ class MNode(NamespaceReplicaMixin, Node):
                     ))
                 self._track_name(key, +1)
         yield from txn.commit()
+        self._release_staged(staged)
+
+    def _release_staged(self, staged):
         for entry in staged:
             for grant in entry["grants"]:
                 self.locks.release(grant)
+
+    def _resolve_in_doubt(self, txid, deadline):
+        """Process: terminate a prepared rename whose decision never
+        arrived (presumed abort, commit confirmed by the coordinator)."""
+        from repro.obs import deadline_call
+
+        grace = 2 * (self.shared.config.rpc_timeout_us or 1000.0)
+        yield self.env.timeout(max(0.0, deadline - self.env.now) + grace)
+        backoff = 500.0
+        while txid in self._staged and not self.halted:
+            try:
+                reply = yield from deadline_call(
+                    self, NULL_CONTEXT, self.shared.coordinator_name,
+                    "rename_resolve", {"txid": txid},
+                    timeout_us=self.shared.config.rpc_timeout_us or 1000.0,
+                )
+            except RpcFailure:
+                yield self.env.timeout(backoff)
+                backoff = min(backoff * 2, 8000.0)
+                continue
+            staged = self._staged.pop(txid, None)
+            if staged is None:
+                return
+            if reply["state"] == "commit":
+                yield from self._apply_rename(staged, NULL_CONTEXT)
+            else:
+                self._release_staged(staged)
+            return
+
+    def _on_rename_commit(self, message):
+        staged = self._staged.pop(message.payload["txid"], None)
+        if staged is not None:
+            yield from self._apply_rename(staged, message.ctx)
+        else:
+            # No staged state for this txid: either the decision was
+            # already applied (a completer re-delivery) or this node
+            # lost its prepared half across a crash/promotion.  Redo
+            # from the actions the commit carries, idempotently.
+            yield from self._redo_rename(
+                message.payload.get("actions") or [], message.ctx
+            )
         self.respond(message, {"ok": True})
+
+    def _redo_rename(self, actions, ctx):
+        """Generator: apply a decided rename's actions without staged
+        state, taking fresh locks per action.
+
+        Guards make re-delivery and crash interleavings safe: a delete
+        applies only while the key still holds the renamed ino, and an
+        insert only while the key is free — an op acknowledged after the
+        decision (a re-create of the source name, a create that took the
+        destination after promotion dropped the prepare) wins over the
+        redo, never the other way around."""
+        for action in actions:
+            key = tuple(action["key"])
+            igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE,
+                                        ctx=ctx)
+            yield igrant.event
+            dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE,
+                                        ctx=ctx)
+            yield dgrant.event
+            try:
+                current = self.inodes.get(key)
+                txn = None
+                if action["action"] == "delete":
+                    if current is not None and current.ino == action["ino"]:
+                        txn = self._txn(ctx=ctx)
+                        txn.delete(self.inodes, key)
+                        if current.is_dir:
+                            txn.delete(self.dentries, key)
+                            self.inval_seq[("d",) + key] += 1
+                        self._track_name(key, -1)
+                else:
+                    record = inode_from_wire(action["record"])
+                    if current is None:
+                        txn = self._txn(ctx=ctx)
+                        txn.put(self.inodes, key, record)
+                        if record.is_dir:
+                            txn.put(self.dentries, key, DentryRecord(
+                                ino=record.ino, mode=record.mode,
+                                uid=record.uid, gid=record.gid,
+                            ))
+                        self._track_name(key, +1)
+                if txn is not None:
+                    yield from txn.commit()
+                    self.metrics.counter("rename_redos").inc(
+                        action["action"])
+            finally:
+                self.locks.release(igrant)
+                self.locks.release(dgrant)
 
     def _on_rename_abort(self, message):
         staged = self._staged.pop(message.payload["txid"], [])
-        for entry in staged:
-            for grant in entry["grants"]:
-                self.locks.release(grant)
+        self._release_staged(staged)
         self.respond(message, {"ok": True})
         return
         yield  # pragma: no cover

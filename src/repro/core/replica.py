@@ -16,7 +16,7 @@ from collections import defaultdict
 
 from repro.core.records import INVALID, VALID, DentryRecord
 from repro.net.rpc import RpcError, RpcFailure
-from repro.obs import NULL_CONTEXT, RetryPolicy, retry
+from repro.obs import NULL_CONTEXT, RetryPolicy, deadline_call, retry
 from repro.storage import LockManager, LockMode, Table
 from repro.vfs.attrs import ROOT_INO
 
@@ -94,6 +94,7 @@ class NamespaceReplicaMixin:
         record = self.dentries.get(key)
         if record is not None and record.state != INVALID:
             return record
+        timeout_us = self.shared.config.rpc_timeout_us or None
 
         def attempt(_attempt, _hint):
             record = self.dentries.get(key)
@@ -106,13 +107,26 @@ class NamespaceReplicaMixin:
                 dkey = ("d",) + key
                 seq = self.inval_seq[dkey]
                 self.metrics.counter("remote_lookups").inc()
+                payload = {"pid": key[0], "name": key[1]}
                 try:
-                    attrs = yield self.call(
-                        self._owner_name(key),
-                        "lookup_dentry",
-                        {"pid": key[0], "name": key[1]},
-                        ctx=ctx,
-                    )
+                    if timeout_us is None:
+                        attrs = yield self.call(
+                            self._owner_name(key), "lookup_dentry",
+                            payload, ctx=ctx,
+                        )
+                    else:
+                        # Bounded fetch: a crashed owner black-holes the
+                        # request, and the holder may be sitting on locks
+                        # other operations need (the rename path fetches
+                        # while holding the global rename mutex).  Each
+                        # timed-out attempt re-resolves the owner, so the
+                        # retry lands on the promoted standby once
+                        # failover installs it.
+                        attrs = yield from deadline_call(
+                            self, ctx or NULL_CONTEXT,
+                            self._owner_name(key), "lookup_dentry",
+                            payload, timeout_us=timeout_us,
+                        )
                 except RpcFailure as failure:
                     if (failure.code == RpcError.ENOENT
                             and record is not None):
@@ -128,9 +142,12 @@ class NamespaceReplicaMixin:
                 self.dentries.put(key, record)
             return record
 
+        retryable = (RpcError.ERETRY,)
+        if timeout_us is not None:
+            retryable = (RpcError.ERETRY, RpcError.ETIMEDOUT)
         record = yield from retry(
             self, ctx or NULL_CONTEXT, attempt, policy=_FETCH_POLICY,
-            retryable=(RpcError.ERETRY,),
+            retryable=retryable,
         )
         return record
 

@@ -16,8 +16,18 @@ against the invariants the protocol is supposed to maintain:
 * **statistics** — the per-MNode filename counters and secondary indexes
   used by the load balancer match the actual tables.
 
-The property/fuzz tests call this after random concurrent workloads; it
-is also a useful debugging aid for downstream users.
+Two entry points share one audit: :func:`check_cluster_invariants`
+raises :class:`InvariantViolation` on the first violated invariant (the
+historical fail-fast contract tests rely on), while
+:func:`cluster_violations` collects *every* violation as a
+machine-readable dict — the form the simulation checker
+(``repro.check``) records into seed files and shrinks against.
+
+:func:`runtime_violations` audits the *runtime* state instead of the
+tables: after the event queue has drained, no live node may still hold
+or queue locks, stage 2PC participant state, or have unacknowledged WAL
+commit waiters — leftovers mean some code path leaked synchronization
+state under faults.
 """
 
 from repro.core.records import VALID
@@ -28,13 +38,30 @@ class InvariantViolation(AssertionError):
     """Raised when a cluster invariant does not hold."""
 
 
-def _fail(message, *args):
-    raise InvariantViolation(message.format(*args))
+def _violation(invariant, message, *args, **extra):
+    record = {"invariant": invariant, "message": message.format(*args)}
+    for key, value in extra.items():
+        record[key] = value
+    return record
 
 
 def check_cluster_invariants(cluster):
     """Audit ``cluster``; raises :class:`InvariantViolation` on the first
     violated invariant, returns summary counts otherwise."""
+    counts = {}
+    for violation in _audit(cluster, counts):
+        raise InvariantViolation(violation["message"])
+    return counts
+
+
+def cluster_violations(cluster):
+    """Audit ``cluster``; returns every violation as a dict with at
+    least ``invariant`` and ``message`` keys (empty list when clean)."""
+    return list(_audit(cluster, {}))
+
+
+def _audit(cluster, counts):
+    """Generator over violation dicts; fills ``counts`` as it goes."""
     index = cluster.coordinator.index
     mnodes = cluster.mnodes
 
@@ -43,8 +70,11 @@ def check_cluster_invariants(cluster):
     for holder_index, mnode in enumerate(mnodes):
         for key, record in mnode.inodes.scan():
             if key in inodes:
-                _fail("duplicate inode record for {} on {} and {}",
-                      key, inodes[key][1], holder_index)
+                yield _violation(
+                    "placement",
+                    "duplicate inode record for {} on {} and {}",
+                    key, inodes[key][1], holder_index, key=list(key),
+                )
             inodes[key] = (record, holder_index)
 
     dir_inos = {ROOT_INO}
@@ -52,22 +82,29 @@ def check_cluster_invariants(cluster):
     for key, (record, holder_index) in inodes.items():
         pid, name = key
         if record.ino in ino_seen:
-            _fail("inode number {} appears twice", record.ino)
+            yield _violation("identity", "inode number {} appears twice",
+                            record.ino, key=list(key))
         ino_seen.add(record.ino)
         if record.is_dir:
             dir_inos.add(record.ino)
         expected = index.locate(pid, name)
         migrating = any(name in mnode.migrating for mnode in mnodes)
         if expected != holder_index and not migrating:
-            _fail("inode {} placed on MNode {} but indexing says {}",
-                  key, holder_index, expected)
+            yield _violation(
+                "placement",
+                "inode {} placed on MNode {} but indexing says {}",
+                key, holder_index, expected, key=list(key),
+            )
 
     # Reachability: every parent id must name an existing directory.
     for key, (record, _) in inodes.items():
         pid, name = key
         if pid not in dir_inos:
-            _fail("orphaned inode {}: parent ino {} does not exist",
-                  key, pid)
+            yield _violation(
+                "reachability",
+                "orphaned inode {}: parent ino {} does not exist",
+                key, pid, key=list(key),
+            )
 
     # Ownership and replica coherence.
     replicas_checked = 0
@@ -80,14 +117,25 @@ def check_cluster_invariants(cluster):
             replicas_checked += 1
             authoritative = by_key.get(key)
             if authoritative is None or not authoritative.is_dir:
-                _fail("{} holds VALID dentry {} with no directory inode",
-                      holder.name, key)
+                yield _violation(
+                    "coherence",
+                    "{} holds VALID dentry {} with no directory inode",
+                    holder.name, key, key=list(key),
+                )
+                continue
             if dentry.ino != authoritative.ino:
-                _fail("{} dentry {} ino {} != inode {}",
-                      holder.name, key, dentry.ino, authoritative.ino)
+                yield _violation(
+                    "coherence", "{} dentry {} ino {} != inode {}",
+                    holder.name, key, dentry.ino, authoritative.ino,
+                    key=list(key),
+                )
             if dentry.mode != authoritative.mode:
-                _fail("{} dentry {} mode {:o} != inode mode {:o}",
-                      holder.name, key, dentry.mode, authoritative.mode)
+                yield _violation(
+                    "coherence",
+                    "{} dentry {} mode {:o} != inode mode {:o}",
+                    holder.name, key, dentry.mode, authoritative.mode,
+                    key=list(key),
+                )
 
     # Every directory inode is backed by a VALID dentry at its owner.
     for key, (record, holder_index) in inodes.items():
@@ -97,8 +145,11 @@ def check_cluster_invariants(cluster):
         dentry = owner.dentries.get(key)
         if dentry is None or dentry.state != VALID:
             if not any(key[1] in mnode.migrating for mnode in mnodes):
-                _fail("directory {} missing VALID dentry at owner {}",
-                      key, owner.name)
+                yield _violation(
+                    "ownership",
+                    "directory {} missing VALID dentry at owner {}",
+                    key, owner.name, key=list(key),
+                )
 
     # Statistics used by the load balancer.
     for mnode in mnodes:
@@ -108,14 +159,65 @@ def check_cluster_invariants(cluster):
             actual[name] = actual.get(name, 0) + 1
             parents.setdefault(name, set()).add(pid)
         if dict(mnode.filename_counts) != actual:
-            _fail("{} filename counters diverge from its table",
-                  mnode.name)
+            yield _violation(
+                "statistics", "{} filename counters diverge from its table",
+                mnode.name, node=mnode.name,
+            )
         if {k: set(v) for k, v in mnode._name_parents.items()} != parents:
-            _fail("{} name->parents index diverges from its table",
-                  mnode.name)
+            yield _violation(
+                "statistics", "{} name->parents index diverges from its table",
+                mnode.name, node=mnode.name,
+            )
 
-    return {
-        "inodes": len(inodes),
-        "directories": len(dir_inos) - 1,
-        "valid_replica_dentries": replicas_checked,
-    }
+    counts["inodes"] = len(inodes)
+    counts["directories"] = len(dir_inos) - 1
+    counts["valid_replica_dentries"] = replicas_checked
+
+
+def runtime_violations(cluster):
+    """Audit runtime synchronization state on a quiesced cluster.
+
+    After the event queue drains, every lock must have been released,
+    every staged rename-2PC participant entry resolved, and every WAL
+    commit waiter acknowledged (on nodes whose WAL did not power-fail).
+    Residue means a code path leaked state — typically an error or
+    fault-handling branch that skipped a release.  Returns violation
+    dicts like :func:`cluster_violations`.
+    """
+    violations = []
+    holders = list(cluster.mnodes) + [cluster.coordinator]
+    for holder in holders:
+        if getattr(holder, "halted", False):
+            continue
+        lock_keys = sorted(
+            repr(key) for key in getattr(holder.locks, "_locks", {})
+        )
+        if lock_keys:
+            violations.append(_violation(
+                "lock-leak", "{} still holds/queues locks on {} keys: {}",
+                holder.name, len(lock_keys), lock_keys[:8],
+                node=holder.name, keys=lock_keys,
+            ))
+        staged = getattr(holder, "_staged", None)
+        if staged:
+            violations.append(_violation(
+                "staged-leak",
+                "{} holds unresolved 2PC staging for txids {}",
+                holder.name, sorted(staged), node=holder.name,
+                txids=sorted(staged),
+            ))
+        wal = getattr(holder, "wal", None)
+        if wal is not None and not wal.failed and wal._pending:
+            violations.append(_violation(
+                "wal-waiters", "{} has {} unacknowledged WAL commit waiters",
+                holder.name, len(wal._pending), node=holder.name,
+            ))
+    mutex = getattr(cluster.coordinator, "_rename_mutex", None)
+    if mutex is not None:
+        busy = mutex.count + mutex.queue_length
+        if busy:
+            violations.append(_violation(
+                "rename-mutex", "coordinator rename mutex busy after drain "
+                "({} holders/waiters)", busy,
+            ))
+    return violations

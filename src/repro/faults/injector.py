@@ -4,7 +4,42 @@ The injector turns "a node dies mid-run" into a reproducible experiment
 input: fault times and victims are either given explicitly or drawn from
 the cluster's seeded ``faults`` random stream, so the same seed yields
 the same crash at the same microsecond, every run.
+
+Determinism discipline: every random choice is made at *scheduling*
+time, or (when the needed state does not exist yet, like a WAL's length)
+from a per-event RNG whose seed was drawn at scheduling time.  Fire-time
+draws from the shared stream would make one event's outcome depend on
+how many other events fired before it — dropping an event from a
+schedule (as the checker's shrinker does) must never perturb the
+survivors.
 """
+
+import random
+
+
+class FaultHandle:
+    """A scheduled nemesis event that its owner can drop before it fires.
+
+    Returned by :meth:`FaultInjector.apply`; the shrinker cancels handles
+    instead of rebuilding the event queue.  Cancelling after the event
+    fired is a no-op.
+    """
+
+    __slots__ = ("event", "fired", "cancelled")
+
+    def __init__(self, event):
+        self.event = event
+        self.fired = False
+        self.cancelled = False
+
+    def cancel(self):
+        if not self.fired:
+            self.cancelled = True
+
+    def __repr__(self):
+        state = ("fired" if self.fired
+                 else "cancelled" if self.cancelled else "pending")
+        return "<FaultHandle {} {}>".format(self.event.get("kind"), state)
 
 
 class FaultInjector:
@@ -88,16 +123,23 @@ class FaultInjector:
 
     # -- disk corruption -------------------------------------------------
 
-    def corrupt_wal_at(self, time_us, index=None, lsn=None):
+    def corrupt_wal_at(self, time_us, index=None, lsn=None, rng_seed=None):
         """Schedule silent disk corruption of one durable WAL record on
         MNode ``index`` (a random victim when None).  The damage is only
         observable at restart: redo verification fails the record's
         checksum and truncates replay there, so everything behind it is
-        lost even though it was fsynced.  ``lsn`` picks the record
-        (a random durable one when None — drawn at *fire* time, since
-        the log's length is not known at scheduling time)."""
+        lost even though it was fsynced.  ``lsn`` picks the record; when
+        None it is drawn at *fire* time (the log's length is not known at
+        scheduling time) — but from a private RNG seeded *now* (or by the
+        caller via ``rng_seed``), so the draw depends only on this
+        event's seed, never on what other injector events did first."""
         if index is None:
             index = self.rng.randrange(len(self.cluster.mnodes))
+        draw = None
+        if lsn is None:
+            if rng_seed is None:
+                rng_seed = self.rng.getrandbits(64)
+            draw = random.Random(rng_seed)
 
         def corrupt():
             wal = self.cluster.mnodes[index].wal
@@ -107,7 +149,7 @@ class FaultInjector:
                     self._log("corrupt_wal_noop",
                               self.cluster.mnodes[index].name, index=index)
                     return
-                target = self.rng.randint(1, wal.durable_lsn)
+                target = draw.randint(1, wal.durable_lsn)
             for segment in wal.segments:
                 for record in segment.records:
                     if record.lsn == target:
@@ -172,3 +214,125 @@ class FaultInjector:
         time_us = self.rng.uniform(lo_us, hi_us)
         index = self.crash_mnode_at(time_us)
         return index, time_us
+
+    # -- declarative schedules (the simulation checker's interface) ------
+
+    def apply(self, event):
+        """Schedule one declarative nemesis event; returns a
+        :class:`FaultHandle` the owner can :meth:`~FaultHandle.cancel`
+        before it fires.
+
+        ``event`` is a plain dict from a generated schedule::
+
+            {"kind": "crash",      "at_us": t, "index": i}
+            {"kind": "restart",    "at_us": t, "index": i}
+            {"kind": "hang",       "at_us": t, "index": i, "duration_us": d}
+            {"kind": "partition",  "at_us": t, "index": i, "duration_us": d}
+            {"kind": "corrupt_wal","at_us": t, "index": i, "rng_seed": s}
+
+        Every random choice is pinned inside the event (victims at
+        generation time, fire-time draws via ``rng_seed``), so cancelling
+        any subset of events never perturbs the survivors — the property
+        the shrinker's drop-and-replay discipline rests on.  ``hang`` and
+        ``partition`` target MNode slot ``index`` (a partition isolates
+        the slot's primary plus its standby from everything else, so
+        log shipping keeps flowing on the minority side).
+        """
+        kind = event["kind"]
+        index = event.get("index")
+        handle = FaultHandle(event)
+        cluster = self.cluster
+
+        if kind == "crash":
+            def thunk():
+                if index in cluster._crashed:
+                    self._log("crash_noop", cluster.mnodes[index].name,
+                              index=index)
+                    return
+                lag = cluster.crash_mnode(index)
+                self._log("crash", cluster.mnodes[index].name,
+                          index=index, lag_at_crash=lag)
+        elif kind == "restart":
+            def thunk():
+                if index not in cluster._crashed:
+                    self._log("restart_noop", cluster.mnodes[index].name,
+                              index=index)
+                    return
+
+                def proc():
+                    record = yield from cluster.restart_mnode(index)
+                    self._log("restart", record["name"], index=index,
+                              role=record["role"],
+                              replayed_txns=record["replayed_txns"],
+                              torn_records=record["torn_records"])
+
+                self.env.process(proc())
+        elif kind == "hang":
+            def thunk():
+                name = cluster.mnodes[index].name
+                if cluster.network.is_down(name):
+                    self._log("hang_noop", name, index=index)
+                    return
+                cluster.network.set_down(name)
+                self._log("hang", name, index=index,
+                          duration_us=event["duration_us"])
+
+                def recover():
+                    yield self.env.timeout(event["duration_us"])
+                    cluster.network.set_up(name)
+                    self._log("unhang", name, index=index)
+
+                self.env.process(recover())
+        elif kind == "partition":
+            def thunk():
+                isolated = [cluster.mnodes[index].name]
+                if (index < len(cluster.standbys)
+                        and cluster.standbys[index] is not None):
+                    isolated.append(cluster.standbys[index].name)
+                others = [
+                    node.name
+                    for node in (cluster.mnodes + cluster.standbys
+                                 + [cluster.coordinator]
+                                 + cluster.storage + cluster.clients)
+                    if node is not None and node.name not in isolated
+                ]
+                cluster.network.partition(isolated, others)
+                self._log("partition", "|".join(isolated), index=index,
+                          duration_us=event["duration_us"])
+
+                def heal():
+                    yield self.env.timeout(event["duration_us"])
+                    cluster.network.heal(isolated, others)
+                    self._log("partition_heal", "|".join(isolated),
+                              index=index)
+
+                self.env.process(heal())
+        elif kind == "corrupt_wal":
+            draw = random.Random(event["rng_seed"])
+
+            def thunk():
+                wal = cluster.mnodes[index].wal
+                if wal.durable_lsn == 0:
+                    self._log("corrupt_wal_noop",
+                              cluster.mnodes[index].name, index=index)
+                    return
+                target = draw.randint(1, wal.durable_lsn)
+                for segment in wal.segments:
+                    for record in segment.records:
+                        if record.lsn == target:
+                            record.corrupt()
+                            self._log("corrupt_wal",
+                                      cluster.mnodes[index].name,
+                                      index=index, lsn=target)
+                            return
+        else:
+            raise ValueError("unknown nemesis kind: {!r}".format(kind))
+
+        def guarded():
+            if handle.cancelled:
+                return
+            handle.fired = True
+            thunk()
+
+        self._at(event["at_us"], guarded)
+        return handle

@@ -519,6 +519,33 @@ class Environment:
                 raise event._value
         return None
 
+    def run_until_quiescent(self, budget_us=None):
+        """Drain the event queue; True when it fully drained.
+
+        With ``budget_us`` the drain is bounded: if events remain
+        scheduled past ``now + budget_us`` the clock is clamped to that
+        horizon and False is returned — the caller decides whether a
+        non-quiescent system is a bug (leaked retry loop, stuck waiter)
+        or an underfunded budget.
+        """
+        if budget_us is None:
+            self.run()
+            return True
+        horizon = self._now + float(budget_us)
+        queue = self._queue
+        pop = heappop
+        while queue:
+            if queue[0][0] > horizon:
+                self._now = horizon
+                return False
+            self._now, _, _, event = pop(queue)
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                raise event._value
+        return True
+
     def _run_until_event(self, until):
         stop = []
         if until.callbacks is None:

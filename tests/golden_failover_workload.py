@@ -1,0 +1,122 @@
+"""Deterministic failover reference workload for the golden-trace test.
+
+The kernel golden trace (``tests/golden/sim_trace.json``) pins the
+happy path; this one pins the *failure* path: a fixed workload runs
+while MNode slot 1 crashes, the failure detector promotes its standby,
+and the dead machine restarts late enough that it rejoins as a standby
+catching up from the promoted primary.  The digest covers the full
+checker result — every client-visible acknowledgement with exact
+simulated timestamps, the verdict, and the recovery bookkeeping — so
+any change to the crash → promote → restart machinery (or to the
+checker itself) shows up as a digest mismatch.
+
+``tests/golden/failover_trace.json`` is committed; regenerate (only
+when a PR deliberately changes simulated behaviour) with::
+
+    PYTHONPATH=src python -m tests.golden_failover_workload
+"""
+
+import hashlib
+import json
+
+from repro.check.runner import run_schedule
+
+FAILOVER_GOLDEN_PATH = "tests/golden/failover_trace.json"
+
+_DIRS = ["/d0", "/d1", "/d2"]
+_OP_PLAN = (
+    # (client, kind, path, delay_us) — two clients, ops spanning the
+    # crash at t=2500 and the promotion (~t=4500) so acks land before,
+    # during and after the loss window.
+    (0, "create", "/d0/a0.dat", 120.0),
+    (1, "create", "/d1/b0.dat", 140.0),
+    (0, "mkdir", "/d0/sub0", 260.0),
+    (1, "getattr", "/d1/b0.dat", 300.0),
+    (0, "create", "/d1/a1.dat", 420.0),
+    (1, "create", "/d2/b1.dat", 380.0),
+    (0, "getattr", "/d0/a0.dat", 500.0),
+    (1, "unlink", "/d1/b0.dat", 520.0),
+    (0, "create", "/d2/a2.dat", 640.0),
+    (1, "readdir", "/d1", 600.0),
+    (0, "getattr", "/d1/a1.dat", 700.0),
+    (1, "create", "/d0/b2.dat", 680.0),
+    (0, "unlink", "/d2/a2.dat", 760.0),
+    (1, "getattr", "/d2/b1.dat", 720.0),
+    (0, "create", "/d0/a3.dat", 820.0),
+    (1, "mkdir", "/d2/sub1", 780.0),
+    (0, "readdir", "/d0", 860.0),
+    (1, "create", "/d1/b3.dat", 840.0),
+    (0, "getattr", "/d0/a3.dat", 900.0),
+    (1, "unlink", "/d0/b2.dat", 880.0),
+)
+
+
+def build_failover_schedule():
+    """The fixed crash → promote → rejoin-as-standby schedule."""
+    ops = []
+    for op_id, (client, kind, path, delay) in enumerate(_OP_PLAN):
+        ops.append({"id": op_id, "client": client, "kind": kind,
+                    "path": path, "delay_us": delay})
+    return {
+        "version": 1,
+        "seed": "golden-failover",
+        "config": {
+            "num_mnodes": 3,
+            "num_storage": 2,
+            "num_clients": 2,
+            "replication": True,
+            "rpc_timeout_us": 400.0,
+            "op_deadline_us": 30000.0,
+            "budget_us": 300000.0,
+            "quiesce_budget_us": 200000.0,
+        },
+        "preload_dirs": _DIRS,
+        "ops": ops,
+        "nemeses": [
+            {"group": 0, "kind": "crash", "at_us": 2500.0, "index": 1},
+            # Late enough that detection (3 misses x 500us heartbeat)
+            # promotes the standby first; the restart then rejoins as a
+            # fresh standby catching up from the promoted primary.
+            {"group": 0, "kind": "restart", "at_us": 11000.0,
+             "index": 1},
+        ],
+    }
+
+
+def run_failover_golden():
+    """Run the reference failover schedule; return its digest dict."""
+    result = run_schedule(build_failover_schedule())
+    stats = result["stats"]
+    canonical = json.dumps(result, sort_keys=True)
+    digest = {
+        "result_sha256": hashlib.sha256(canonical.encode()).hexdigest(),
+        "history_sha256": hashlib.sha256(
+            json.dumps(result["history"], sort_keys=True).encode()
+        ).hexdigest(),
+        "violations": len(result["violations"]),
+        "ops_ok": stats["ops_ok"],
+        "ops_failed": stats["ops_failed"],
+        "errors": stats["errors"],
+        "promotions": stats["promotions"],
+        "restarts": stats["restarts"],
+        "quiesced": stats["quiesced"],
+        "final_now_us": stats["final_now_us"],
+        "final_paths": stats["final_paths"],
+    }
+    # The schedule must actually exercise the path it pins down.
+    assert digest["violations"] == 0, result["violations"]
+    assert digest["promotions"] == 1, stats
+    assert digest["restarts"] == {"primary": 0, "standby": 1}, stats
+    return digest
+
+
+def main():
+    digest = run_failover_golden()
+    with open(FAILOVER_GOLDEN_PATH, "w") as handle:
+        json.dump(digest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(digest, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

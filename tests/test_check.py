@@ -1,0 +1,375 @@
+"""The simulation checker: oracle, runner determinism, shrinker, CLI.
+
+The acceptance bar for the checker is adversarial: beyond "clean seeds
+stay clean, same seed replays bit-identically", a deliberately
+re-introduced historical bug (the PR-2 ``LockManager`` state leak) must
+be *caught* within the seed budget and *shrunk* to a reproducer small
+enough to debug by hand.
+"""
+
+import json
+
+import pytest
+
+from repro.check import generate_schedule, run_schedule, shrink
+from repro.check.oracle import audit_history
+from repro.storage.locks import LockManager
+
+
+# ----------------------------------------------------------------------
+# schedule generation
+# ----------------------------------------------------------------------
+
+def test_same_seed_same_schedule():
+    assert generate_schedule(13) == generate_schedule(13)
+
+
+def test_different_seeds_differ():
+    assert generate_schedule(1) != generate_schedule(2)
+
+
+def test_schedule_is_json_safe_and_self_contained():
+    schedule = generate_schedule(5)
+    assert schedule == json.loads(json.dumps(schedule))
+    for event in schedule["nemeses"]:
+        if event["kind"] == "corrupt_wal":
+            # Fire-time draws must be pinned inside the event, never
+            # taken from a shared stream (the shrinker's soundness).
+            assert "rng_seed" in event
+
+
+def test_nemesis_windows_are_serialized():
+    """One slot in trouble at a time: group windows never overlap."""
+    for seed in range(5):
+        nemeses = generate_schedule(seed)["nemeses"]
+        spans = {}
+        for event in nemeses:
+            end = event["at_us"] + event.get("duration_us", 0.0)
+            lo, hi = spans.get(event["group"], (event["at_us"], end))
+            spans[event["group"]] = (min(lo, event["at_us"]), max(hi, end))
+        ordered = [spans[g] for g in sorted(spans)]
+        for (_, hi), (lo, _) in zip(ordered, ordered[1:]):
+            assert hi < lo
+
+
+# ----------------------------------------------------------------------
+# runner: clean seeds, bit-determinism
+# ----------------------------------------------------------------------
+
+def test_default_seeds_run_clean():
+    for seed in range(3):
+        result = run_schedule(generate_schedule(seed))
+        assert result["violations"] == [], result["violations"]
+        assert result["stats"]["quiesced"]
+        assert result["stats"]["ops_pending"] == 0
+
+
+def test_same_schedule_is_bit_identical():
+    first = json.dumps(run_schedule(generate_schedule(17)), sort_keys=True)
+    second = json.dumps(run_schedule(generate_schedule(17)), sort_keys=True)
+    assert first == second
+
+
+def test_runs_do_not_leak_into_each_other():
+    """A run's result is independent of what ran before it in the
+    process (global id counters are rewound per run)."""
+    baseline = json.dumps(run_schedule(generate_schedule(2)),
+                          sort_keys=True)
+    run_schedule(generate_schedule(9))  # pollute process state
+    again = json.dumps(run_schedule(generate_schedule(2)), sort_keys=True)
+    assert again == baseline
+
+
+# ----------------------------------------------------------------------
+# oracle: synthetic histories (no cluster required)
+# ----------------------------------------------------------------------
+
+_PRELOAD = ["/d0"]
+_D0 = {"/d0": {"is_dir": True}}
+
+
+def _slot_of(_path):
+    return 0
+
+
+def _entry(op_id, kind, path, start, end, status, error=None):
+    entry = {"op_id": op_id, "kind": kind, "path": path,
+             "start_us": start, "end_us": end, "status": status,
+             "error": error}
+    return entry
+
+
+def _audit(history, final_paths, **kwargs):
+    return audit_history(history, final_paths, _PRELOAD, _slot_of,
+                         **kwargs)
+
+
+class TestOracle:
+    def test_clean_create_is_clean(self):
+        history = [_entry(0, "create", "/d0/a.dat", 100, 200, "ok")]
+        final = dict(_D0, **{"/d0/a.dat": {"is_dir": False}})
+        assert _audit(history, final) == []
+
+    def test_lost_acked_create_is_durability(self):
+        history = [_entry(0, "create", "/d0/a.dat", 100, 200, "ok")]
+        violations = _audit(history, dict(_D0))
+        assert [v["invariant"] for v in violations] == ["durability"]
+        assert violations[0]["op_id"] == 0
+
+    def test_risk_window_excuses_lost_create(self):
+        """An ack inside a promotion's loss window is only *maybe*."""
+        history = [_entry(0, "create", "/d0/a.dat", 100, 200, "ok")]
+        assert _audit(history, dict(_D0),
+                      risk_windows=[(0, 150.0, 400.0)]) == []
+
+    def test_risk_window_on_other_slot_excuses_nothing(self):
+        history = [_entry(0, "create", "/d0/a.dat", 100, 200, "ok")]
+        violations = _audit(history, dict(_D0),
+                            risk_windows=[(1, 150.0, 400.0)])
+        assert [v["invariant"] for v in violations] == ["durability"]
+
+    def test_tainted_slot_excuses_everything(self):
+        history = [_entry(0, "create", "/d0/a.dat", 100, 200, "ok")]
+        assert _audit(history, dict(_D0), tainted_slots={0}) == []
+
+    def test_acked_removal_must_not_resurface(self):
+        history = [
+            _entry(0, "create", "/d0/a.dat", 100, 200, "ok"),
+            _entry(1, "unlink", "/d0/a.dat", 300, 400, "ok"),
+        ]
+        final = dict(_D0, **{"/d0/a.dat": {"is_dir": False}})
+        violations = _audit(history, final)
+        assert [v["invariant"] for v in violations] == ["durability"]
+        assert "resurfaced" in violations[0]["message"]
+
+    def test_failed_op_is_maybe_applied(self):
+        """A timed-out create may or may not have landed: both final
+        states are legal."""
+        history = [_entry(0, "create", "/d0/a.dat", 100, None, "failed",
+                          "ETIMEDOUT")]
+        assert _audit(history, dict(_D0)) == []
+        final = dict(_D0, **{"/d0/a.dat": {"is_dir": False}})
+        assert _audit(history, final) == []
+
+    def test_type_mismatch(self):
+        history = [_entry(0, "mkdir", "/d0/sub0", 100, 200, "ok")]
+        final = dict(_D0, **{"/d0/sub0": {"is_dir": False}})
+        violations = _audit(history, final)
+        assert [v["invariant"] for v in violations] == ["type"]
+
+    def test_missing_preloaded_dir(self):
+        violations = _audit([], {})
+        assert [v["invariant"] for v in violations] == ["durability"]
+        assert violations[0]["path"] == "/d0"
+
+    def test_phantom_path(self):
+        final = dict(_D0, **{"/d0/ghost.dat": {"is_dir": False}})
+        violations = _audit([], final)
+        assert [v["invariant"] for v in violations] == ["phantom"]
+
+    def test_ok_read_needs_a_possible_creator(self):
+        history = [_entry(0, "getattr", "/d0/a.dat", 100, 200, "ok")]
+        violations = _audit(history, dict(_D0))
+        assert [v["invariant"] for v in violations] == ["read"]
+
+    def test_ok_read_explained_by_failed_create(self):
+        """A failed (maybe-applied) create still explains a later OK
+        read — timeouts after commit are real."""
+        history = [
+            _entry(0, "create", "/d0/a.dat", 50, None, "failed",
+                   "ETIMEDOUT"),
+            _entry(1, "getattr", "/d0/a.dat", 100, 200, "ok"),
+        ]
+        final = dict(_D0, **{"/d0/a.dat": {"is_dir": False}})
+        assert _audit(history, final) == []
+
+    def test_enoent_after_definite_create_needs_remover(self):
+        history = [
+            _entry(0, "create", "/d0/a.dat", 100, 200, "ok"),
+            _entry(1, "getattr", "/d0/a.dat", 300, 400, "failed",
+                   "ENOENT"),
+        ]
+        final = dict(_D0, **{"/d0/a.dat": {"is_dir": False}})
+        violations = _audit(history, final)
+        assert [v["invariant"] for v in violations] == ["read"]
+        assert violations[0]["creator_op_id"] == 0
+
+    def test_enoent_explained_by_concurrent_unlink(self):
+        history = [
+            _entry(0, "create", "/d0/a.dat", 100, 200, "ok"),
+            _entry(1, "unlink", "/d0/a.dat", 250, 450, "failed",
+                   "ETIMEDOUT"),
+            _entry(2, "getattr", "/d0/a.dat", 300, 400, "failed",
+                   "ENOENT"),
+        ]
+        assert _audit(history, dict(_D0)) == []
+
+    def test_enoent_on_preloaded_dir_is_a_violation(self):
+        history = [_entry(0, "getattr", "/d0", 100, 200, "failed",
+                          "ENOENT")]
+        violations = _audit(history, dict(_D0))
+        assert [v["invariant"] for v in violations] == ["read"]
+
+    def test_rename_effects_both_paths(self):
+        entry = _entry(0, "rename", None, 100, 200, "ok")
+        del entry["path"]
+        entry["src"] = "/d0/a.dat"
+        entry["dst"] = "/d0/b.dat"
+        create = _entry(1, "create", "/d0/a.dat", 10, 50, "ok")
+        final = dict(_D0, **{"/d0/b.dat": {"is_dir": False}})
+        assert _audit([create, entry], final) == []
+        # Source resurfacing or destination loss are both violations.
+        bad_src = dict(final, **{"/d0/a.dat": {"is_dir": False}})
+        kinds = [v["invariant"] for v in _audit([create, entry], bad_src)]
+        assert kinds == ["durability"]
+        kinds = [v["invariant"]
+                 for v in _audit([create, entry], dict(_D0))]
+        assert kinds == ["durability"]
+
+
+# ----------------------------------------------------------------------
+# shrinker
+# ----------------------------------------------------------------------
+
+def _fake_run(culprit_op, culprit_group):
+    """A run_fn failing iff both culprits survive in the candidate."""
+
+    def run_fn(candidate):
+        ids = {op["id"] for op in candidate["ops"]}
+        groups = {e["group"] for e in candidate["nemeses"]}
+        failing = culprit_op in ids and culprit_group in groups
+        return {
+            "schedule": candidate,
+            "history": [],
+            "stats": {},
+            "violations": (
+                [{"invariant": "fake", "message": "boom"}] if failing
+                else []
+            ),
+        }
+
+    return run_fn
+
+
+def test_shrink_isolates_the_culprits():
+    schedule = generate_schedule(0)
+    assert any(op["id"] == 7 for op in schedule["ops"])
+    minimal, runs, result = shrink(schedule, run_fn=_fake_run(7, 1))
+    assert [op["id"] for op in minimal["ops"]] == [7]
+    assert {e["group"] for e in minimal["nemeses"]} == {1}
+    assert result["violations"]
+    assert runs <= 150
+    assert minimal["shrunk_from"] == {
+        "ops": len(schedule["ops"]),
+        "nemeses": len(schedule["nemeses"]),
+    }
+
+
+def test_shrink_rejects_passing_schedule():
+    schedule = generate_schedule(0)
+    with pytest.raises(ValueError):
+        shrink(schedule, run_fn=_fake_run(-1, -1))
+
+
+def test_shrink_respects_run_budget():
+    calls = []
+
+    def run_fn(candidate):
+        calls.append(1)
+        return {"schedule": candidate, "history": [], "stats": {},
+                "violations": [{"invariant": "fake", "message": "x"}]}
+
+    shrink(generate_schedule(1), run_fn=run_fn, max_runs=10)
+    # +1: the budget gates shrink candidates, not the final re-run.
+    assert len(calls) <= 11
+
+
+# ----------------------------------------------------------------------
+# the planted-bug acceptance test
+# ----------------------------------------------------------------------
+
+_ORIG_RELEASE = LockManager.release
+
+
+def _leaky_release(self, grant):
+    """Re-introduce the PR-2 leak class: lock state outlives its last
+    holder (the original bug let ``try_acquire`` misses create entries
+    that nothing ever pruned; planting it at ``release`` exercises the
+    identical residue on every code path)."""
+    state = self._locks.get(grant.key)
+    _ORIG_RELEASE(self, grant)
+    if state is not None and grant.key not in self._locks:
+        self._locks[grant.key] = state
+
+
+def test_planted_lock_leak_is_caught_and_shrunk(monkeypatch):
+    monkeypatch.setattr(LockManager, "release", _leaky_release)
+    failing = None
+    for seed in range(50):
+        schedule = generate_schedule(seed)
+        result = run_schedule(schedule)
+        if result["violations"]:
+            failing = (seed, schedule, result)
+            break
+    assert failing is not None, "planted lock leak escaped 50 seeds"
+    seed, schedule, result = failing
+    assert any(v["invariant"] == "lock-leak"
+               for v in result["violations"]), result["violations"]
+
+    minimal, runs, min_result = shrink(schedule)
+    assert min_result["violations"], "shrunk schedule no longer fails"
+    assert len(minimal["ops"]) <= 10, minimal["ops"]
+    assert len(minimal["nemeses"]) <= 2, minimal["nemeses"]
+
+    # The reproducer replays: running the minimal schedule again (in a
+    # fresh cluster) yields the identical verdict.
+    replay = run_schedule(minimal)
+    assert (json.dumps(replay["violations"], sort_keys=True)
+            == json.dumps(min_result["violations"], sort_keys=True))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_run_clean_and_gen_roundtrip(tmp_path, capsys):
+    from repro.check.__main__ import main
+
+    assert main(["run", "--seeds", "1", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 seeds clean" in out
+    assert not list(tmp_path.iterdir())  # no seed file on success
+
+    assert main(["gen", "--seed", "3"]) == 0
+    schedule = json.loads(capsys.readouterr().out)
+    assert schedule == generate_schedule(3)
+
+
+def test_cli_repro_reports_non_reproduction(tmp_path, capsys):
+    from repro.check.__main__ import main
+
+    report = {"seed": 2, "schedule": generate_schedule(2),
+              "minimal": None}
+    path = tmp_path / "seed-2.json"
+    path.write_text(json.dumps(report))
+    assert main(["repro", str(path)]) == 0
+    assert "did not reproduce" in capsys.readouterr().out
+
+
+def test_cli_run_writes_seed_file_on_failure(tmp_path, capsys,
+                                             monkeypatch):
+    from repro.check.__main__ import main
+
+    monkeypatch.setattr(LockManager, "release", _leaky_release)
+    rc = main(["run", "--seeds", "1", "--out", str(tmp_path),
+               "--max-shrink-runs", "40"])
+    assert rc == 2
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "reproduce:" in out
+    report = json.loads((tmp_path / "seed-0.json").read_text())
+    assert report["minimal"] is not None
+    assert report["minimal_violations"]
+
+    # The written file round-trips through the repro subcommand
+    # (still under the planted bug, so the verdict reproduces).
+    assert main(["repro", str(tmp_path / "seed-0.json")]) == 1

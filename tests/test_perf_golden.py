@@ -20,12 +20,21 @@ import tracemalloc
 
 import pytest
 
+from tests.golden_failover_workload import (
+    FAILOVER_GOLDEN_PATH,
+    run_failover_golden,
+)
 from tests.golden_workload import GOLDEN_PATH, run_golden
 
 
 @pytest.fixture(scope="module")
 def golden_digest():
     return run_golden()
+
+
+@pytest.fixture(scope="module")
+def failover_digest():
+    return run_failover_golden()
 
 
 def test_golden_digest_matches_committed(golden_digest):
@@ -44,6 +53,27 @@ def test_golden_digest_matches_committed(golden_digest):
 
 def test_same_seed_is_bit_identical_across_runs(golden_digest):
     assert run_golden() == golden_digest
+
+
+def test_failover_digest_matches_committed(failover_digest):
+    """The crash -> promote -> rejoin-as-standby reference run must
+    reproduce its committed digest — every ack timestamp, the verdict,
+    and the recovery bookkeeping."""
+    with open(FAILOVER_GOLDEN_PATH) as handle:
+        want = json.load(handle)
+    mismatched = {
+        key: (failover_digest[key], value)
+        for key, value in want.items()
+        if failover_digest[key] != value
+    }
+    assert not mismatched, (
+        "failover outcome diverged from the committed golden trace: {}"
+        .format(mismatched)
+    )
+
+
+def test_failover_digest_is_bit_identical_across_runs(failover_digest):
+    assert run_failover_golden() == failover_digest
 
 
 def _untraced_workload():

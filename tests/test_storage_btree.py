@@ -153,3 +153,51 @@ def test_invariants_hold_under_churn(keys):
     for key in keys[::2]:
         tree.delete(key)
     tree.check_invariants()
+
+
+def _leaf_get(tree, key):
+    """Point read through the tree structure, bypassing the hash shadow
+    (``get`` answers from the shadow, so shadow bugs would self-verify)."""
+    import bisect
+
+    leaf, _ = tree._descend(key)
+    idx = bisect.bisect_left(leaf.keys, key)
+    if idx < len(leaf.keys) and leaf.keys[idx] == key:
+        return leaf.values[idx]
+    return None
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "overwrite", "no_overwrite",
+                             "delete"]),
+            st.integers(min_value=0, max_value=40),
+        ),
+        max_size=250,
+    ),
+    st.integers(min_value=3, max_value=6),
+)
+def test_hash_shadow_stays_in_lockstep_with_leaves(operations, order):
+    """The PR-4 dict shadow and the leaf level agree on every point read
+    after every mutation — including across splits (small orders force
+    them constantly) and the overwrite/no-overwrite branches."""
+    tree = BLinkTree(order=order)
+    touched = set()
+    for step, (op, key) in enumerate(operations):
+        if op == "insert":
+            tree.insert(key, step)
+        elif op == "overwrite":
+            tree.insert(key, step, overwrite=True)
+        elif op == "no_overwrite":
+            tree.insert(key, step, overwrite=False)
+        else:
+            tree.delete(key)
+        touched.add(key)
+        assert tree.get(key) == _leaf_get(tree, key)
+        assert (key in tree) == (_leaf_get(tree, key) is not None)
+    for key in touched:
+        assert tree.get(key) == _leaf_get(tree, key)
+    assert len(tree) == len(tree._map)
+    tree.check_invariants()  # includes the full shadow == leaves sweep
