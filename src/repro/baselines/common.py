@@ -35,7 +35,7 @@ from repro.obs import (
     deadline_call,
     retry,
 )
-from repro.sim import Environment
+from repro.runtime import SimEnv
 from repro.storage import LockManager, LockMode, Table, WriteAheadLog
 from repro.vfs import DentryCache, InodeAttrs, PathWalker, ROOT_INO
 from repro.vfs.pathwalk import split_path
@@ -93,9 +93,8 @@ class MetaServer(Node):
         self._journal_seq = 0
         #: CephFS's MDS journal has a single log writer; remote journal
         #: appends serialize through it.
-        from repro.sim import Resource
 
-        self._journal_writer = Resource(env, capacity=1)
+        self._journal_writer = env.resource(capacity=1)
 
     # -- placement ----------------------------------------------------------
 
@@ -792,7 +791,7 @@ class BaselineCluster:
 
     def __init__(self, config=None, costs=None, env=None, tracer=None):
         self.config = config or FalconConfig()
-        self.env = env or Environment()
+        self.env = env or SimEnv()
         self.costs = costs or CostModel()
         self.costs.server_cores = self.config.server_cores
         self.shared = ClusterShared(self.env, self.costs, self.config,

@@ -211,7 +211,7 @@ class FalconClient(Node):
         """New :class:`OpContext` for one client-visible operation."""
         deadline = None
         if self.deadline_us:
-            deadline = self.env.now + self.deadline_us
+            deadline = self.env.now_us() + self.deadline_us
         ctx = OpContext(
             self.env, op, origin=self.name, tracer=self.shared.tracer,
             deadline=deadline, retry_policy=self.retry_policy,
@@ -281,7 +281,7 @@ class FalconClient(Node):
         return data if extract is None else data[extract]
 
     def _meta_op_body(self, op, path, extra, ctx):
-        cost_us = self.costs.client_op_us
+        cost_us = self.costs.client_op_us if self.env.models_costs else 0.0
         if cost_us:
             if ctx.traced:
                 yield from self._client_cpu(ctx, cost_us)
@@ -312,9 +312,10 @@ class FalconClient(Node):
         the operation's own full-path request (sent by the caller).
         """
         current = ROOT_INO
+        probe_us = self.costs.cache_probe_us if self.env.models_costs else 0.0
         for name in components[:-1]:
-            if self.costs.cache_probe_us:
-                yield self.env.schedule_timeout(self.costs.cache_probe_us)
+            if probe_us:
+                yield self.env.schedule_timeout(probe_us)
             entry = self.dcache.lookup(current, name)
             if entry is None:
                 attrs = make_fake_dir_attrs(self._fake_ino(current, name))
@@ -329,9 +330,10 @@ class FalconClient(Node):
     def _stateful_walk(self, components, ctx):
         """NoBypass: real client-side resolution through the dcache."""
         current = self.root_attrs
+        probe_us = self.costs.cache_probe_us if self.env.models_costs else 0.0
         for name in components[:-1]:
-            if self.costs.cache_probe_us:
-                yield self.env.schedule_timeout(self.costs.cache_probe_us)
+            if probe_us:
+                yield self.env.schedule_timeout(probe_us)
             if not current.is_dir:
                 raise RpcFailure(RpcError.ENOTDIR, name)
             if not current.allows_exec():

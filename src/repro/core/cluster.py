@@ -25,7 +25,7 @@ from repro.core.records import DentryRecord, InodeRecord
 from repro.core.shared import ClusterShared, FalconConfig
 from repro.net import CostModel, Network
 from repro.net.rpc import RpcError, RpcFailure
-from repro.sim import Environment
+from repro.runtime import SimEnv
 from repro.vfs.attrs import ROOT_INO
 from repro.vfs.pathwalk import basename, join_path, parent_path, split_path
 
@@ -35,7 +35,7 @@ class FalconCluster:
 
     def __init__(self, config=None, costs=None, env=None, tracer=None):
         self.config = config or FalconConfig()
-        self.env = env or Environment()
+        self.env = env or SimEnv()
         self.costs = costs or CostModel()
         self.costs.server_cores = self.config.server_cores
         self.shared = ClusterShared(self.env, self.costs, self.config,

@@ -26,7 +26,6 @@ from repro.net import Node
 from repro.net.rpc import RpcError, RpcFailure
 from repro.obs import CAT_PHASE, NULL_CONTEXT, deadline_call
 from repro.storage import LockMode
-from repro.sim import Resource
 from repro.vfs.pathwalk import split_path
 
 
@@ -44,7 +43,7 @@ class Coordinator(NamespaceReplicaMixin, Node):
         self.index = HybridIndex(shared.config.num_mnodes, self.xt)
         self._txids = count(1)
         #: Serializes rename 2PC rounds (prevents cross-rename deadlock).
-        self._rename_mutex = Resource(env, capacity=1)
+        self._rename_mutex = env.resource(capacity=1)
         #: txid -> "commit" | "abort", recorded *before* the decision is
         #: sent to any participant.  Participants left in doubt (their
         #: commit/abort was black-holed by a fault) query this via
@@ -306,7 +305,7 @@ class Coordinator(NamespaceReplicaMixin, Node):
                 # Participants reject prepares they pick up after this
                 # instant: by then the coordinator has timed out and its
                 # abort may already have come and gone.
-                prepare["deadline"] = self.env.now + timeout_us
+                prepare["deadline"] = self.env.now_us() + timeout_us
             try:
                 vote = yield from self._mnode_call(
                     src_owner, "rename_prepare", prepare, ctx
@@ -323,7 +322,7 @@ class Coordinator(NamespaceReplicaMixin, Node):
             prepare = {"txid": txid, "action": "insert", "key": list(dkey),
                        "record": record}
             if timeout_us is not None:
-                prepare["deadline"] = self.env.now + timeout_us
+                prepare["deadline"] = self.env.now_us() + timeout_us
             try:
                 vote = yield from self._mnode_call(
                     dst_owner, "rename_prepare", prepare, ctx

@@ -14,7 +14,6 @@ from repro.core.indexing import stable_hash
 from repro.net import Node
 from repro.net.rpc import RpcError, RpcFailure
 from repro.obs import CAT_DISK, CAT_PHASE, NULL_CONTEXT
-from repro.sim import Resource
 
 
 class DataIntegrityError(RpcFailure):
@@ -40,10 +39,10 @@ class StorageNode(Node):
 
     def __init__(self, env, network, name):
         super().__init__(env, network, name, cores=network.costs.server_cores)
-        self.disk = Resource(env, capacity=network.costs.ssd_queue_depth)
+        self.disk = env.resource(capacity=network.costs.ssd_queue_depth)
         #: Small (journal-sized) writes go through their own NVMe queue
         #: and do not wait behind multi-megabyte data transfers.
-        self.small_io = Resource(env, capacity=2)
+        self.small_io = env.resource(capacity=2)
         #: (ino, block) -> stored checksum, for end-to-end verification.
         self.block_sums = {}
         self.bytes_read = 0

@@ -13,8 +13,6 @@ the request-dispatch contention the paper identifies as the bottleneck.
 
 from collections import deque
 
-from repro.sim import Resource, Store
-
 
 class WorkerPool:
     """Schedules batches of same-kind requests onto worker processes.
@@ -33,9 +31,9 @@ class WorkerPool:
         self.merging = merging
         #: Serializes dispatch in the no-merge configuration (shared
         #: request-queue contention).
-        self.dispatch_lock = Resource(env, capacity=1)
+        self.dispatch_lock = env.resource(capacity=1)
         self._queues = {}
-        self._ready = Store(env)
+        self._ready = env.store()
         self._scheduled = set()
         self.batches_executed = 0
         self.requests_executed = 0

@@ -325,7 +325,7 @@ class MNode(NamespaceReplicaMixin, Node):
         payload = message.payload
         ctx = message.ctx
         if (ctx is not None and ctx.deadline is not None
-                and self.env.now >= ctx.deadline):
+                and self.env.now_us() >= ctx.deadline):
             # The client already gave up on this op; don't do its work.
             self._respond_error(
                 message, RpcFailure(RpcError.ETIMEDOUT, message.kind)
@@ -916,7 +916,7 @@ class MNode(NamespaceReplicaMixin, Node):
         dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE,
                                     ctx=message.ctx)
         yield dgrant.event
-        if deadline is not None and self.env.now > deadline:
+        if deadline is not None and self.env.now_us() > deadline:
             # The coordinator timed this attempt out while we were still
             # queued on the locks; its abort may already have arrived and
             # found nothing.  Staging now would hold these X grants with
@@ -982,7 +982,7 @@ class MNode(NamespaceReplicaMixin, Node):
         from repro.obs import deadline_call
 
         grace = 2 * (self.shared.config.rpc_timeout_us or 1000.0)
-        yield self.env.timeout(max(0.0, deadline - self.env.now) + grace)
+        yield self.env.timeout(max(0.0, deadline - self.env.now_us()) + grace)
         backoff = 500.0
         while txid in self._staged and not self.halted:
             try:

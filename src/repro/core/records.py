@@ -92,11 +92,14 @@ class InodeAllocator:
 
     Real FalconFS allocates ids from per-MNode ranges handed out by the
     coordinator; a shared counter is behaviourally identical because
-    placement never depends on the id value.
+    placement never depends on the id value.  The multi-process serving
+    mode, where no object is shared, gives each MNode a strided counter
+    (``start=2+index, step=num_mnodes``) — disjoint id spaces with no
+    coordination.
     """
 
-    def __init__(self, start=2):
-        self._next = count(start)
+    def __init__(self, start=2, step=1):
+        self._next = count(start, step)
 
     def allocate(self):
         return next(self._next)

@@ -7,13 +7,20 @@ from repro.metrics.stats import (
     percentile,
     stddev,
 )
-from repro.metrics.registry import Counter, Histogram, MetricsRegistry, TimeSeries
+from repro.metrics.registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    render_prometheus,
+)
 
 __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
     "TimeSeries",
+    "render_prometheus",
     "coefficient_of_variation",
     "load_share_extremes",
     "mean",

@@ -127,3 +127,58 @@ class MetricsRegistry:
 
     def histograms(self):
         return dict(self._histograms)
+
+
+# -- Prometheus text exposition ------------------------------------------
+
+def _prom_name(name):
+    """Sanitize a metric or label token for the Prometheus grammar."""
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch == "_") else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text or "_"
+
+
+def _prom_label_value(value):
+    return str(value).replace("\\", r"\\").replace('"', r"\"") \
+        .replace("\n", r"\n")
+
+
+def render_prometheus(registries, namespace="falconfs"):
+    """Render registries in the Prometheus text format (version 0.0.4).
+
+    Counters become ``<ns>_<name>_total`` with ``node`` and ``label``
+    labels; histograms become a ``_count`` plus quantile gauges (p50,
+    p95, p99) and a mean — computed from the raw observations at scrape
+    time, which the serving mode's cardinality (a handful of histograms
+    per node) makes affordable.
+    """
+    lines = []
+    for registry in registries:
+        node = _prom_label_value(registry.name)
+        for counter in registry.counters().values():
+            metric = "{}_{}_total".format(namespace, _prom_name(counter.name))
+            lines.append("# TYPE {} counter".format(metric))
+            for label, value in sorted(
+                    counter.by_label().items(),
+                    key=lambda item: str(item[0])):
+                tags = 'node="{}"'.format(node)
+                if label is not None:
+                    tags += ',label="{}"'.format(_prom_label_value(label))
+                lines.append("{}{{{}}} {}".format(metric, tags, value))
+        for histogram in registry.histograms().values():
+            metric = "{}_{}".format(namespace, _prom_name(histogram.name))
+            summary = histogram.summary()
+            lines.append("# TYPE {} summary".format(metric))
+            for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                                  ("0.99", "p99")):
+                lines.append('{}{{node="{}",quantile="{}"}} {}'.format(
+                    metric, node, quantile, summary[key]))
+            lines.append('{}_count{{node="{}"}} {}'.format(
+                metric, node, summary["count"]))
+            lines.append('{}_sum{{node="{}"}} {}'.format(
+                metric, node, summary["mean"] * summary["count"]))
+    return "\n".join(lines) + "\n"

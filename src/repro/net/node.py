@@ -1,11 +1,10 @@
-"""Base class for simulated machines."""
+"""Base class for protocol machines (environment-agnostic)."""
 
 from functools import partial
 
 from repro.metrics import MetricsRegistry
 from repro.net.message import Message
 from repro.obs.tracer import CAT_CPU, CAT_NET, CAT_QUEUE
-from repro.sim import Resource, Store
 
 
 class Node:
@@ -24,8 +23,8 @@ class Node:
         self.network = network
         self.costs = network.costs
         self.name = name
-        self.cpu = Resource(env, capacity=cores or network.costs.server_cores)
-        self.inbox = Store(env)
+        self.cpu = env.resource(capacity=cores or network.costs.server_cores)
+        self.inbox = env.store()
         self.metrics = MetricsRegistry(name)
         # Pre-bound per-message counters (send/receive/respond run once
         # per message; the registry lookup is paid once, here).
@@ -186,7 +185,10 @@ class Node:
             ctx.record("cpu.wait", CAT_QUEUE, wait_start, env.now,
                        node=self.name)
         try:
-            if cost_us > 0:
+            # Modeled CPU slices are charged only where the environment
+            # models hardware costs; on a live clock real work already
+            # takes real time.
+            if cost_us > 0 and env.models_costs:
                 start = env.now
                 yield env.schedule_timeout(cost_us)
                 if traced:

@@ -26,7 +26,7 @@ partitioned responder cannot deliver a reply.
 
 from repro.metrics import MetricsRegistry
 from repro.obs.tracer import CAT_NET
-from repro.sim.engine import SimulationError
+from repro.runtime import EnvError
 
 #: Metric label for co-located deliveries, which take zero network hops.
 #: Keeping them out of the per-kind buckets keeps hop counts exact.
@@ -59,7 +59,7 @@ class Network:
     def register(self, node):
         """Attach ``node`` to the fabric under its unique name."""
         if node.name in self._nodes:
-            raise SimulationError("duplicate node name: {}".format(node.name))
+            raise EnvError("duplicate node name: {}".format(node.name))
         self._nodes[node.name] = node
 
     def node(self, name):
@@ -67,7 +67,7 @@ class Network:
         try:
             return self._nodes[name]
         except KeyError:
-            raise SimulationError("unknown node: {}".format(name)) from None
+            raise EnvError("unknown node: {}".format(name)) from None
 
     def nodes(self):
         return list(self._nodes.values())
@@ -104,7 +104,7 @@ class Network:
         and traffic flows to the fresh incarnation.
         """
         if name not in self._down:
-            raise SimulationError(
+            raise EnvError(
                 "cannot reincarnate {}: not down".format(name)
             )
         self.node(name)  # validate registration exists
@@ -173,7 +173,12 @@ class Network:
             return
         self._messages.inc(message.kind)
         self._bytes.inc(message.kind, message.size)
-        delay = self.costs.hop_us(message.size)
+        # Modeled hop latency is charged only under a cost-modeling
+        # environment; a live in-process fabric delivers on the next
+        # scheduler tick (a zero timeout still defers, preserving the
+        # "send returns before delivery" contract).
+        delay = self.costs.hop_us(message.size) if self.env.models_costs \
+            else 0.0
         ctx = message.ctx
 
         def arrive(env=self.env):
@@ -216,7 +221,7 @@ class Network:
             return
         self._responses.inc(message.kind)
         self._response_bytes.inc(message.kind, size)
-        delay = self.costs.hop_us(size)
+        delay = self.costs.hop_us(size) if self.env.models_costs else 0.0
 
         def arrive(env=self.env):
             yield env.schedule_timeout(delay)

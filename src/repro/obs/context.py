@@ -99,10 +99,10 @@ class OpContext:
         """Microseconds until the deadline (``inf`` when none is set)."""
         if self.deadline is None:
             return float("inf")
-        return self.deadline - self.env.now
+        return self.deadline - self.env.now_us()
 
     def expired(self):
-        return self.deadline is not None and self.env.now >= self.deadline
+        return self.deadline is not None and self.env.now_us() >= self.deadline
 
     # -- spans ---------------------------------------------------------------
 

@@ -10,16 +10,19 @@ call site:
   attempt budget is exhausted or the next backoff would overshoot the
   deadline.
 * :func:`deadline_call` issues one RPC and enforces
-  ``OpContext.deadline`` on it using the sim kernel's
-  :class:`~repro.sim.engine.Interrupt` machinery: a watchdog process
+  ``OpContext.deadline`` on it using the environment's
+  :class:`~repro.runtime.api.Interrupt` machinery: a watchdog process
   interrupts the waiter at the deadline, the abandoned reply event is
-  defused (a late error response must not crash the simulation), and the
+  defused (a late error response must not crash the run), and the
   caller sees ``RpcFailure(ETIMEDOUT)``.
+
+Both helpers speak only the :mod:`repro.runtime` contract, so the same
+retry loops run under the discrete-event kernel and the asyncio backend.
 """
 
 from repro.net.rpc import RpcError, RpcFailure
 from repro.obs.tracer import CAT_RETRY
-from repro.sim.engine import Interrupt
+from repro.runtime import Interrupt
 
 #: Codes the shared :func:`retry` helper treats as transient by default.
 RETRYABLE = (RpcError.ERETRY, RpcError.EREDIRECT)
@@ -95,7 +98,7 @@ def retry(node, ctx, attempt_fn, policy=None, retryable=RETRYABLE):
         delay = policy.backoff_us(attempt)
         if delay > 0:
             if (ctx.deadline is not None
-                    and node.env.now + delay >= ctx.deadline):
+                    and node.env.now_us() + delay >= ctx.deadline):
                 raise RpcFailure(
                     RpcError.ETIMEDOUT,
                     "backoff past deadline ({})".format(failure),
@@ -104,6 +107,13 @@ def retry(node, ctx, attempt_fn, policy=None, retryable=RETRYABLE):
                           attrs={"attempt": attempt}
                           if ctx.traced else None):
                 yield node.env.timeout(delay)
+        elif node.env.cooperative:
+            # Zero-backoff policies retry immediately.  The DES resumes
+            # the attempt in the same instant with no extra heap entry;
+            # a live event loop must still yield control, or a hot retry
+            # (e.g. a stale-replica refetch racing an invalidation)
+            # starves every other task on the loop.
+            yield node.env.sleep(0)
     raise failure
 
 
@@ -127,7 +137,7 @@ def deadline_call(node, ctx, target, kind, payload=None, size=None,
         return result
     remaining = float("inf")
     if ctx.deadline is not None:
-        remaining = ctx.deadline - env.now
+        remaining = ctx.deadline - env.now_us()
     if timeout_us is not None:
         remaining = min(remaining, timeout_us)
     if remaining <= 0:

@@ -1,0 +1,115 @@
+"""The environment contract: one protocol implementation, two clocks.
+
+Every protocol layer in this repository — client, MNode, coordinator,
+replication, WAL, transport — is written as generator "processes" that
+``yield`` handles obtained from an *environment*.  The environment owns
+the clock, the scheduler and the concurrency primitives; the protocol
+code never imports a particular kernel.  Two backends implement the
+contract:
+
+* :class:`~repro.runtime.sim_env.SimEnv` — the discrete-event simulator
+  (:mod:`repro.sim.engine`).  Time is virtual microseconds, every cost in
+  :class:`~repro.net.costs.CostModel` is charged as simulated delay, and
+  runs are bit-for-bit deterministic (the golden traces pin this down).
+  The DES remains the reference implementation: fault injection, the
+  nemesis schedules and ``repro.check`` exist only here.
+* :class:`~repro.runtime.aio.AsyncioEnv` — a real asyncio event loop.
+  Time is the monotonic wall clock in microseconds, sleeps are real
+  sleeps, and the fabric is real length-prefixed JSON-RPC over TCP
+  sockets (:mod:`repro.runtime.net`).  Modeled hardware costs are *not*
+  charged (``models_costs`` is False): real work takes real time.
+
+The contract (duck-typed; this class is documentation and a guard rail,
+not a required base):
+
+======================  =================================================
+``now`` / ``now_us()``  current time in microseconds (float)
+``event()``             fresh pending event: ``succeed(v)`` / ``fail(e)``
+                        triggers it; waiters ``yield`` it; ``defused``
+                        suppresses unhandled-failure propagation
+``timeout(us, v)``      event firing ``us`` microseconds from now
+``sleep(us)`` /
+``schedule_timeout``    bare timeout (fast path; no value, no callbacks)
+``process(gen)`` /
+``spawn(gen)``          drive a generator as a process; the handle is
+                        itself an event (yieldable), with ``is_alive``
+                        and ``interrupt(cause)``
+``all_of(events)``      event firing when every child fired
+``any_of(events)``      event firing at the first child
+``resource(capacity)``  capacity-limited FIFO resource (CPU cores, ...)
+``store()``             unbounded FIFO with blocking ``get``
+``fsync(cost_us, n)``   durability barrier: an event that fires when a
+                        WAL batch of ``n`` bytes is on stable storage
+                        (simulated fsync latency, or a real file fsync)
+``models_costs``        True when CostModel delays must be charged
+``cooperative``         True when zero-delay loops must still yield to
+                        the scheduler (real event loops starve without
+                        it; the DES must *not* see extra events)
+======================  =================================================
+
+:class:`Interrupt` is the cancellation signal both kernels throw into a
+process at its current ``yield`` (deadline watchdogs use it), and
+:class:`EnvError` is the base for kernel-misuse errors (the simulator's
+``SimulationError`` subclasses it).
+"""
+
+
+class EnvError(Exception):
+    """Kernel misuse or unhandled process failure (backend-agnostic)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by ``process.interrupt(cause)``.
+
+    The interrupted process receives this exception at its current
+    ``yield`` statement and may handle it to implement timeouts or
+    cancellation.  Shared by both backends so ``try/except Interrupt``
+    in protocol code is environment-independent.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """The object passed to ``interrupt()``."""
+        return self.args[0]
+
+
+class Env:
+    """Documentation base class for environment backends.
+
+    Backends are duck-typed — protocol code never isinstance-checks —
+    but the two defaults declared here mean a backend only overrides
+    what differs from the simulator's semantics.
+    """
+
+    #: Charge :class:`~repro.net.costs.CostModel` delays as time.
+    models_costs = True
+    #: Yield to the scheduler even for zero-delay backoffs.
+    cooperative = False
+
+    def now_us(self):
+        """Current time in microseconds."""
+        raise NotImplementedError
+
+    def sleep(self, delay_us):
+        """A bare yieldable timeout ``delay_us`` microseconds long."""
+        raise NotImplementedError
+
+    def spawn(self, generator):
+        """Drive ``generator`` as a concurrent process; returns the
+        process handle (yieldable, ``is_alive``, ``interrupt()``)."""
+        raise NotImplementedError
+
+    def resource(self, capacity=1):
+        """A capacity-limited FIFO resource bound to this environment."""
+        raise NotImplementedError
+
+    def store(self):
+        """An unbounded FIFO buffer bound to this environment."""
+        raise NotImplementedError
+
+    def fsync(self, cost_us, nbytes=0):
+        """A yieldable durability barrier for one WAL flush batch."""
+        raise NotImplementedError

@@ -1,0 +1,256 @@
+"""Real TCP fabric for the asyncio serving mode.
+
+:class:`AioNetwork` extends the in-memory :class:`~repro.net.transport.
+Network` with remote delivery: nodes registered in *this* process are
+reached through the parent's local path (next scheduler tick — modeled
+hop latency is a simulation concern), while names listed in the peer map
+go over persistent TCP connections carrying the length-prefixed JSON
+frames of :mod:`repro.runtime.wire`.
+
+The RPC surface is unchanged: protocol code still calls ``node.call`` /
+``node.respond`` against event-shaped reply handles.  For an outbound
+remote call the local reply event is resolved when the matching reply
+frame arrives; for an inbound request the reconstructed message carries
+a :class:`_RemoteReply` shim whose ``succeed``/``fail`` write the reply
+frame back on the originating connection.
+
+Deadlines cross the clock boundary as *remaining* microseconds and are
+re-anchored on the receiver's monotonic clock (absolute timestamps from
+another machine are meaningless).  The simulator's fault machinery
+(``set_down``, partitions) stays sim-only: a vanished peer here is a
+really-vanished TCP connection, and the deadline/retry machinery — the
+same code that survives simulated black holes — handles it.
+"""
+
+import asyncio
+from itertools import count
+
+from repro.net.message import Message
+from repro.net.rpc import RpcFailure
+from repro.net.transport import Network
+from repro.obs.context import OpContext
+from repro.runtime import wire
+
+
+class _RemoteReply:
+    """Reply handle for a request that arrived over a socket.
+
+    Quacks like the subset of the event API that ``Node.respond`` /
+    ``respond_error`` touch: ``succeed`` and ``fail`` serialize the
+    outcome onto the originating connection.  One-way messages
+    (``rid is None``) swallow the reply, mirroring ``reply_to=None``
+    semantics — except the protocol always responds via ``respond``,
+    which checks ``reply_to is None`` first, so this shim is only
+    installed when a reply is expected.
+    """
+
+    __slots__ = ("_conn", "_rid", "defused", "_done")
+
+    def __init__(self, conn, rid):
+        self._conn = conn
+        self._rid = rid
+        self.defused = False
+        self._done = False
+
+    def succeed(self, value=None, priority=None):
+        if self._done:
+            return self
+        self._done = True
+        self._conn.write_frame(wire.encode_reply(self._rid, value))
+        return self
+
+    def fail(self, exception, priority=None):
+        if self._done:
+            return self
+        self._done = True
+        if not isinstance(exception, RpcFailure):
+            exception = RpcFailure(5, repr(exception))  # EIO
+        self._conn.write_frame(
+            wire.encode_reply_error(self._rid, exception)
+        )
+        return self
+
+
+class _Connection:
+    """One live peer connection (either direction) with its reader task."""
+
+    __slots__ = ("network", "reader", "writer", "task", "closed")
+
+    def __init__(self, network, reader, writer):
+        self.network = network
+        self.reader = reader
+        self.writer = writer
+        self.closed = False
+        self.task = network.env._loop.create_task(self._read_loop())
+
+    def write_frame(self, doc):
+        if self.closed:
+            return
+        try:
+            self.writer.write(wire.pack_frame(doc))
+        except (ConnectionError, OSError):
+            self.close()
+
+    async def _read_loop(self):
+        while True:
+            doc = await wire.read_frame(self.reader)
+            if doc is None:
+                break
+            self.network._on_frame(self, doc)
+        self.close()
+
+    def close(self):
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.writer.close()
+        except (ConnectionError, OSError):
+            pass
+
+
+class AioNetwork(Network):
+    """TCP-backed fabric: local nodes in-process, peers over sockets."""
+
+    def __init__(self, env, costs, peers=None):
+        super().__init__(env, costs)
+        #: name -> (host, port) for every remote endpoint.
+        self.peers = dict(peers or {})
+        self._rids = count(1)
+        #: rid -> pending local reply event for outbound calls.
+        self._pending = {}
+        #: peer name -> established _Connection.
+        self._conns = {}
+        #: peer name -> list of frames queued while dialing.
+        self._dialing = {}
+        self._server = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self, host, port):
+        """Listen for inbound peer connections."""
+        self._server = await asyncio.start_server(
+            self._on_inbound, host, port
+        )
+
+    async def close(self):
+        for conn in list(self._conns.values()):
+            conn.close()
+        self._conns.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _on_inbound(self, reader, writer):
+        # Inbound connections are anonymous until their first frame; they
+        # are tracked only for reply routing (the _RemoteReply holds the
+        # connection), never dialed through.
+        _Connection(self, reader, writer)
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, message):
+        if message.recipient in self._nodes:
+            super().send(message)
+            return
+        if message.recipient not in self.peers:
+            raise RpcFailure(
+                5, "unknown endpoint: {}".format(message.recipient)
+            )
+        self._messages.inc(message.kind)
+        self._bytes.inc(message.kind, message.size)
+        rid = None
+        if message.reply_to is not None:
+            rid = next(self._rids)
+            self._pending[rid] = message.reply_to
+        remaining = None
+        ctx = message.ctx
+        if ctx is not None and ctx.deadline is not None:
+            remaining = ctx.deadline - self.env.now_us()
+        self._transmit(message.recipient,
+                       wire.encode_request(rid, message, remaining))
+
+    def _transmit(self, peer, doc):
+        conn = self._conns.get(peer)
+        if conn is not None and not conn.closed:
+            conn.write_frame(doc)
+            return
+        queue = self._dialing.get(peer)
+        if queue is not None:
+            queue.append(doc)
+            return
+        self._dialing[peer] = [doc]
+        self.env._loop.create_task(self._dial(peer))
+
+    async def _dial(self, peer):
+        host, port = self.peers[peer]
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError):
+            # The peer is unreachable: drop the queued frames.  Callers'
+            # per-attempt timeouts turn the silence into ETIMEDOUT and
+            # retries — exactly the simulated black-hole discipline.
+            for doc in self._dialing.pop(peer, []):
+                self._dropped.inc(doc.get("kind"))
+            return
+        conn = _Connection(self, reader, writer)
+        self._conns[peer] = conn
+        for doc in self._dialing.pop(peer, []):
+            conn.write_frame(doc)
+
+    # -- receiving -------------------------------------------------------
+
+    def _on_frame(self, conn, doc):
+        kind = doc.get("t")
+        if kind == "rep":
+            self._on_reply(doc)
+        elif kind == "req":
+            self._on_request(conn, doc)
+
+    def _on_reply(self, doc):
+        event = self._pending.pop(doc["id"], None)
+        if event is None:
+            return
+        if event.callbacks is None:
+            return  # already resolved (cannot happen: rids are unique)
+        if doc["ok"]:
+            event.succeed(wire.decode(doc["value"]))
+        else:
+            failure = RpcFailure(doc["code"], doc.get("detail"))
+            # An abandoned reply (deadline fired first) arrives defused;
+            # failing it then is a silent no-op at dispatch.
+            event.fail(failure)
+
+    def _on_request(self, conn, doc):
+        recipient = doc["to"]
+        node = self._nodes.get(recipient)
+        if node is None:
+            if doc["id"] is not None:
+                conn.write_frame(wire.encode_reply_error(
+                    doc["id"],
+                    RpcFailure(5, "not served here: {}".format(recipient)),
+                ))
+            return
+        ctx = None
+        ctx_doc = doc.get("ctx")
+        if ctx_doc is not None:
+            deadline = None
+            remaining = ctx_doc.get("remaining_us")
+            if remaining is not None:
+                deadline = self.env.now_us() + remaining
+            ctx = OpContext(self.env, ctx_doc["op"],
+                            origin=ctx_doc.get("origin"),
+                            deadline=deadline)
+            ctx.attempt = ctx_doc.get("attempt", 0)
+        reply_to = None
+        if doc["id"] is not None:
+            reply_to = _RemoteReply(conn, doc["id"])
+        message = Message(
+            doc["from"], recipient, doc["kind"],
+            payload=wire.decode(doc["payload"]),
+            size=doc.get("size") or self.costs.rpc_request_bytes,
+            reply_to=reply_to, ctx=ctx,
+        )
+        message.arrive_time = self.env.now
+        node.deliver(message)

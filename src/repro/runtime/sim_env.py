@@ -1,0 +1,23 @@
+"""The simulated backend of the environment contract.
+
+:class:`SimEnv` *is* the discrete-event kernel: a trivial subclass of
+:class:`repro.sim.engine.Environment`, which already implements the full
+contract of :mod:`repro.runtime.api`.  The subclass exists so call sites
+outside the simulator (cluster builders, experiments, tests) can say
+"give me the simulated environment" without importing
+``repro.sim.engine`` — the import-boundary lint allows ``repro.runtime``
+everywhere and confines ``repro.sim`` to the kernel, the checker and the
+fault machinery.
+
+Nothing is overridden: constructing a ``SimEnv`` instead of an
+``Environment`` changes no heap entry, no sequence number, no trace —
+the golden-trace tests run through this class.
+"""
+
+from repro.sim.engine import Environment
+
+
+class SimEnv(Environment):
+    """Discrete-event environment (the reference implementation)."""
+
+    __slots__ = ()

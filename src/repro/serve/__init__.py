@@ -1,0 +1,33 @@
+"""Real-runtime serving mode: the simulated protocol on real sockets.
+
+``python -m repro.serve`` runs the *same* protocol objects the simulator
+runs — :class:`~repro.core.mnode.MNode`,
+:class:`~repro.core.coordinator.Coordinator`,
+:class:`~repro.core.client.FalconClient` — on
+:class:`~repro.runtime.aio.AsyncioEnv` (real monotonic clock, real
+asyncio event loop) with inter-process traffic over the length-prefixed
+JSON-RPC fabric of :mod:`repro.runtime.net`.
+
+Subcommands
+-----------
+``up``      launch a coordinator plus N MNode processes and wait
+``node``    run one server process (used by ``up``; rarely by hand)
+``client``  one metadata operation against a running cluster
+            (``mkdir`` / ``create`` / ``stat`` / ``open`` / ``rename`` /
+            ``ls``)
+``bench``   a seeded metadata workload; prints a JSON summary with ack
+            counts and wall-clock latency percentiles
+
+Port layout: the coordinator listens on ``--base-port``, MNode *i* on
+``base+1+i``; each server's Prometheus text endpoint is its RPC port
+``+1000`` (``GET /metrics``).
+
+What stays simulation-only: fault injection, nemesis schedules,
+``repro.check``, cost modeling, replication state surgery.  The serving
+mode is the deployment story; the simulator remains the reference for
+determinism and failure reasoning.
+"""
+
+from repro.serve.main import main
+
+__all__ = ["main"]

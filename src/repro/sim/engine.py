@@ -45,6 +45,13 @@ bit-identical to the original kernel, which the golden-trace test
 
 from heapq import heappop, heappush
 
+from repro.runtime.api import EnvError, Interrupt
+
+__all__ = [
+    "AllOf", "AnyOf", "Environment", "Event", "Initialize", "Interrupt",
+    "Process", "SimulationError", "Timeout", "NORMAL", "URGENT",
+]
+
 #: Scheduling priorities.  URGENT entries at the same timestamp run before
 #: NORMAL ones; this keeps "wake the waiter" ahead of "start the next op".
 URGENT = 0
@@ -58,24 +65,13 @@ _PENDING = object()
 _NO_CALLBACKS = ()
 
 
-class SimulationError(Exception):
-    """Raised for kernel misuse or unhandled process failures."""
+class SimulationError(EnvError):
+    """Raised for kernel misuse or unhandled process failures.
 
-
-class Interrupt(Exception):
-    """Thrown into a process by :meth:`Process.interrupt`.
-
-    The interrupted process receives this exception at its current ``yield``
-    statement and may handle it to implement timeouts or cancellation.
-    """
-
-    def __init__(self, cause=None):
-        super().__init__(cause)
-
-    @property
-    def cause(self):
-        """The object passed to :meth:`Process.interrupt`."""
-        return self.args[0]
+    Subclasses the backend-agnostic :class:`repro.runtime.api.EnvError`
+    so protocol code can catch kernel misuse without importing the
+    simulator.  :class:`Interrupt` likewise comes from the runtime
+    contract (re-exported here for compatibility)."""
 
 
 class Event:
@@ -383,9 +379,22 @@ class AnyOf(Condition):
 
 
 class Environment:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue.
+
+    Implements the full environment contract of
+    :class:`repro.runtime.api.Env`: protocol code written against the
+    contract runs here with virtual time and on
+    :class:`~repro.runtime.aio.AsyncioEnv` with the wall clock.
+    """
 
     __slots__ = ("_now", "_queue", "_seq", "_active_process")
+
+    #: Environment-contract flags (see :mod:`repro.runtime.api`): the
+    #: simulator charges every CostModel delay as virtual time and must
+    #: never see gratuitous zero-delay events (golden traces pin the
+    #: exact event sequence).
+    models_costs = True
+    cooperative = False
 
     def __init__(self, initial_time=0.0):
         self._now = float(initial_time)
@@ -451,6 +460,39 @@ class Environment:
     def process(self, generator):
         """Start a new :class:`Process` driving ``generator``."""
         return Process(self, generator)
+
+    # -- environment-contract surface (repro.runtime.api) ---------------
+
+    def now_us(self):
+        """Current time in microseconds (the contract spelling of
+        :attr:`now`; simulated time *is* microseconds by convention)."""
+        return self._now
+
+    def sleep(self, delay_us):
+        """Contract alias for :meth:`schedule_timeout`."""
+        return self.schedule_timeout(delay_us)
+
+    def spawn(self, generator):
+        """Contract alias for :meth:`process`."""
+        return Process(self, generator)
+
+    def resource(self, capacity=1):
+        """A :class:`~repro.sim.resources.Resource` on this clock."""
+        from repro.sim.resources import Resource
+
+        return Resource(self, capacity=capacity)
+
+    def store(self):
+        """A :class:`~repro.sim.resources.Store` on this clock."""
+        from repro.sim.resources import Store
+
+        return Store(self)
+
+    def fsync(self, cost_us, nbytes=0):
+        """Durability barrier: in the simulator an fsync is exactly its
+        modeled latency (``nbytes`` already priced into ``cost_us`` by
+        the WAL).  Identical heap entry to ``schedule_timeout``."""
+        return self.schedule_timeout(cost_us)
 
     def all_of(self, events):
         """Event that fires when all ``events`` have fired."""

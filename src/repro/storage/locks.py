@@ -13,7 +13,7 @@ itself is charged by the caller (FalconFS coalesces it per batch, §4.4).
 from collections import deque
 
 from repro.obs.tracer import CAT_LOCK
-from repro.sim.engine import SimulationError
+from repro.runtime import EnvError
 
 
 class LockMode:
@@ -62,7 +62,7 @@ class LockManager:
         once the lock is held.  With a traced ``ctx``, a ``lock.wait``
         span covers any time spent queued behind other holders."""
         if mode not in _MODES:
-            raise SimulationError("bad lock mode: {!r}".format(mode))
+            raise EnvError("bad lock mode: {!r}".format(mode))
         state = self._locks.get(key)
         if state is None:
             # Fresh key: trivially grantable, skip the compatibility scan.
@@ -106,7 +106,7 @@ class LockManager:
         """Release a held grant (or cancel a queued one)."""
         state = self._locks.get(grant.key)
         if state is None:
-            raise SimulationError("release on unknown key: {}".format(grant.key))
+            raise EnvError("release on unknown key: {}".format(grant.key))
         if grant.granted:
             state.holders.remove(grant)
         else:

@@ -184,7 +184,10 @@ class WriteAheadLog:
             duration = (
                 self.costs.wal_fsync_us + nbytes * self.costs.wal_us_per_byte
             )
-            yield self.env.schedule_timeout(duration)
+            # The environment owns the durability barrier: the simulator
+            # charges the modeled fsync latency; the live backend syncs a
+            # real log file and fires when the device confirms.
+            yield self.env.fsync(duration, nbytes)
             if self.failed:
                 # The machine lost power while this fsync was in flight:
                 # the batch is a torn tail — partially persisted, failing

@@ -87,9 +87,9 @@ class TestNetworkFaults:
         assert _call(env, client, "server", payload="hi") == {"echo": "hi"}
 
     def test_set_down_unknown_node_rejected(self, env, net):
-        from repro.sim import SimulationError
+        from repro.runtime import EnvError
 
-        with pytest.raises(SimulationError):
+        with pytest.raises(EnvError):
             net.set_down("ghost")
 
     def test_partition_blocks_both_directions(self, env, net):

@@ -1,0 +1,91 @@
+"""Import-boundary lint: protocol layers must not touch the DES kernel.
+
+The environment abstraction (:mod:`repro.runtime`) exists so that the
+protocol machines — clients, MNodes, coordinator, replication, WAL,
+transport, retry — run unchanged on the simulated clock and on asyncio.
+That only holds if nothing in those layers imports :mod:`repro.sim.engine`
+(or the :mod:`repro.sim` package facade) directly; everything they need is
+on the :class:`~repro.runtime.Env` contract.
+
+``repro.sim.rng`` is explicitly allowed: it is a pure seeded-PRNG helper
+with no dependence on the simulation kernel or clock.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Layers that must stay environment-agnostic.
+GUARDED = ["core", "storage", "net", "obs", "runtime", "serve", "metrics",
+           "vfs"]
+
+#: Exact sim modules that are kernel-free and therefore allowed.
+ALLOWED_SIM = {"repro.sim.rng"}
+
+#: The one sanctioned kernel adapter (checked separately below).
+ADAPTER = "runtime/sim_env.py"
+
+
+def _imports(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            # Judge the full dotted name: ``from repro.sim import engine``
+            # names the kernel, ``from repro.sim import rng`` does not.
+            module = node.module or ""
+            for alias in node.names:
+                yield node.lineno, "{}.{}".format(module, alias.name)
+
+
+def _allowed(name):
+    # "repro.sim.rng" itself, or a name imported from it
+    # ("repro.sim.rng.RandomStreams").
+    return any(name == ok or name.startswith(ok + ".")
+               for ok in ALLOWED_SIM)
+
+
+def _violations(module_name):
+    bad = []
+    for path in sorted((SRC / module_name).rglob("*.py")):
+        if path.relative_to(SRC).as_posix() == ADAPTER:
+            continue
+        for lineno, name in _imports(path):
+            if name != "repro.sim" and not name.startswith("repro.sim."):
+                continue
+            if not _allowed(name):
+                bad.append("{}:{}: imports {}".format(
+                    path.relative_to(SRC.parent), lineno, name))
+    return bad
+
+
+@pytest.mark.parametrize("layer", GUARDED)
+def test_layer_does_not_import_sim_kernel(layer):
+    violations = _violations(layer)
+    assert not violations, (
+        "environment-agnostic layer '{}' reached into the DES kernel:\n{}"
+        .format(layer, "\n".join(violations)))
+
+
+def test_sim_env_is_the_only_kernel_adapter():
+    """The one sanctioned bridge: repro.runtime.sim_env -> repro.sim.engine."""
+    adapter = SRC / "runtime" / "sim_env.py"
+    names = {name for _, name in _imports(adapter)}
+    assert any(n.startswith("repro.sim.engine") for n in names)
+
+
+def test_guard_list_is_current():
+    """Every src/repro subpackage is either guarded or a known sim layer."""
+    layers = {p.name for p in SRC.iterdir() if p.is_dir()
+              if (p / "__init__.py").exists()}
+    unguarded = layers - set(GUARDED)
+    # Simulation-side layers, free to use the kernel directly.
+    assert unguarded <= {"sim", "faults", "workloads", "experiments",
+                         "baselines", "analysis", "check", "cli"}, (
+        "new subpackage {} — add it to GUARDED or the sim-side allowlist"
+        .format(sorted(unguarded)))

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.net import CostModel, Network, Node, RpcError, RpcFailure
-from repro.sim import Environment, SimulationError
+from repro.runtime import EnvError
+from repro.sim import Environment
 
 
 class EchoNode(Node):
@@ -37,13 +38,13 @@ def net(env):
 
 def test_duplicate_registration_rejected(env, net):
     EchoNode(env, net, "a")
-    with pytest.raises(SimulationError):
+    with pytest.raises(EnvError):
         EchoNode(env, net, "a")
 
 
 def test_unknown_node_rejected(env, net):
     node = EchoNode(env, net, "a")
-    with pytest.raises(SimulationError):
+    with pytest.raises(EnvError):
         node.send("ghost", "echo")
 
 

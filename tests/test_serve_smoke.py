@@ -1,0 +1,157 @@
+"""Real-runtime smoke: boot ``repro.serve`` processes, drive real ops.
+
+Launches a coordinator plus three MNode processes on loopback TCP, runs
+the seeded bench workload through the CLI entry point, scrapes the
+Prometheus endpoints, and asserts the serving mode's contract: every op
+is either acked or failed (zero lost), no failures on a fresh namespace,
+and wall-clock latency within a loose sanity bound.
+
+Locally this runs a few hundred ops (~10 s); CI sets
+``FALCON_SMOKE_OPS=1000`` for the full workload.
+"""
+
+import http.client
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+OPS = int(os.environ.get("FALCON_SMOKE_OPS", "200"))
+MNODES = 3
+
+
+def _ports_free(base):
+    # RPC ports base..base+MNODES plus metrics ports at +1000.
+    wanted = [base + i for i in range(MNODES + 1)]
+    wanted += [p + 1000 for p in wanted]
+    for port in wanted:
+        with socket.socket() as probe:
+            try:
+                probe.bind(("127.0.0.1", port))
+            except OSError:
+                return False
+    return True
+
+
+def _pick_base_port():
+    rng = int.from_bytes(os.urandom(2), "big")
+    for attempt in range(20):
+        base = 20000 + (rng + attempt * 137) % 20000
+        if _ports_free(base):
+            return base
+    pytest.skip("no free port range on loopback")
+
+
+def _wait_port(port, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=1.0):
+                return True
+        except OSError:
+            time.sleep(0.05)
+    return False
+
+
+def _scrape(port):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert "text/plain" in response.getheader("Content-Type", "")
+        return response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+def _serve(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", *argv],
+        cwd=str(REPO), env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    base = _pick_base_port()
+    up = _serve("up", "--mnodes", str(MNODES), "--base-port", str(base))
+    try:
+        for i in range(MNODES + 1):
+            assert _wait_port(base + i), (
+                "server on port {} never came up".format(base + i))
+        yield base
+    finally:
+        up.send_signal(signal.SIGINT)
+        try:
+            up.wait(timeout=20)
+        except subprocess.TimeoutExpired:
+            up.kill()
+            up.wait(timeout=10)
+
+
+def test_cli_roundtrip(cluster):
+    base = cluster
+
+    def cli(*argv):
+        proc = _serve("client", "--base-port", str(base),
+                      "--mnodes", str(MNODES), *argv)
+        out, _ = proc.communicate(timeout=60)
+        payload = json.loads(out.strip().splitlines()[-1])
+        return proc.returncode, payload
+
+    code, res = cli("mkdir", "/smoke")
+    assert code == 0 and res["ok"], res
+    code, res = cli("create", "/smoke/a")
+    assert code == 0 and res["ok"], res
+    code, res = cli("stat", "/smoke/a")
+    assert code == 0 and res["attrs"]["is_dir"] is False, res
+    code, res = cli("rename", "/smoke/a", "/smoke/b")
+    assert code == 0 and res["ok"], res
+    code, res = cli("ls", "/smoke")
+    assert code == 0 and [e[0] for e in res["entries"]] == ["b"], res
+    # ENOENT surfaces as a non-zero exit and an error payload.
+    code, res = cli("stat", "/smoke/a")
+    assert code == 1 and res["ok"] is False and res["code"] == 2, res
+
+
+def test_bench_zero_lost_acks(cluster):
+    base = cluster
+    proc = _serve("bench", "--base-port", str(base),
+                  "--mnodes", str(MNODES),
+                  "--ops", str(OPS), "--seed", "3")
+    out, _ = proc.communicate(timeout=600)
+    summary = json.loads(out.strip().splitlines()[-1])
+    assert proc.returncode == 0, summary
+    assert summary["ops"] == OPS
+    assert summary["lost"] == 0, summary
+    assert summary["failed"] == 0, summary
+    assert summary["acked"] == OPS, summary
+    # Loose sanity bound: local loopback metadata ops are fast; anything
+    # near the 15 s op deadline means retry storms or lost replies.
+    assert summary["latency_us"]["p50"] < 1_000_000, summary
+    assert summary["latency_us"]["max"] < 14_000_000, summary
+
+
+def test_prometheus_scrape(cluster):
+    base = cluster
+    coordinator = _scrape(base + 1000)
+    assert "falconfs_" in coordinator
+    mnode = _scrape(base + 1 + 1000)
+    # The bench ran creates and stats: the MNode must have counted RPCs.
+    assert "falconfs_" in mnode
+    samples = [line for line in mnode.splitlines()
+               if line and not line.startswith("#")]
+    assert samples, mnode[:400]
+    for line in samples:
+        name = line.split("{")[0].split(" ")[0]
+        assert name.startswith("falconfs_"), line

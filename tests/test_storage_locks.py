@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sim import Environment, SimulationError
+from repro.runtime import EnvError
+from repro.sim import Environment
 from repro.storage import LockManager, LockMode
 
 
@@ -59,14 +60,14 @@ def test_batch_shared_grant_after_exclusive(locks):
 
 
 def test_bad_mode_rejected(locks):
-    with pytest.raises(SimulationError):
+    with pytest.raises(EnvError):
         locks.acquire("k", "Z")
 
 
 def test_release_unknown_key_rejected(locks):
     grant = locks.acquire("k", LockMode.SHARED)
     locks.release(grant)
-    with pytest.raises(SimulationError):
+    with pytest.raises(EnvError):
         locks.release(grant)
 
 
