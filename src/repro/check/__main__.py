@@ -19,7 +19,7 @@ import sys
 import time
 
 from repro.check.runner import run_schedule
-from repro.check.schedule import generate_schedule
+from repro.check.schedule import NEMESIS_MIXES, generate_schedule
 from repro.check.shrink import shrink
 
 
@@ -32,6 +32,7 @@ def _schedule_kwargs(args):
         "num_nemeses": args.nemeses,
         "budget_us": args.budget_us,
         "quiesce_budget_us": args.quiesce_budget_us,
+        "nemesis_mix": args.nemesis_mix,
     }
 
 
@@ -124,6 +125,10 @@ def _add_schedule_args(parser):
     parser.add_argument("--budget-us", type=float, default=600000.0)
     parser.add_argument("--quiesce-budget-us", type=float,
                         default=300000.0)
+    parser.add_argument(
+        "--nemesis-mix", choices=sorted(NEMESIS_MIXES), default="mixed",
+        help="fault family: classic (crash/corrupt/hang/partition), "
+             "gray (slow disk/lossy link/clock skew/stampede), or mixed")
 
 
 def main(argv=None):

@@ -314,6 +314,16 @@ def promotion_risk_windows(cluster, nemesis_log):
     moment shipping still flowed — the crash or hang instant — minus the
     in-flight shipping margin.  Suppressed and deferred failovers moved
     no state and excuse nothing.
+
+    Only *dead* troubles open a window: crashes (from the cluster's
+    crash log) and hangs (the node was genuinely unreachable).  Gray
+    degradation — slow disks, lossy links, skewed clocks, stampedes —
+    never appears in the trouble set: a degraded-but-alive primary still
+    holds every acked op, so a promotion around it has no excusable
+    loss.  Likewise a promotion with *no* recorded trouble excuses
+    nothing (there used to be a ``detected_at - 2500`` guess here; a
+    detector declaration alone, e.g. pings starved by a lossy link, is
+    not evidence that acked state could legitimately vanish).
     """
     troubles = {}
     for crash in cluster.crash_log:
@@ -332,10 +342,10 @@ def promotion_risk_windows(cluster, nemesis_log):
             at for at in troubles.get(record["index"], ())
             if at <= promoted_at
         ]
-        trouble_at = (max(candidates) if candidates
-                      else record["detected_at"] - 2500.0)
+        if not candidates:
+            continue
         windows.append((record["index"],
-                        trouble_at - SHIP_MARGIN_US, promoted_at))
+                        max(candidates) - SHIP_MARGIN_US, promoted_at))
     return windows
 
 

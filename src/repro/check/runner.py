@@ -102,6 +102,8 @@ def run_schedule(schedule):
         replication=cfg.get("replication", True),
         rpc_timeout_us=cfg["rpc_timeout_us"],
         op_deadline_us=cfg["op_deadline_us"],
+        retry_jitter=cfg.get("retry_jitter", 0.0),
+        ship_retry_us=cfg.get("ship_retry_us", 0.0),
         seed=schedule["seed"],
     )
     cluster = FalconCluster(config)

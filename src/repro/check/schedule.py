@@ -49,15 +49,38 @@ NEMESIS_MIX = (
     ("partition", 20),
 )
 
+#: Gray (slow-not-dead) nemeses: the victim keeps answering throughout,
+#: so none of these may be excused like a crash by the oracle.
+GRAY_NEMESIS_MIX = (
+    ("slow_disk", 30),
+    ("degrade_link", 35),
+    ("skew_clock", 20),
+    ("stampede", 15),
+)
+
+#: Selectable nemesis families (the ``--nemesis-mix`` CLI knob).
+NEMESIS_MIXES = {
+    "classic": NEMESIS_MIX,
+    "gray": GRAY_NEMESIS_MIX,
+    "mixed": NEMESIS_MIX + GRAY_NEMESIS_MIX,
+}
+
 CHMOD_MODES = (0o600, 0o640, 0o644, 0o660, 0o664)
 WRITE_SIZES = (512, 2048, 8192)
 
 
 def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
                       num_storage=2, num_nemeses=3, budget_us=600000.0,
-                      quiesce_budget_us=300000.0):
-    """Expand ``seed`` into a complete, self-contained schedule dict."""
+                      quiesce_budget_us=300000.0, nemesis_mix="mixed"):
+    """Expand ``seed`` into a complete, self-contained schedule dict.
+
+    ``nemesis_mix`` selects the fault family: ``"classic"`` (crash /
+    corrupt / hang / partition), ``"gray"`` (slow disk / degraded link /
+    clock skew / stampede — the victim stays alive throughout), or
+    ``"mixed"`` (both, the default).
+    """
     rng = random.Random(seed)
+    mix = NEMESIS_MIXES[nemesis_mix]
     num_dirs = 3
     dirs = ["/d{}".format(i) for i in range(num_dirs)]
     subdirs = [
@@ -103,8 +126,8 @@ def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
             op["path"] = rng.choice(files)
         ops.append(op)
 
-    nemesis_kinds = [kind for kind, _ in NEMESIS_MIX]
-    nemesis_weights = [weight for _, weight in NEMESIS_MIX]
+    nemesis_kinds = [kind for kind, _ in mix]
+    nemesis_weights = [weight for _, weight in mix]
     nemeses = []
     busy_until = 1200.0
     for group in range(num_nemeses):
@@ -147,7 +170,7 @@ def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
                 "index": index, "duration_us": round(duration, 3),
             })
             busy_until = start + duration + 2600.0
-        else:  # partition
+        elif kind == "partition":
             duration = rng.uniform(400.0, 2600.0)
             nemeses.append({
                 "group": group, "kind": "partition",
@@ -155,6 +178,53 @@ def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
                 "duration_us": round(duration, 3),
             })
             busy_until = start + duration + 2600.0
+        elif kind == "slow_disk":
+            duration = rng.uniform(1500.0, 4000.0)
+            nemeses.append({
+                "group": group, "kind": "slow_disk",
+                "at_us": round(start, 3), "index": index,
+                "duration_us": round(duration, 3),
+                "fsync_factor": round(rng.uniform(4.0, 40.0), 3),
+                "bandwidth_factor": round(rng.uniform(2.0, 10.0), 3),
+                "ramp_us": round(rng.uniform(200.0, 800.0), 3),
+            })
+            busy_until = start + duration + 2600.0
+        elif kind == "degrade_link":
+            duration = rng.uniform(800.0, 3000.0)
+            nemeses.append({
+                "group": group, "kind": "degrade_link",
+                "at_us": round(start, 3), "index": index,
+                "duration_us": round(duration, 3),
+                "latency_factor": round(rng.uniform(2.0, 10.0), 3),
+                "loss_prob": round(rng.uniform(0.05, 0.35), 4),
+                "reorder_window_us": round(rng.uniform(40.0, 350.0), 3),
+                "rng_seed": rng.getrandbits(48),
+            })
+            busy_until = start + duration + 2600.0
+        elif kind == "skew_clock":
+            duration = rng.uniform(1000.0, 4000.0)
+            offset = rng.uniform(200.0, 6000.0) * rng.choice((-1.0, 1.0))
+            drift = rng.uniform(0.0, 80000.0) * rng.choice((-1.0, 1.0))
+            event = {
+                "group": group, "kind": "skew_clock",
+                "at_us": round(start, 3),
+                "duration_us": round(duration, 3),
+                "offset_us": round(offset, 3),
+                "drift_ppm": round(drift, 3),
+            }
+            if rng.random() < 0.35:
+                event["target"] = "coordinator"
+                event["index"] = None
+            else:
+                event["index"] = index
+            nemeses.append(event)
+            busy_until = start + duration + 2600.0
+        else:  # stampede
+            nemeses.append({
+                "group": group, "kind": "stampede",
+                "at_us": round(start, 3),
+            })
+            busy_until = start + 1500.0
 
     return {
         "version": 1,
@@ -166,6 +236,12 @@ def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
             "replication": True,
             "rpc_timeout_us": 400.0,
             "op_deadline_us": 30000.0,
+            # Jittered backoff (stampedes must not meet synchronized
+            # retry storms) and shipper retransmission (lossy links
+            # must not permanently gap the standby).
+            "retry_jitter": 0.25,
+            "ship_retry_us": 1200.0,
+            "nemesis_mix": nemesis_mix,
             "budget_us": budget_us,
             "quiesce_budget_us": quiesce_budget_us,
         },

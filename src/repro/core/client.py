@@ -56,6 +56,11 @@ class FalconClient(Node):
         self.xt = ExceptionTable()
         self.index = HybridIndex(shared.config.num_mnodes, self.xt)
         self.rng = shared.streams.stream("client." + name)
+        #: Dedicated stream for backoff jitter, consulted by the shared
+        #: retry helper only when ``config.retry_jitter`` is nonzero —
+        #: an independent stream so enabling jitter never perturbs
+        #: workload-shaping draws from ``self.rng``.
+        self.retry_rng = shared.streams.stream("retry." + name)
         self.dcache = DentryCache(budget_bytes=cache_budget_bytes)
         self.blocks = BlockClient(self, shared)
         self.root_attrs = InodeAttrs(ino=ROOT_INO, is_dir=True, mode=0o777)
@@ -211,7 +216,10 @@ class FalconClient(Node):
         """New :class:`OpContext` for one client-visible operation."""
         deadline = None
         if self.deadline_us:
-            deadline = self.env.now_us() + self.deadline_us
+            # Stamped off the client's *local* clock: under the
+            # clock-skew nemesis a client and the server it calls can
+            # legitimately disagree about how much budget remains.
+            deadline = self.clock.now_us() + self.deadline_us
         ctx = OpContext(
             self.env, op, origin=self.name, tracer=self.shared.tracer,
             deadline=deadline, retry_policy=self.retry_policy,

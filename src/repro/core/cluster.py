@@ -403,6 +403,14 @@ class FalconCluster:
         if self.detector is not None:
             self.detector.stop()
         self.network.heal()
+        # Gray failures heal too: restore degraded links, reset skewed
+        # clocks and clear disk slowdowns, so the drain that follows
+        # (and the convergence audits after it) runs on healthy gear.
+        self.network.restore_links()
+        for view in self.env.clock_views():
+            view.reset()
+        for mnode in self.mnodes:
+            mnode.wal.slow_disk = None
         records = []
         if restart:
             for index in sorted(self._crashed):

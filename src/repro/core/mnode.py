@@ -163,7 +163,10 @@ class MNode(NamespaceReplicaMixin, Node):
         """
         from repro.storage.replication import LogShipper
 
-        self.shipper = LogShipper(self, standby_name, start_lsn=start_lsn)
+        self.shipper = LogShipper(
+            self, standby_name, start_lsn=start_lsn,
+            retry_us=self.shared.config.ship_retry_us,
+        )
         self._ship_anchor = (self.wal.appended_txns if anchor is None
                              else anchor)
         self._ship_base = start_lsn if base is None else base

@@ -38,6 +38,12 @@ class FalconConfig:
     retry_backoff_max_us: float = 6400.0
     #: Attempt budget per operation before the client gives up.
     retry_max_attempts: int = 64
+    #: Backoff jitter fraction in [0, 1] (0 = off).  Each retry delay is
+    #: spread over ``[delay * (1 - jitter), delay]`` with the client's
+    #: seeded RNG, so a mass invalidation (cache stampede) or failover
+    #: does not meet perfectly synchronized retry storms.  Off by
+    #: default: golden traces stay bit-identical.
+    retry_jitter: float = 0.0
     #: Absolute per-operation deadline, microseconds (0 = no deadline).
     #: Enforced at every hop via the kernel's Interrupt machinery.
     op_deadline_us: float = 0.0
@@ -55,6 +61,12 @@ class FalconConfig:
     #: Asynchronous log-shipping replication to per-MNode standbys (the
     #: evaluation runs with this disabled, like the paper's).
     replication: bool = False
+    #: Shipper retransmission cadence, microseconds (0 = off).  While a
+    #: shipper has unacknowledged WAL records it re-ships the suffix at
+    #: this period, healing ``wal_ship``/``wal_ack`` messages lost to
+    #: gray link degradation.  Event-driven: the timer only exists while
+    #: the unacked window is non-empty, so quiescence still drains.
+    ship_retry_us: float = 0.0
     seed: int = 0
 
 

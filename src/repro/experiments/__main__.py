@@ -20,6 +20,7 @@ from repro.experiments import (
     corner_cases,
     data_path,
     failover,
+    grayfail,
     labeling,
     load_balance,
     memory_budget,
@@ -60,6 +61,10 @@ EXPERIMENTS = {
     "failover": (failover, {},
                  {"threads": 6, "duration_us": 20000.0,
                   "warm_us": 5000.0}),
+    "grayfail": (grayfail, {},
+                 {"kinds": ("degrade_link", "stampede"),
+                  "threads": 4, "duration_us": 20000.0,
+                  "warm_us": 5000.0, "fault_duration_us": 6000.0}),
     "restart": (restart, {},
                 {"seeds": (0,), "threads": 6, "duration_us": 20000.0,
                  "warm_us": 5000.0}),

@@ -1,0 +1,212 @@
+"""Gray failures: slow-not-dead faults under a live workload.
+
+Not a paper figure — the paper's evaluation kills nodes outright, but
+production pipelines mostly suffer *gray* failures: a disk that fsyncs
+at 40x, a link dropping a third of its packets, a clock a few
+milliseconds out, a synchronized cache-refetch storm.  The victim keeps
+answering throughout, which is exactly what makes these hard: the
+failure detector may rack up misses and declare the slot dead, but the
+coordinator finds it reachable and must *suppress* the promotion — a
+degraded primary still holds strictly more data than its standby, so
+promoting around it would manufacture loss.
+
+This experiment sweeps one gray fault kind across severities and
+reports, per severity:
+
+* client op latency (p50/p99) before, during and after the fault
+  window, plus error counts;
+* the detector's reaction: false-positive declarations (and how fast),
+  and the suppressed promotions that resulted;
+* replication health after drain: messages lost on the wire, records
+  retransmitted by the shipper, and the divergence count between every
+  primary/standby pair — asserted zero (the retransmission guarantee).
+
+Two invariants are asserted outright: no *real* promotion ever happens
+under a gray fault (suppression), and every primary/standby pair
+converges after the window heals (shipper retransmission closes the
+gaps seeded packet loss opened).
+"""
+
+from repro.core import FalconCluster, FalconConfig
+from repro.faults import FaultInjector
+from repro.metrics import percentile
+from repro.net.rpc import RpcFailure
+
+#: Per-kind severity ladders (the swept knob differs per fault family).
+SEVERITIES = {
+    "slow_disk": (4.0, 16.0, 48.0),        # fsync slowdown factor
+    "degrade_link": (0.05, 0.15, 0.35),    # per-message loss probability
+    "skew_clock": (1500.0, 6000.0, 24000.0),  # coordinator offset (us)
+    "stampede": (1, 2, 4),                 # storms inside the window
+}
+
+
+def _inject(injector, cluster, kind, severity, at_us, duration_us):
+    """Schedule one gray fault window of the given kind/severity."""
+    if kind == "slow_disk":
+        injector.slow_disk_at(at_us, index=0, duration_us=duration_us,
+                              fsync_factor=severity,
+                              bandwidth_factor=max(2.0, severity / 4.0),
+                              ramp_us=500.0)
+    elif kind == "degrade_link":
+        injector.degrade_link_at(at_us, cluster.mnodes[0].name,
+                                 duration_us, latency_factor=4.0,
+                                 loss_prob=severity,
+                                 reorder_window_us=120.0,
+                                 rng_seed=0xC0FFEE)
+    elif kind == "skew_clock":
+        injector.skew_clock_at(at_us, cluster.coordinator.name,
+                               offset_us=severity, drift_ppm=40000.0,
+                               duration_us=duration_us)
+    elif kind == "stampede":
+        storms = int(severity)
+        for i in range(storms):
+            injector.stampede_at(at_us + i * (duration_us / storms))
+    else:
+        raise ValueError("unknown gray fault kind: {!r}".format(kind))
+
+
+def measure(kind="degrade_link", severity=0.15, num_mnodes=3,
+            num_storage=2, threads=8, num_dirs=3, duration_us=30000.0,
+            warm_us=8000.0, fault_duration_us=8000.0,
+            rpc_timeout_us=400.0, seed=0):
+    """Run one gray-fault window under load; returns a result dict."""
+    cluster = FalconCluster(FalconConfig(
+        num_mnodes=num_mnodes, num_storage=num_storage, replication=True,
+        rpc_timeout_us=rpc_timeout_us, retry_jitter=0.25,
+        ship_retry_us=1200.0, seed=seed,
+    ))
+    env = cluster.env
+    fs = cluster.fs()
+    for d in range(num_dirs):
+        fs.mkdir("/w{}".format(d))
+    cluster.run_for(5000.0)  # drain setup shipments
+
+    cluster.start_failure_detection()
+    injector = FaultInjector(cluster)
+    fault_at = env.now + warm_us
+    fault_end = fault_at + fault_duration_us
+    _inject(injector, cluster, kind, severity, fault_at,
+            fault_duration_us)
+
+    client = cluster.add_client(mode="libfs")
+    end_at = env.now + duration_us
+    records = []
+
+    def worker(wid):
+        i = 0
+        last = None
+        while env.now < end_at:
+            if last is None or i % 2 == 0:
+                path = "/w{}/f{}-{}".format(wid % num_dirs, wid, i)
+                op = client.create(path, exclusive=False)
+                nxt = path
+            else:
+                op = client.getattr(last)
+                nxt = last
+            start = env.now
+            ok = True
+            try:
+                yield from op
+            except RpcFailure:
+                ok = False
+            records.append((start, env.now, ok))
+            last = nxt
+            i += 1
+
+    workers = [env.process(worker(w)) for w in range(threads)]
+    env.run(until=env.all_of(workers))
+    cluster.detector.stop()
+    cluster.heal()
+    cluster.run_for(20000.0)  # drain: retransmissions, invalidations
+
+    from repro.storage.replication import divergence
+
+    log = cluster.coordinator.failover_log
+    real_promotions = [
+        r for r in log
+        if r.get("promoted") and not r.get("suppressed")
+        and not r.get("deferred")
+    ]
+    if real_promotions:
+        raise AssertionError(
+            "gray fault triggered a real promotion: {!r} (a degraded "
+            "node must be suppressed, not replaced)".format(
+                real_promotions[0]))
+    diverged = 0
+    for mnode, standby in zip(cluster.mnodes, cluster.standbys):
+        if standby is not None:
+            diverged += len(divergence(mnode, standby))
+    if diverged:
+        raise AssertionError(
+            "{} primary/standby divergences survived the drain — "
+            "shipper retransmission failed to close the gap"
+            .format(diverged))
+
+    declared = cluster.detector.log
+    detect_us = (declared[0]["declared_at"] - fault_at
+                 if declared else None)
+    resent = sum(m.shipper.resent_records for m in cluster.mnodes
+                 if getattr(m, "shipper", None) is not None)
+    phases = {
+        "before": [r for r in records if r[1] < fault_at],
+        "during": [r for r in records
+                   if r[1] >= fault_at and r[0] <= fault_end],
+        "after": [r for r in records if r[0] > fault_end],
+    }
+    return {
+        "kind": kind,
+        "severity": severity,
+        "phases": phases,
+        "declared": len(declared),
+        "detect_us": detect_us,
+        "suppressed": sum(1 for r in log if r.get("suppressed")),
+        "lost_msgs": cluster.network.lost_count(),
+        "resent_records": resent,
+        "divergence": diverged,
+        "cluster": cluster,
+    }
+
+
+def run(kinds=("slow_disk", "degrade_link", "skew_clock", "stampede"),
+        severities=None, **kwargs):
+    rows = []
+    for kind in kinds:
+        ladder = (severities[kind] if severities is not None
+                  else SEVERITIES[kind])
+        for severity in ladder:
+            result = measure(kind=kind, severity=severity, **kwargs)
+            during = [e - s for s, e, _ in result["phases"]["during"]]
+            after = [e - s for s, e, _ in result["phases"]["after"]]
+            errors = sum(1 for _, _, ok in result["phases"]["during"]
+                         if not ok)
+            rows.append({
+                "kind": kind,
+                "severity": severity,
+                "ops_during": len(during),
+                "errors": errors,
+                "p50_us": percentile(during, 50) if during else 0.0,
+                "p99_us": percentile(during, 99) if during else 0.0,
+                "p99_after_us": percentile(after, 99) if after else 0.0,
+                "declared": result["declared"],
+                "detect_us": (round(result["detect_us"], 1)
+                              if result["detect_us"] is not None else "-"),
+                "suppressed": result["suppressed"],
+                "lost_msgs": result["lost_msgs"],
+                "resent": result["resent_records"],
+                "diverged": result["divergence"],
+            })
+    return rows
+
+
+def format_rows(rows):
+    from repro.experiments.common import format_table
+
+    return format_table(
+        rows,
+        ["kind", "severity", "ops_during", "errors", "p50_us", "p99_us",
+         "p99_after_us", "declared", "detect_us", "suppressed",
+         "lost_msgs", "resent", "diverged"],
+        title="Client ops through gray fault windows "
+              "(degraded, never promoted)",
+    )

@@ -57,17 +57,34 @@ class FailureDetector:
         self._running = False
 
     def _loop(self):
+        """Fixed-rate tick: probes are spawned at ``interval_us`` cadence
+        and *not* joined.
+
+        Joining them (as this loop once did) made the effective period
+        ``interval + slowest ping RTT``, so a slow-not-dead link
+        silently stretched detection latency past the documented
+        ``miss_threshold * interval + timeout`` floor.  Each probe is
+        already bounded by ``timeout_us``, so an unjoined straggler can
+        overlap the next tick at most briefly.  Tick arithmetic runs on
+        the coordinator's *local* clock: skewing it genuinely changes
+        the heartbeat cadence the cluster experiences.
+        """
+        clock = self.node.clock
+        next_due = clock.now_us() + self.interval_us
         while self._running:
-            yield self.env.timeout(self.interval_us)
+            delay = next_due - clock.now_us()
+            if delay > 0:
+                yield self.env.timeout(clock.to_env_delay(delay))
             if not self._running:
                 return
-            probes = [
-                self.env.process(self._ping(index))
-                for index in range(len(self.shared.mnode_names))
-                if index not in self.declared
-            ]
-            if probes:
-                yield self.env.all_of(probes)
+            next_due += self.interval_us
+            if next_due < clock.now_us():
+                # Fell behind (huge skew step or a stalled env): skip
+                # missed ticks rather than firing a probe burst.
+                next_due = clock.now_us() + self.interval_us
+            for index in range(len(self.shared.mnode_names)):
+                if index not in self.declared:
+                    self.env.process(self._ping(index))
 
     def _ping(self, index):
         target = self.shared.mnode_name(index)

@@ -16,6 +16,9 @@ survivors.
 
 import random
 
+from repro.core.records import INVALID, VALID
+from repro.storage.wal import DiskSlowdown
+
 
 class FaultHandle:
     """A scheduled nemesis event that its owner can drop before it fires.
@@ -206,6 +209,139 @@ class FaultInjector:
 
         return self._at(time_us, split)
 
+    # -- gray failures ---------------------------------------------------
+    #
+    # Slow-not-dead modes: the victim keeps answering, so the failure
+    # detector must NOT promote around it (the primary still holds all
+    # the data) — these windows stress the degraded-but-alive paths:
+    # retry storms, detection flapping, replication retransmission.
+
+    def slow_disk_at(self, time_us, index=None, duration_us=3000.0,
+                     fsync_factor=8.0, bandwidth_factor=4.0,
+                     ramp_us=500.0):
+        """Schedule a gray disk slowdown on MNode ``index``'s WAL: fsync
+        latency ramps toward ``fsync_factor``× and per-byte bandwidth
+        cost toward ``bandwidth_factor``× over ``ramp_us``, holds for
+        ``duration_us``, then clears.  The node never stops answering —
+        only its commits get slow."""
+        if index is None:
+            index = self.rng.randrange(len(self.cluster.mnodes))
+
+        def slow():
+            node = self.cluster.mnodes[index]
+            slowdown = DiskSlowdown(
+                self.env.now, duration_us, fsync_factor=fsync_factor,
+                bandwidth_factor=bandwidth_factor, ramp_us=ramp_us,
+            )
+            node.wal.slow_disk = slowdown
+            self._log("slow_disk", node.name, index=index,
+                      duration_us=duration_us, fsync_factor=fsync_factor,
+                      bandwidth_factor=bandwidth_factor)
+
+            def clear():
+                yield self.env.timeout(duration_us)
+                # Clear by identity: a restart may have swapped the WAL
+                # (or another window installed a new slowdown) since.
+                current = self.cluster.mnodes[index]
+                if current.wal.slow_disk is slowdown:
+                    current.wal.slow_disk = None
+                self._log("slow_disk_end", current.name, index=index)
+
+            self.env.process(clear())
+
+        self._at(time_us, slow)
+        return index
+
+    def degrade_link_at(self, time_us, name, duration_us,
+                        latency_factor=1.0, loss_prob=0.0,
+                        reorder_window_us=0.0, rng_seed=None):
+        """Schedule gray link degradation on every hop touching
+        ``name``: latency stretched by ``latency_factor``, each message
+        independently lost with ``loss_prob``, and up to
+        ``reorder_window_us`` of seeded jitter per hop (which breaks
+        per-link FIFO).  Heals after ``duration_us``.  All draws come
+        from ``rng_seed`` (drawn from the shared stream *now* when not
+        given), so the window replays identically regardless of what
+        other events fired."""
+        if rng_seed is None:
+            rng_seed = self.rng.getrandbits(64)
+
+        def degrade():
+            self.cluster.network.degrade_link(
+                name, latency_factor=latency_factor, loss_prob=loss_prob,
+                reorder_window_us=reorder_window_us, rng_seed=rng_seed,
+            )
+            self._log("degrade_link", name, duration_us=duration_us,
+                      latency_factor=latency_factor, loss_prob=loss_prob,
+                      reorder_window_us=reorder_window_us)
+
+            def heal():
+                yield self.env.timeout(duration_us)
+                self.cluster.network.restore_link(name)
+                self._log("degrade_heal", name)
+
+            self.env.process(heal())
+
+        return self._at(time_us, degrade)
+
+    def skew_clock_at(self, time_us, name, offset_us=0.0, drift_ppm=0.0,
+                      duration_us=None):
+        """Schedule a clock skew on node ``name``: its local clock view
+        jumps by ``offset_us`` and thereafter runs fast/slow by
+        ``drift_ppm`` parts-per-million.  Resets after ``duration_us``
+        when given (an operator fixing NTP), else persists.  Deadline
+        stamping, backoff arithmetic and — when ``name`` is the
+        coordinator — the heartbeat cadence all read this view."""
+
+        def skew():
+            self.env.clock(name).skew(offset_us=offset_us,
+                                      drift_ppm=drift_ppm)
+            self._log("skew_clock", name, offset_us=offset_us,
+                      drift_ppm=drift_ppm, duration_us=duration_us)
+
+            if duration_us is not None:
+                def unskew():
+                    yield self.env.timeout(duration_us)
+                    self.env.clock(name).reset()
+                    self._log("skew_heal", name)
+
+                self.env.process(unskew())
+
+        return self._at(time_us, skew)
+
+    def stampede_at(self, time_us):
+        """Schedule a cache stampede: every non-owned VALID dentry
+        replica on every alive MNode (and the coordinator) is
+        invalidated at once, and every client's dentry cache is
+        dropped — the synchronized refetch storm a mass invalidation
+        (e.g. a directory-tree migration) unleashes in production."""
+
+        def stampede():
+            invalidated = self._stampede()
+            self._log("stampede", "all", invalidated=invalidated)
+
+        return self._at(time_us, stampede)
+
+    def _stampede(self):
+        cluster = self.cluster
+        invalidated = 0
+        for node in [*cluster.mnodes, cluster.coordinator]:
+            if node.halted or cluster.network.is_down(node.name):
+                continue
+            for key, record in list(node.dentries.scan()):
+                if record.state == VALID and not node._owns_dentry(key):
+                    # Mirrors the invalidation protocol's receiving
+                    # side (seq bump + INVALID mark) without its
+                    # X-lock: a stampede is exactly the case where
+                    # invalidations land faster than lock discipline.
+                    node.inval_seq[("d",) + key] += 1
+                    record.state = INVALID
+                    invalidated += 1
+        for client in cluster.clients:
+            invalidated += len(client.dcache.entries())
+            client.dcache.clear()
+        return invalidated
+
     # -- randomized schedules -------------------------------------------
 
     def crash_random_mnode_between(self, lo_us, hi_us):
@@ -229,6 +365,15 @@ class FaultInjector:
             {"kind": "hang",       "at_us": t, "index": i, "duration_us": d}
             {"kind": "partition",  "at_us": t, "index": i, "duration_us": d}
             {"kind": "corrupt_wal","at_us": t, "index": i, "rng_seed": s}
+            {"kind": "slow_disk",  "at_us": t, "index": i, "duration_us": d,
+             "fsync_factor": f, "bandwidth_factor": b, "ramp_us": r}
+            {"kind": "degrade_link", "at_us": t, "index": i,
+             "duration_us": d, "latency_factor": f, "loss_prob": p,
+             "reorder_window_us": w, "rng_seed": s}
+            {"kind": "skew_clock", "at_us": t, "index": i | "target":
+             "coordinator", "duration_us": d, "offset_us": o,
+             "drift_ppm": ppm}
+            {"kind": "stampede",   "at_us": t}
 
         Every random choice is pinned inside the event (victims at
         generation time, fire-time draws via ``rng_seed``), so cancelling
@@ -307,6 +452,82 @@ class FaultInjector:
                               index=index)
 
                 self.env.process(heal())
+        elif kind == "slow_disk":
+            def thunk():
+                node = cluster.mnodes[index]
+                slowdown = DiskSlowdown(
+                    self.env.now, event["duration_us"],
+                    fsync_factor=event.get("fsync_factor", 8.0),
+                    bandwidth_factor=event.get("bandwidth_factor", 4.0),
+                    ramp_us=event.get("ramp_us", 500.0),
+                )
+                node.wal.slow_disk = slowdown
+                self._log("slow_disk", node.name, index=index,
+                          duration_us=event["duration_us"],
+                          fsync_factor=slowdown.fsync_factor,
+                          bandwidth_factor=slowdown.bandwidth_factor)
+
+                def clear():
+                    yield self.env.timeout(event["duration_us"])
+                    current = cluster.mnodes[index]
+                    if current.wal.slow_disk is slowdown:
+                        current.wal.slow_disk = None
+                    self._log("slow_disk_end", current.name, index=index)
+
+                self.env.process(clear())
+        elif kind == "degrade_link":
+            def thunk():
+                # Degrade the *current* slot occupant's links (the name
+                # is resolved at fire time, like crash targets slots).
+                name = cluster.mnodes[index].name
+                if cluster.network.is_degraded(name):
+                    self._log("degrade_noop", name, index=index)
+                    return
+                cluster.network.degrade_link(
+                    name,
+                    latency_factor=event.get("latency_factor", 1.0),
+                    loss_prob=event.get("loss_prob", 0.0),
+                    reorder_window_us=event.get("reorder_window_us", 0.0),
+                    rng_seed=event["rng_seed"],
+                )
+                self._log("degrade_link", name, index=index,
+                          duration_us=event["duration_us"],
+                          latency_factor=event.get("latency_factor", 1.0),
+                          loss_prob=event.get("loss_prob", 0.0),
+                          reorder_window_us=event.get(
+                              "reorder_window_us", 0.0))
+
+                def heal():
+                    yield self.env.timeout(event["duration_us"])
+                    cluster.network.restore_link(name)
+                    self._log("degrade_heal", name, index=index)
+
+                self.env.process(heal())
+        elif kind == "skew_clock":
+            def thunk():
+                if event.get("target") == "coordinator":
+                    name = cluster.coordinator.name
+                else:
+                    name = cluster.mnodes[index].name
+                self.env.clock(name).skew(
+                    offset_us=event.get("offset_us", 0.0),
+                    drift_ppm=event.get("drift_ppm", 0.0),
+                )
+                self._log("skew_clock", name, index=index,
+                          offset_us=event.get("offset_us", 0.0),
+                          drift_ppm=event.get("drift_ppm", 0.0),
+                          duration_us=event["duration_us"])
+
+                def unskew():
+                    yield self.env.timeout(event["duration_us"])
+                    self.env.clock(name).reset()
+                    self._log("skew_heal", name, index=index)
+
+                self.env.process(unskew())
+        elif kind == "stampede":
+            def thunk():
+                invalidated = self._stampede()
+                self._log("stampede", "all", invalidated=invalidated)
         elif kind == "corrupt_wal":
             draw = random.Random(event["rng_seed"])
 

@@ -90,3 +90,14 @@ class CostModel:
     def hop_us(self, size_bytes):
         """Total one-way delivery time for a message of ``size_bytes``."""
         return self.rpc_latency_us + self.transfer_us(size_bytes)
+
+    def degraded_hop_us(self, size_bytes, latency_factor):
+        """One-way delivery time across a gray-degraded link.
+
+        Both the fixed latency and the serialization term stretch by
+        ``latency_factor``: a sagging NIC retransmits and backs off, so
+        effective per-byte throughput drops along with base latency.
+        ``latency_factor == 1.0`` reproduces :meth:`hop_us` exactly.
+        """
+        return (self.rpc_latency_us + self.transfer_us(size_bytes)) \
+            * latency_factor

@@ -37,6 +37,10 @@ class Node:
         #: handlers park forever instead of resuming once the *name*
         #: becomes reachable again.
         self.halted = False
+        #: This node's local clock (identity unless the clock-skew
+        #: nemesis is active): deadline and heartbeat math reads this,
+        #: never ``env.now_us()`` directly.
+        self.clock = env.clock(name)
         network.register(self)
 
     def __repr__(self):

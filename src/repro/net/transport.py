@@ -22,7 +22,21 @@ RPC responses take the same fabric path (:meth:`Network.send_response`),
 so response hops/bytes appear in network metrics (under the ``responses``
 / ``response_bytes`` counters, keyed by the request kind) and a dead or
 partitioned responder cannot deliver a reply.
+
+Gray degradation
+----------------
+Beyond binary down/partitioned, a node's links can be *degraded*
+(:meth:`Network.degrade_link`): every hop touching that node gets a
+latency multiplier, seeded per-message packet loss (counted under
+``gray_lost`` — black-holed like a drop, but probabilistic), and a
+seeded reorder jitter added to the hop delay, which deliberately breaks
+the fabric's otherwise per-link-FIFO delivery for equal-size messages.
+All randomness comes from a per-degradation ``random.Random(rng_seed)``
+drawn in send order, so runs replay bit-identically; with no degraded
+links the send paths take their original branches untouched.
 """
+
+import random
 
 from repro.metrics import MetricsRegistry
 from repro.obs.tracer import CAT_NET
@@ -31,6 +45,26 @@ from repro.runtime import EnvError
 #: Metric label for co-located deliveries, which take zero network hops.
 #: Keeping them out of the per-kind buckets keeps hop counts exact.
 LOCAL_LABEL = "local"
+
+
+class LinkQuality:
+    """Gray degradation state for one node's links.
+
+    ``latency_factor`` stretches hop latency, ``loss_prob`` drops each
+    message independently, ``reorder_window_us`` adds uniform jitter in
+    ``[0, window]`` to the hop delay (breaking FIFO between messages
+    less than a window apart).  Draws come from a private seeded RNG in
+    message-send order, keeping degraded runs deterministic.
+    """
+
+    __slots__ = ("latency_factor", "loss_prob", "reorder_window_us", "rng")
+
+    def __init__(self, latency_factor=1.0, loss_prob=0.0,
+                 reorder_window_us=0.0, rng_seed=0):
+        self.latency_factor = latency_factor
+        self.loss_prob = loss_prob
+        self.reorder_window_us = reorder_window_us
+        self.rng = random.Random(rng_seed)
 
 
 class Network:
@@ -47,7 +81,11 @@ class Network:
         self._responses = self.metrics.counter("responses")
         self._response_bytes = self.metrics.counter("response_bytes")
         self._dropped = self.metrics.counter("dropped")
+        self._lost = self.metrics.counter("gray_lost")
         self._nodes = {}
+        #: node name -> LinkQuality while gray-degraded (usually empty;
+        #: every hot path guards on truthiness so healthy runs never pay).
+        self._link_quality = {}
         #: Names of nodes currently down (crashed or hung).
         self._down = set()
         #: Directed (src, dst) pairs currently partitioned.
@@ -145,6 +183,48 @@ class Network:
     def _drop(self, message):
         self._dropped.inc(message.kind)
 
+    # -- gray degradation ------------------------------------------------
+
+    def degrade_link(self, name, latency_factor=1.0, loss_prob=0.0,
+                     reorder_window_us=0.0, rng_seed=0):
+        """Degrade every link touching ``name`` (slow-not-dead NIC)."""
+        self.node(name)  # validate
+        self._link_quality[name] = LinkQuality(
+            latency_factor=latency_factor, loss_prob=loss_prob,
+            reorder_window_us=reorder_window_us, rng_seed=rng_seed,
+        )
+
+    def restore_link(self, name):
+        """End ``name``'s link degradation (no-op when not degraded)."""
+        self._link_quality.pop(name, None)
+
+    def restore_links(self):
+        """End every link degradation (heal sweep)."""
+        self._link_quality.clear()
+
+    def is_degraded(self, name):
+        return name in self._link_quality
+
+    def _gray_fate(self, src, dst, size, delay):
+        """Loss/latency/jitter verdict for one hop between ``src`` and
+        ``dst``: ``None`` when the message is lost, else the adjusted
+        hop delay.  Draws happen in a fixed order (src endpoint, then
+        dst) so every run of the same schedule replays identically."""
+        factor = 1.0
+        jitter = 0.0
+        for name in (src, dst):
+            quality = self._link_quality.get(name)
+            if quality is None:
+                continue
+            if quality.loss_prob and quality.rng.random() < quality.loss_prob:
+                return None
+            factor *= quality.latency_factor
+            if quality.reorder_window_us:
+                jitter += quality.rng.uniform(0.0, quality.reorder_window_us)
+        if factor != 1.0 and self.env.models_costs:
+            delay = self.costs.degraded_hop_us(size, factor)
+        return delay + jitter
+
     # -- sending ---------------------------------------------------------
 
     def send(self, message):
@@ -179,6 +259,12 @@ class Network:
         # "send returns before delivery" contract).
         delay = self.costs.hop_us(message.size) if self.env.models_costs \
             else 0.0
+        if self._link_quality:
+            delay = self._gray_fate(message.sender, message.recipient,
+                                    message.size, delay)
+            if delay is None:
+                self._lost.inc(message.kind)
+                return
         ctx = message.ctx
 
         def arrive(env=self.env):
@@ -222,6 +308,11 @@ class Network:
         self._responses.inc(message.kind)
         self._response_bytes.inc(message.kind, size)
         delay = self.costs.hop_us(size) if self.env.models_costs else 0.0
+        if self._link_quality:
+            delay = self._gray_fate(responder, requester, size, delay)
+            if delay is None:
+                self._lost.inc(message.kind)
+                return
 
         def arrive(env=self.env):
             yield env.schedule_timeout(delay)
@@ -256,3 +347,9 @@ class Network:
         if kind is None:
             return self._dropped.total()
         return self._dropped.get(kind)
+
+    def lost_count(self, kind=None):
+        """Messages lost to gray link degradation, by kind."""
+        if kind is None:
+            return self._lost.total()
+        return self._lost.get(kind)

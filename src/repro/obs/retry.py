@@ -35,23 +35,36 @@ class RetryPolicy:
     """Exponential backoff schedule: ``base * multiplier ** attempt``,
     capped at ``max_backoff_us``.  ``base_us == 0`` means retry
     immediately (no simulated delay — used where determinism matters,
-    e.g. stale-replica refetches)."""
+    e.g. stale-replica refetches).
 
-    __slots__ = ("max_attempts", "base_us", "multiplier", "max_backoff_us")
+    ``jitter`` (a fraction in [0, 1], default 0) spreads each delay
+    uniformly over ``[delay * (1 - jitter), delay]`` using the caller's
+    seeded RNG, de-synchronizing retry storms after a mass invalidation
+    or failover.  It is opt-in and draws only when both the fraction and
+    an RNG are supplied, so default-configured runs (and the golden
+    traces) never see a draw.
+    """
+
+    __slots__ = ("max_attempts", "base_us", "multiplier", "max_backoff_us",
+                 "jitter")
 
     def __init__(self, max_attempts=64, base_us=100.0, multiplier=2.0,
-                 max_backoff_us=6400.0):
+                 max_backoff_us=6400.0, jitter=0.0):
         self.max_attempts = max_attempts
         self.base_us = base_us
         self.multiplier = multiplier
         self.max_backoff_us = max_backoff_us
+        self.jitter = jitter
 
-    def backoff_us(self, attempt):
+    def backoff_us(self, attempt, rng=None):
         """Delay before attempt ``attempt + 1`` (attempt is 0-based)."""
         if self.base_us <= 0:
             return 0.0
-        return min(self.max_backoff_us,
-                   self.base_us * self.multiplier ** attempt)
+        delay = min(self.max_backoff_us,
+                    self.base_us * self.multiplier ** attempt)
+        if self.jitter > 0.0 and rng is not None:
+            delay -= delay * self.jitter * rng.random()
+        return delay
 
     @classmethod
     def from_config(cls, config):
@@ -60,12 +73,13 @@ class RetryPolicy:
             base_us=config.retry_backoff_us,
             multiplier=config.retry_backoff_multiplier,
             max_backoff_us=config.retry_backoff_max_us,
+            jitter=getattr(config, "retry_jitter", 0.0),
         )
 
     def __repr__(self):
-        return "<RetryPolicy x{} {}us*{}^n<={}us>".format(
+        return "<RetryPolicy x{} {}us*{}^n<={}us j={}>".format(
             self.max_attempts, self.base_us, self.multiplier,
-            self.max_backoff_us,
+            self.max_backoff_us, self.jitter,
         )
 
 
@@ -79,10 +93,15 @@ def retry(node, ctx, attempt_fn, policy=None, retryable=RETRYABLE):
     is the redirect destination from the previous ``EREDIRECT`` failure
     (``None`` otherwise).  Non-retryable failures propagate immediately;
     exhausting the budget re-raises the last retryable failure (so an
-    ``ERETRY`` storm still surfaces as ``ERETRY`` to the caller).
+    ``ERETRY`` storm still surfaces as ``ERETRY`` to the caller).  A
+    budget of zero attempts surfaces as ``ERETRY`` too — there is no
+    last failure to re-raise, and ``raise None`` would mask the real
+    problem with a ``TypeError``.
     """
     if policy is None:
         policy = ctx.retry_policy or _DEFAULT_POLICY
+    clock = getattr(node, "clock", None)
+    rng = getattr(node, "retry_rng", None)
     hint = None
     failure = None
     for attempt in range(policy.max_attempts):
@@ -95,10 +114,10 @@ def retry(node, ctx, attempt_fn, policy=None, retryable=RETRYABLE):
                 raise
             failure = exc
             hint = exc.detail if exc.code == RpcError.EREDIRECT else None
-        delay = policy.backoff_us(attempt)
+        delay = policy.backoff_us(attempt, rng)
         if delay > 0:
-            if (ctx.deadline is not None
-                    and node.env.now_us() + delay >= ctx.deadline):
+            now = clock.now_us() if clock is not None else node.env.now_us()
+            if ctx.deadline is not None and now + delay >= ctx.deadline:
                 raise RpcFailure(
                     RpcError.ETIMEDOUT,
                     "backoff past deadline ({})".format(failure),
@@ -106,7 +125,10 @@ def retry(node, ctx, attempt_fn, policy=None, retryable=RETRYABLE):
             with ctx.span("backoff", CAT_RETRY, node=node.name,
                           attrs={"attempt": attempt}
                           if ctx.traced else None):
-                yield node.env.timeout(delay)
+                # The node's timer hardware ticks at its (possibly
+                # drifted) local rate; identity when unskewed.
+                yield node.env.timeout(
+                    delay if clock is None else clock.to_env_delay(delay))
         elif node.env.cooperative:
             # Zero-backoff policies retry immediately.  The DES resumes
             # the attempt in the same instant with no extra heap entry;
@@ -114,6 +136,12 @@ def retry(node, ctx, attempt_fn, policy=None, retryable=RETRYABLE):
             # (e.g. a stale-replica refetch racing an invalidation)
             # starves every other task on the loop.
             yield node.env.sleep(0)
+    if failure is None:
+        raise RpcFailure(
+            RpcError.ERETRY,
+            "retry budget exhausted before any attempt "
+            "(max_attempts={})".format(policy.max_attempts),
+        )
     raise failure
 
 
@@ -135,9 +163,13 @@ def deadline_call(node, ctx, target, kind, payload=None, size=None,
     if ctx.deadline is None and timeout_us is None:
         result = yield node.call(target, kind, payload, size, ctx=ctx)
         return result
+    clock = getattr(node, "clock", None)
     remaining = float("inf")
     if ctx.deadline is not None:
-        remaining = ctx.deadline - env.now_us()
+        # Deadline math is node-local: a skewed clock makes this node
+        # judge remaining budget early or late, exactly like production.
+        now = clock.now_us() if clock is not None else env.now_us()
+        remaining = ctx.deadline - now
     if timeout_us is not None:
         remaining = min(remaining, timeout_us)
     if remaining <= 0:
@@ -146,7 +178,9 @@ def deadline_call(node, ctx, target, kind, payload=None, size=None,
         )
     reply = node.call(target, kind, payload, size, ctx=ctx)
     waiter = env.process(_await(reply))
-    watchdog = env.process(_watchdog(env, waiter, remaining))
+    watchdog = env.process(_watchdog(
+        env, waiter,
+        remaining if clock is None else clock.to_env_delay(remaining)))
     try:
         result = yield waiter
     except Interrupt:

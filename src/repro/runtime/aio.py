@@ -38,7 +38,7 @@ import os
 import time
 from collections import deque
 
-from repro.runtime.api import EnvError, Interrupt
+from repro.runtime.api import ClockView, EnvError, Interrupt
 
 _PENDING = object()
 
@@ -420,6 +420,7 @@ class AsyncioEnv:
         self.unhandled = []
         self.wal_dir = wal_dir
         self._wal_files = {}
+        self._clocks = {}
 
     # -- clock -----------------------------------------------------------
 
@@ -430,6 +431,18 @@ class AsyncioEnv:
 
     def now_us(self):
         return (time.monotonic() - self._t0) * 1e6
+
+    def clock(self, name):
+        """Per-node :class:`ClockView`; identity unless deliberately
+        skewed (the live runtime never skews — real clocks drift on
+        their own)."""
+        view = self._clocks.get(name)
+        if view is None:
+            view = self._clocks[name] = ClockView(self, name)
+        return view
+
+    def clock_views(self):
+        return list(self._clocks.values())
 
     # -- dispatch --------------------------------------------------------
 

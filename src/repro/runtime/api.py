@@ -41,6 +41,10 @@ not a required base):
 ``fsync(cost_us, n)``   durability barrier: an event that fires when a
                         WAL batch of ``n`` bytes is on stable storage
                         (simulated fsync latency, or a real file fsync)
+``clock(name)``         per-node :class:`ClockView` — what ``name``'s
+                        local clock reads.  Identity until skewed by the
+                        gray-failure injector; all node-local deadline
+                        and heartbeat arithmetic goes through it
 ``models_costs``        True when CostModel delays must be charged
 ``cooperative``         True when zero-delay loops must still yield to
                         the scheduler (real event loops starve without
@@ -74,6 +78,61 @@ class Interrupt(Exception):
     def cause(self):
         """The object passed to ``interrupt()``."""
         return self.args[0]
+
+
+class ClockView:
+    """What one node's local clock reads — the gray-failure skew surface.
+
+    Every node gets a view via ``env.clock(name)``; node-local time
+    arithmetic (op deadlines, RPC watchdog remaining-time, heartbeat
+    cadence) reads ``now_us()`` on the view instead of the environment.
+    An unskewed view is an exact identity — it returns the environment's
+    float unchanged, so runs without the skew nemesis stay bit-identical
+    to runs that never heard of clock views.
+
+    ``skew(offset_us, drift_ppm)`` anchors a linear transform at the
+    current environment time: the node thereafter reads
+    ``t + offset + (t - anchor) * drift_ppm * 1e-6``.  ``to_env_delay``
+    converts a duration the node *intends* (its timers tick at the
+    drifted rate) into environment microseconds.
+    """
+
+    __slots__ = ("env", "name", "offset_us", "drift_ppm", "_anchor_us")
+
+    def __init__(self, env, name):
+        self.env = env
+        self.name = name
+        self.offset_us = 0.0
+        self.drift_ppm = 0.0
+        self._anchor_us = 0.0
+
+    @property
+    def skewed(self):
+        return self.offset_us != 0.0 or self.drift_ppm != 0.0
+
+    def now_us(self):
+        t = self.env.now_us()
+        if self.offset_us == 0.0 and self.drift_ppm == 0.0:
+            return t
+        return t + self.offset_us + (t - self._anchor_us) * (
+            self.drift_ppm * 1e-6)
+
+    def to_env_delay(self, local_delay_us):
+        """Environment duration of a ``local_delay_us``-long local timer."""
+        if self.drift_ppm == 0.0:
+            return local_delay_us
+        return local_delay_us / (1.0 + self.drift_ppm * 1e-6)
+
+    def skew(self, offset_us=0.0, drift_ppm=0.0):
+        """Install a skew anchored at the current environment time."""
+        self._anchor_us = self.env.now_us()
+        self.offset_us = offset_us
+        self.drift_ppm = drift_ppm
+
+    def reset(self):
+        self.offset_us = 0.0
+        self.drift_ppm = 0.0
+        self._anchor_us = 0.0
 
 
 class Env:
@@ -113,3 +172,18 @@ class Env:
     def fsync(self, cost_us, nbytes=0):
         """A yieldable durability barrier for one WAL flush batch."""
         raise NotImplementedError
+
+    def clock(self, name):
+        """The :class:`ClockView` for node ``name`` (created on demand)."""
+        clocks = getattr(self, "_clocks", None)
+        if clocks is None:
+            clocks = self._clocks = {}
+        view = clocks.get(name)
+        if view is None:
+            view = clocks[name] = ClockView(self, name)
+        return view
+
+    def clock_views(self):
+        """All clock views handed out so far (for heal/reset sweeps)."""
+        clocks = getattr(self, "_clocks", None)
+        return list(clocks.values()) if clocks else []

@@ -40,6 +40,9 @@ def serve_config(args):
         # dead peer into ETIMEDOUT + retry instead of a hang).
         rpc_timeout_us=args.rpc_timeout_ms * 1000.0,
         op_deadline_us=args.op_deadline_ms * 1000.0,
+        # Real deployments want decorrelated retries: without jitter,
+        # every client that saw the same failure retries in lockstep.
+        retry_jitter=0.25,
     )
 
 

@@ -387,7 +387,7 @@ class Environment:
     :class:`~repro.runtime.aio.AsyncioEnv` with the wall clock.
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process")
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_clocks")
 
     #: Environment-contract flags (see :mod:`repro.runtime.api`): the
     #: simulator charges every CostModel delay as virtual time and must
@@ -402,6 +402,8 @@ class Environment:
         #: Plain int tie-breaker; incremented inline on the hot paths.
         self._seq = 0
         self._active_process = None
+        #: Per-node ClockView registry (lazy; see ``clock``).
+        self._clocks = None
 
     def __repr__(self):
         return "<Environment now={} queued={}>".format(self._now, len(self._queue))
@@ -493,6 +495,27 @@ class Environment:
         modeled latency (``nbytes`` already priced into ``cost_us`` by
         the WAL).  Identical heap entry to ``schedule_timeout``."""
         return self.schedule_timeout(cost_us)
+
+    def clock(self, name):
+        """Per-node :class:`~repro.runtime.api.ClockView` for ``name``.
+
+        Views are identity transforms until the gray-failure injector
+        skews them; creating one schedules nothing, so runs that never
+        skew stay bit-identical.
+        """
+        from repro.runtime.api import ClockView
+
+        clocks = self._clocks
+        if clocks is None:
+            clocks = self._clocks = {}
+        view = clocks.get(name)
+        if view is None:
+            view = clocks[name] = ClockView(self, name)
+        return view
+
+    def clock_views(self):
+        """All clock views handed out so far (for heal/reset sweeps)."""
+        return list(self._clocks.values()) if self._clocks else []
 
     def all_of(self, events):
         """Event that fires when all ``events`` have fired."""

@@ -33,21 +33,41 @@ from repro.storage.table import Table
 
 
 class LogShipper:
-    """Primary-side hook: serialize committed writes to the standby."""
+    """Primary-side hook: serialize committed writes to the standby.
 
-    def __init__(self, node, standby_name, start_lsn=1):
+    Shipping and acks are fire-and-forget messages, so a gray-degraded
+    link (seeded packet loss) can swallow either side.  A lost
+    ``wal_ship`` is a silent, *permanent* replication gap — the standby
+    buffers around it forever and every later promotion loses the
+    acked transaction, far outside any excusable crash window; a lost
+    ``wal_ack`` strands retained history.  The shipper therefore
+    retransmits: while ``history`` (the unacknowledged suffix, full
+    logical records) is non-empty and ``retry_us > 0``, a timer re-ships
+    the suffix whenever a period passes without ack progress.  The timer
+    only exists while there is something unacknowledged — an idle
+    cluster still runs to quiescence — and duplicate shipments are
+    ignored (and re-acked) by the standby, so retransmission is safe
+    under reordering too.
+    """
+
+    def __init__(self, node, standby_name, start_lsn=1, retry_us=0.0):
         self.node = node
         self.standby_name = standby_name
         self.next_lsn = start_lsn
         #: Highest LSN the standby has acknowledged applying.
         self.acked_lsn = start_lsn - 1
         self.shipped_records = 0
-        #: (lsn, [(table, key), ...]) per shipped-but-unacknowledged
-        #: transaction — the retained suffix of the primary's shipping
-        #: index.  Acknowledged entries are pruned (bounded retention);
-        #: after a crash, the entries above the standby's applied LSN
-        #: are exactly the lost-unshipped window.
+        #: (lsn, [(table, key, value), ...]) per shipped-but-
+        #: unacknowledged transaction — the retained suffix of the
+        #: primary's shipping index, full records so the suffix can be
+        #: retransmitted verbatim.  Acknowledged entries are pruned
+        #: (bounded retention); after a crash, the entries above the
+        #: standby's applied LSN are exactly the lost-unshipped window.
         self.history = []
+        #: Retransmission period (0 disables — the pre-gray behavior).
+        self.retry_us = retry_us
+        self.resent_records = 0
+        self._retx_armed = False
 
     def ship(self, txn):
         """Ship one committed transaction's writes (fire-and-forget;
@@ -63,27 +83,74 @@ class LogShipper:
         if lsn is None:
             lsn = self.next_lsn
             self.next_lsn += 1
+            self.history.append((lsn, records))
+        elif (lsn > self.acked_lsn
+              and all(entry[0] != lsn for entry in self.history)):
+            # Explicit-LSN re-ship (restart catch-up): retain it unless
+            # that LSN is already tracked or acknowledged, so
+            # retransmission never duplicates a history entry and never
+            # re-retains what the standby already confirmed.
+            self.history.append((lsn, records))
+        self._send(lsn, records)
+        self._arm_retransmit()
+        return lsn
+
+    def _send(self, lsn, records):
         self.shipped_records += len(records)
-        self.history.append(
-            (lsn, [(table, key) for table, key, _ in records])
-        )
         self.node.send(
             self.standby_name, "wal_ship",
             {"lsn": lsn, "records": records},
             size=self.node.costs.rpc_request_bytes
             + self.node.costs.wal_record_bytes * len(records),
         )
-        return lsn
+
+    def resend_unacked(self):
+        """Re-ship the entire unacknowledged suffix (idempotent at the
+        standby: duplicates are dropped and re-acked)."""
+        for lsn, records in list(self.history):
+            self._send(lsn, records)
+            self.resent_records += len(records)
+
+    def _arm_retransmit(self):
+        if self.retry_us <= 0.0 or self._retx_armed or not self.history:
+            return
+        self._retx_armed = True
+        self.node.env.process(self._retransmit_loop())
+
+    def _retransmit_loop(self):
+        """Event-driven retransmission: sleeps one period at a time and
+        re-ships when no ack progress was made; exits the moment the
+        suffix drains (quiescence-safe — no standing periodic timer).
+        A down node parks on its resume event instead of spinning; a
+        halted (replaced) incarnation stops retransmitting for good."""
+        node = self.node
+        env = node.env
+        try:
+            while self.history:
+                acked_before = self.acked_lsn
+                yield env.sleep(self.retry_us)
+                while node.network.is_down(node.name) and not node.halted:
+                    yield node.network.resume_event(node.name)
+                if node.halted:
+                    return
+                if self.history and self.acked_lsn == acked_before:
+                    self.resend_unacked()
+        finally:
+            self._retx_armed = False
 
     def acknowledge(self, applied_lsn):
         """Consume a standby ack: prune history up to ``applied_lsn``,
-        keeping only the unacknowledged suffix."""
-        if applied_lsn <= self.acked_lsn:
-            return
-        self.acked_lsn = applied_lsn
-        self.history = [
-            entry for entry in self.history if entry[0] > applied_lsn
-        ]
+        keeping only the unacknowledged suffix.  Pruning runs even for
+        no-progress acks — a duplicate re-ack must still clear any
+        stale entry a re-ship parked at or below the acked horizon, or
+        the retransmit timer would re-ship it forever."""
+        if applied_lsn > self.acked_lsn:
+            self.acked_lsn = applied_lsn
+        if self.history:
+            self.history = [
+                entry for entry in self.history
+                if entry[0] > self.acked_lsn
+            ]
 
     @property
     def retained(self):
@@ -106,6 +173,13 @@ class Standby(Node):
         #: in ``_pending`` but not applied — the snapshot install decides
         #: which of them the base image already covers.
         self.catching_up = False
+        #: Set by :meth:`promote_tables`: this standby's tables are now
+        #: the live primary's tables (installed by reference), so any
+        #: late shipment must be ignored — applying it would write stale
+        #: values straight into the promoted node's state.
+        self.promoted = False
+        self.ignored_shipments = 0
+        self.duplicate_shipments = 0
 
     def table(self, name):
         return self.tables[name]
@@ -121,7 +195,26 @@ class Standby(Node):
                 "{} cannot handle {!r}".format(self.name, message)
             )
         payload = message.payload
-        self._pending[payload["lsn"]] = payload["records"]
+        lsn = payload["lsn"]
+        if self.promoted:
+            # Zombie shipment: this standby's tables now belong to the
+            # promoted primary.  A delayed or reordered ship arriving
+            # after promotion must not apply (it would overwrite newer
+            # promoted-primary writes with stale values), and must not
+            # be acked (the sender is a retired incarnation).
+            self.ignored_shipments += 1
+            return
+        if lsn <= self.applied_lsn and not self.catching_up:
+            # Duplicate / already-covered shipment (a retransmission
+            # after a lost ack, or a reordered straggler): drop it, but
+            # re-ack the applied horizon so the primary can prune the
+            # history the lost ack stranded.
+            self.duplicate_shipments += 1
+            self.send(message.sender, "wal_ack",
+                      {"applied_lsn": self.applied_lsn})
+            self.respond(message, {"applied_lsn": self.applied_lsn})
+            return
+        self._pending[lsn] = payload["records"]
         applied = 0
         if not self.catching_up:
             applied = self._apply_ready()
@@ -207,6 +300,7 @@ class Standby(Node):
         lazy replication re-fetches them on first use (§4.3).  Returns
         the table dict for installation into a new MNode.
         """
+        self.promoted = True
         dentries = self.tables.get("dentry")
         if dentries is not None:
             for _, record in dentries.scan():

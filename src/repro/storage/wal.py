@@ -94,6 +94,39 @@ class WalSegment:
         self.nbytes += record.nbytes
 
 
+class DiskSlowdown:
+    """Gray slow-not-dead disk state for one WAL.
+
+    While active, fsync latency and per-byte bandwidth cost stretch
+    toward ``fsync_factor`` / ``bandwidth_factor``, ramping up linearly
+    over ``ramp_us`` (production disks degrade gradually — a cliff is a
+    crash, a ramp is a gray failure).  Outside ``[start, start+duration]``
+    the factors are exactly 1.0.
+    """
+
+    __slots__ = ("start_us", "duration_us", "ramp_us", "fsync_factor",
+                 "bandwidth_factor")
+
+    def __init__(self, start_us, duration_us, fsync_factor=8.0,
+                 bandwidth_factor=4.0, ramp_us=500.0):
+        self.start_us = start_us
+        self.duration_us = duration_us
+        self.ramp_us = ramp_us
+        self.fsync_factor = fsync_factor
+        self.bandwidth_factor = bandwidth_factor
+
+    def factors_at(self, now_us):
+        """``(fsync_multiplier, bandwidth_multiplier)`` at ``now_us``."""
+        t = now_us - self.start_us
+        if t < 0.0 or t > self.duration_us:
+            return 1.0, 1.0
+        scale = 1.0
+        if self.ramp_us > 0.0 and t < self.ramp_us:
+            scale = t / self.ramp_us
+        return (1.0 + (self.fsync_factor - 1.0) * scale,
+                1.0 + (self.bandwidth_factor - 1.0) * scale)
+
+
 class WriteAheadLog:
     """Group-committing durable log owned by one MNode."""
 
@@ -120,6 +153,10 @@ class WriteAheadLog:
         self.flush_count = 0
         self.bytes_written = 0
         self.records_written = 0
+        #: Active :class:`DiskSlowdown`, or None (the overwhelmingly
+        #: common case — the flush path charges the original cost
+        #: expression untouched, keeping golden traces bit-identical).
+        self.slow_disk = None
 
     # -- appending -------------------------------------------------------
 
@@ -181,9 +218,18 @@ class WriteAheadLog:
             # the fsync latency.  Records are on disk but not yet safe.
             for _, record, _ in batch:
                 self._segment_append(record)
-            duration = (
-                self.costs.wal_fsync_us + nbytes * self.costs.wal_us_per_byte
-            )
+            slow = self.slow_disk
+            if slow is None:
+                duration = (
+                    self.costs.wal_fsync_us
+                    + nbytes * self.costs.wal_us_per_byte
+                )
+            else:
+                fsync_mult, bw_mult = slow.factors_at(self.env.now_us())
+                duration = (
+                    self.costs.wal_fsync_us * fsync_mult
+                    + nbytes * self.costs.wal_us_per_byte * bw_mult
+                )
             # The environment owns the durability barrier: the simulator
             # charges the modeled fsync latency; the live backend syncs a
             # real log file and fires when the device confirms.

@@ -13,6 +13,7 @@ import pytest
 
 from repro.check import generate_schedule, run_schedule, shrink
 from repro.check.oracle import audit_history
+from repro.check.schedule import GRAY_NEMESIS_MIX, NEMESIS_MIXES
 from repro.storage.locks import LockManager
 
 
@@ -52,6 +53,56 @@ def test_nemesis_windows_are_serialized():
             assert hi < lo
 
 
+def test_gray_mix_same_seed_same_schedule():
+    assert (generate_schedule(13, nemesis_mix="gray")
+            == generate_schedule(13, nemesis_mix="gray"))
+    assert (generate_schedule(13, nemesis_mix="gray")
+            != generate_schedule(13, nemesis_mix="classic"))
+
+
+def test_gray_events_are_self_contained():
+    """Every gray event carries its own parameters and (where fire-time
+    draws exist) its own rng_seed — nothing comes from shared streams."""
+    gray_kinds = {kind for kind, _ in GRAY_NEMESIS_MIX}
+    seen = set()
+    for seed in range(30):
+        schedule = generate_schedule(seed, nemesis_mix="gray",
+                                     num_nemeses=4)
+        assert schedule["config"]["nemesis_mix"] == "gray"
+        for event in schedule["nemeses"]:
+            assert event["kind"] in gray_kinds
+            seen.add(event["kind"])
+            if event["kind"] == "degrade_link":
+                assert "rng_seed" in event
+                assert 0.0 < event["loss_prob"] < 1.0
+            elif event["kind"] == "skew_clock":
+                assert "offset_us" in event and "drift_ppm" in event
+                if event.get("target") == "coordinator":
+                    assert event["index"] is None
+            elif event["kind"] == "slow_disk":
+                assert event["fsync_factor"] > 1.0
+    assert seen == gray_kinds  # 30 seeds exercise every kind
+
+
+def test_gray_windows_are_serialized():
+    for seed in range(5):
+        nemeses = generate_schedule(seed, nemesis_mix="gray")["nemeses"]
+        spans = {}
+        for event in nemeses:
+            end = event["at_us"] + event.get("duration_us", 0.0)
+            lo, hi = spans.get(event["group"], (event["at_us"], end))
+            spans[event["group"]] = (min(lo, event["at_us"]), max(hi, end))
+        ordered = [spans[g] for g in sorted(spans)]
+        for (_, hi), (lo, _) in zip(ordered, ordered[1:]):
+            assert hi < lo
+
+
+def test_unknown_mix_rejected():
+    with pytest.raises(KeyError):
+        generate_schedule(0, nemesis_mix="nonsense")
+    assert set(NEMESIS_MIXES) == {"classic", "gray", "mixed"}
+
+
 # ----------------------------------------------------------------------
 # runner: clean seeds, bit-determinism
 # ----------------------------------------------------------------------
@@ -67,6 +118,27 @@ def test_default_seeds_run_clean():
 def test_same_schedule_is_bit_identical():
     first = json.dumps(run_schedule(generate_schedule(17)), sort_keys=True)
     second = json.dumps(run_schedule(generate_schedule(17)), sort_keys=True)
+    assert first == second
+
+
+def test_gray_seeds_run_clean():
+    """Gray nemeses (slow disk, lossy links, skew, stampede) must never
+    produce an unexcused violation: the victim stays alive, promotions
+    are suppressed, and shipper retransmission closes every loss gap."""
+    for seed in range(3):
+        result = run_schedule(generate_schedule(seed, nemesis_mix="gray"))
+        assert result["violations"] == [], result["violations"]
+        assert result["stats"]["quiesced"]
+
+
+def test_gray_schedule_is_bit_identical():
+    """Jittered backoff and lossy links draw only from seeded streams:
+    the same gray schedule replays to the same bytes."""
+    schedule = generate_schedule(23, nemesis_mix="gray")
+    first = json.dumps(run_schedule(schedule), sort_keys=True)
+    second = json.dumps(
+        run_schedule(generate_schedule(23, nemesis_mix="gray")),
+        sort_keys=True)
     assert first == second
 
 

@@ -240,9 +240,9 @@ class TestCrashPromotion:
         lag = standby.lag(old.shipper)
         assert lag == cluster.crash_log[0]["lag_at_crash"]
         lost = set()
-        for lsn, keys in old.shipper.history:
+        for lsn, records in old.shipper.history:
             if lsn > standby.applied_lsn:
-                lost.update(keys)
+                lost.update((table, key) for table, key, _ in records)
         diffs = divergence(old, standby)
         for table, key, _, _ in diffs:
             assert (table, key) in lost
