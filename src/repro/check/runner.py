@@ -19,6 +19,9 @@ Violation taxonomy (the ``invariant`` field of each record):
     runtime residue from :func:`repro.core.verify.runtime_violations`;
 ``replication``
     a primary/standby pair failed to converge after healing;
+``log-matching``
+    two consensus-group members agree on the term at some LSN but
+    diverge at a lower common LSN (consensus runs only);
 ``budget``/``quiesce``
     the run or its drain exceeded its time budget (a wedged retry loop
     and an underfunded budget look the same — the seed file tells);
@@ -96,10 +99,12 @@ def run_schedule(schedule):
     """Run one schedule; returns the JSON-safe result dict."""
     _reset_global_ids()
     cfg = schedule["config"]
+    consensus = cfg.get("consensus", False)
     config = FalconConfig(
         num_mnodes=cfg["num_mnodes"],
         num_storage=cfg["num_storage"],
         replication=cfg.get("replication", True),
+        consensus=consensus,
         rpc_timeout_us=cfg["rpc_timeout_us"],
         op_deadline_us=cfg["op_deadline_us"],
         retry_jitter=cfg.get("retry_jitter", 0.0),
@@ -117,6 +122,11 @@ def run_schedule(schedule):
         preload_inos[path] = cluster.run_process(preload_client.mkdir(path))
     cluster.run_for(3000.0)  # drain preload WAL shipping
     cluster.start_failure_detection()
+    if consensus:
+        # Quorum groups replace ordained promotion: leader heartbeats
+        # and follower election timers run; the detector above stays
+        # observe-only (it never calls fail_over under consensus).
+        cluster.start_consensus()
     t0 = env.now
 
     # -- workload workers ----------------------------------------------
@@ -257,13 +267,43 @@ def run_schedule(schedule):
                     .format(index, table, key, mine, theirs),
                     index=index,
                 ))
+    if consensus:
+        # The log-matching invariant across every slot's group: two
+        # members agreeing on the term at an LSN must agree on every
+        # common LSN below it.
+        from repro.storage.consensus import (
+            log_matching_violations,
+            term_positions,
+        )
+
+        for index, mnode in enumerate(cluster.mnodes):
+            maps = []
+            if mnode.shipper is not None:
+                maps.append((mnode.name, term_positions(mnode.shipper)))
+            if cluster.standbys[index] is not None:
+                follower = cluster.standbys[index]
+                maps.append((follower.name, term_positions(follower)))
+            maps.append((cluster.witnesses[index].name,
+                         term_positions(cluster.witnesses[index])))
+            for name_a, name_b, agree, diverge in \
+                    log_matching_violations(maps):
+                violations.append(_violation(
+                    "log-matching",
+                    "slot {}: {} and {} agree at lsn {} but diverge "
+                    "at lsn {}".format(index, name_a, name_b, agree,
+                                       diverge),
+                    index=index,
+                ))
     final_paths = snapshot_namespace(cluster)
     violations.extend(audit_history(
         history,
         final_paths,
         schedule["preload_dirs"],
         make_slot_of(cluster, preload_inos),
-        risk_windows=promotion_risk_windows(cluster, injector.events),
+        # Under consensus there is NO promotion-loss excusal: an
+        # acknowledged write must survive every election, period.
+        risk_windows=() if consensus
+        else promotion_risk_windows(cluster, injector.events),
         tainted_slots=tainted,
     ))
 
@@ -290,7 +330,9 @@ def run_schedule(schedule):
         "errors": dict(sorted(errors.items())),
         "nemesis_fired": sum(1 for h in handles if h.fired),
         "promotions": sum(1 for r in cluster.coordinator.failover_log
-                          if r.get("promoted")),
+                          if r.get("promoted") and not r.get("elected")),
+        "elections": sum(1 for r in cluster.coordinator.failover_log
+                         if r.get("elected")),
         "failovers_deferred": sum(
             1 for r in cluster.coordinator.failover_log
             if r.get("deferred")),

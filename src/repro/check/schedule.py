@@ -58,11 +58,24 @@ GRAY_NEMESIS_MIX = (
     ("stampede", 15),
 )
 
+#: Consensus-tier nemeses: leader isolation, split-brain and asymmetric
+#: (directed) partitions, plus crash/restart churn.  Runs with this mix
+#: enable the consensus config flag, and the oracle runs *tightened* —
+#: no promotion-loss excusal: an acknowledged write must survive every
+#: election, and a minority-partitioned leader must never acknowledge.
+ELECTION_NEMESIS_MIX = (
+    ("leader_partition", 35),
+    ("asymm_partition", 25),
+    ("split_brain", 15),
+    ("crash", 25),
+)
+
 #: Selectable nemesis families (the ``--nemesis-mix`` CLI knob).
 NEMESIS_MIXES = {
     "classic": NEMESIS_MIX,
     "gray": GRAY_NEMESIS_MIX,
     "mixed": NEMESIS_MIX + GRAY_NEMESIS_MIX,
+    "election": ELECTION_NEMESIS_MIX,
 }
 
 CHMOD_MODES = (0o600, 0o640, 0o644, 0o660, 0o664)
@@ -139,8 +152,15 @@ def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
                             "at_us": round(start, 3), "index": index})
             if rng.random() < 0.45:
                 # Fast restart: redo recovery races (and may beat) the
-                # failure detector's promotion.
+                # failure detector's promotion (or, under consensus,
+                # the follower's election timer).
                 restart_at = start + rng.uniform(600.0, 1700.0)
+            elif nemesis_mix == "election":
+                # Slow restart, consensus flavor: past the worst-case
+                # election timer draw (2T = 8 ms) plus the claim round,
+                # so the follower's election wins the slot and the
+                # machine rejoins as the new data follower.
+                restart_at = start + rng.uniform(9500.0, 14000.0)
             else:
                 # Slow restart: promotion wins, the machine rejoins as a
                 # standby.
@@ -219,6 +239,33 @@ def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
                 event["index"] = index
             nemeses.append(event)
             busy_until = start + duration + 2600.0
+        elif kind == "leader_partition":
+            # Long enough for the lease to lapse AND the follower's
+            # randomized election timer (up to 2T = 8 ms) to fire.
+            duration = rng.uniform(9000.0, 16000.0)
+            nemeses.append({
+                "group": group, "kind": "leader_partition",
+                "at_us": round(start, 3), "index": index,
+                "duration_us": round(duration, 3),
+            })
+            busy_until = start + duration + 6000.0
+        elif kind == "split_brain":
+            duration = rng.uniform(3000.0, 9000.0)
+            nemeses.append({
+                "group": group, "kind": "split_brain",
+                "at_us": round(start, 3), "index": index,
+                "duration_us": round(duration, 3),
+            })
+            busy_until = start + duration + 4000.0
+        elif kind == "asymm_partition":
+            duration = rng.uniform(9000.0, 16000.0)
+            nemeses.append({
+                "group": group, "kind": "asymm_partition",
+                "at_us": round(start, 3), "index": index,
+                "duration_us": round(duration, 3),
+                "direction": rng.choice(("inbound", "outbound")),
+            })
+            busy_until = start + duration + 6000.0
         else:  # stampede
             nemeses.append({
                 "group": group, "kind": "stampede",
@@ -234,6 +281,10 @@ def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
             "num_storage": num_storage,
             "num_clients": num_clients,
             "replication": True,
+            # The "election" family runs the quorum-replicated
+            # metadata tier (consensus groups + leader leases) in
+            # place of coordinator-ordained promotion.
+            "consensus": nemesis_mix == "election",
             "rpc_timeout_us": 400.0,
             "op_deadline_us": 30000.0,
             # Jittered backoff (stampedes must not meet synchronized

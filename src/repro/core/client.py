@@ -156,11 +156,23 @@ class FalconClient(Node):
         """List a directory; returns a sorted list of (name, is_dir)."""
         ctx = self._begin_op("readdir", path)
         name = split_path(path)[-1] if split_path(path) else "/"
-        target, _ = self.index.client_target(name, self.rng)
-        data = yield from self._traced(ctx, self._request(
-            self.shared.mnode_name(target), "readdir", {"path": path},
-            ctx=ctx,
-        ), path=path)
+
+        def attempt(_attempt, hint):
+            # Re-resolve the slot every attempt (not just on a redirect
+            # hint): under consensus a fenced leader answers ENOTLEADER
+            # with no hint, and the directory — updated by the election
+            # install — is where the new leader is found.
+            if hint is not None:
+                target_name = hint
+            else:
+                target, _ = self.index.client_target(name, self.rng)
+                target_name = self.shared.mnode_name(target)
+            return self._request(target_name, "readdir", {"path": path},
+                                 ctx=ctx)
+
+        data = yield from self._traced(
+            ctx, retry(self, ctx, attempt, retryable=self._retryable()),
+            path=path)
         return [tuple(entry) for entry in data["entries"]]
 
     def read_file(self, path):

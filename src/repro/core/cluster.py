@@ -47,7 +47,28 @@ class FalconCluster:
         ]
         self.coordinator = Coordinator(self.env, self.network, self.shared)
         self.standbys = []
-        if self.config.replication:
+        #: Vote-only consensus members, one per slot (consensus mode).
+        self.witnesses = []
+        self._consensus_running = False
+        #: (slot, name) of deposed-but-alive leaders awaiting demotion.
+        self._zombies = []
+        if self.config.consensus:
+            from repro.storage.consensus import ConsensusFollower, Witness
+
+            for i, mnode in enumerate(self.mnodes):
+                witness = Witness(
+                    self.env, self.network, mnode.name + "-witness",
+                    election_timeout_us=self.config.election_timeout_us,
+                )
+                follower = self._make_follower(i, mnode.name + "-standby",
+                                               witness.name)
+                mnode.attach_group(witness.name,
+                                   standby_name=follower.name)
+                self.witnesses.append(witness)
+                self.standbys.append(follower)
+                self.coordinator.register_leader(i, 1, mnode.name)
+            self.coordinator.install_leader = self.install_elected_leader
+        elif self.config.replication:
             from repro.storage.replication import Standby
 
             for mnode in self.mnodes:
@@ -247,6 +268,141 @@ class FalconCluster:
         node.xt.pathwalk = set(xt.pathwalk)
         node.xt.override = dict(xt.override)
 
+    # -- consensus (leader election) -----------------------------------------
+
+    def _make_follower(self, slot, name, witness_name):
+        """Construct the slot's data follower with its seeded election
+        RNG (one stream per follower name, so reincarnations draw a
+        fresh deterministic sequence)."""
+        from repro.storage.consensus import ConsensusFollower
+
+        return ConsensusFollower(
+            self.env, self.network, name, slot, witness_name,
+            self.shared.coordinator_name,
+            self.shared.streams.stream(
+                "consensus.election.{}.{}".format(slot, name)),
+            election_timeout_us=self.config.election_timeout_us,
+            rpc_timeout_us=self.config.rpc_timeout_us or 400.0,
+        )
+
+    def start_consensus(self):
+        """Start the groups' standing timers: leader heartbeats (which
+        double as retransmission and lease renewal) and follower
+        election timers.  :meth:`heal` stops them again before the
+        drain, so quiescence-based checking still works."""
+        if not self.config.consensus:
+            raise RuntimeError("consensus is not enabled")
+        self._consensus_running = True
+        for mnode in self.mnodes:
+            if mnode.shipper is not None:
+                mnode.shipper.start()
+        for follower in self.standbys:
+            if follower is not None:
+                follower.start_elections()
+
+    def stop_consensus_timers(self):
+        self._consensus_running = False
+        for mnode in self.mnodes:
+            shipper = mnode.shipper
+            if shipper is not None and hasattr(shipper, "stop"):
+                shipper.stop()
+        for follower in self.standbys:
+            if follower is not None and hasattr(follower,
+                                                "stop_elections"):
+                follower.stop_elections()
+
+    def install_elected_leader(self, slot, term, claim):
+        """Consensus-mode state surgery (the coordinator's
+        ``leader_claim`` install hook): promote the elected data
+        follower into the ring under directory slot ``slot``.
+
+        Unlike ordained promotion, nothing here decides *whether* the
+        follower may lead — the witness's vote already established
+        that its log holds every quorum-acked entry.  The follower
+        first applies its **entire** log including the uncommitted
+        suffix (an acked entry can sit above its last known commit
+        horizon if the old leader died before piggybacking it), then
+        its tables are installed into a fresh MNode whose replicated
+        log is re-based at the follower's log end.  The group runs
+        with the witness as its only member until the deposed
+        machine rejoins as the new data follower.
+        """
+        follower = self.standbys[slot]
+        if follower is None or follower.name != claim["name"]:
+            raise RuntimeError(
+                "leader claim for slot {} from {!r}, but the slot's "
+                "follower is {!r}".format(
+                    slot, claim["name"],
+                    None if follower is None else follower.name))
+        old = self.mnodes[slot]
+        follower.force_apply_all()
+        base_lsn = follower._last_lsn()
+        base_term = follower._last_term()
+        # Entries the old leader appended but never quorum-committed:
+        # durable on one machine only, never acknowledged to anyone.
+        lost_txns = 0
+        if old.shipper is not None:
+            lost_txns = max(0, old.shipper.last_lsn - base_lsn)
+        follower.stop_elections()
+        tables = follower.promote_tables()
+        self._promotions += 1
+        new_name = "{}-p{}".format(old.name, self._promotions)
+        self.shared.mnode_names[slot] = new_name
+        node = MNode(self.env, self.network, self.shared, slot)
+        if "inode" in tables:
+            node.inodes = tables["inode"]
+        if "dentry" in tables:
+            node.dentries = tables["dentry"]
+        self._rebuild_owned_state(node)
+        node.wal.bootstrap(
+            [[("inode", key, record.copy())]
+             for key, record in node.inodes.scan()]
+            + [[("dentry", key, record.copy())]
+               for key, record in node.dentries.scan()]
+        )
+        self.mnodes[slot] = node
+        # The deposed leader: crashed, or an alive zombie on the
+        # minority side of a partition.  Halt it either way — its lease
+        # provably lapsed before the witness would grant the vote that
+        # got us here, so it has already stopped serving; halting makes
+        # that permanent even if its name is later reincarnated.  An
+        # alive zombie's machine is demoted into the group's new data
+        # follower at heal time.
+        old.halted = True
+        self.retired_mnodes.append(old)
+        if slot not in self._crashed:
+            self._zombies.append((slot, old.name))
+        self.standbys[slot] = None
+        shipper = node.attach_group(
+            self.witnesses[slot].name, standby_name=None, term=term,
+            base_lsn=base_lsn, base_term=base_term,
+        )
+        if self._consensus_running:
+            shipper.start()
+        return node, lost_txns
+
+    def _rejoin_follower(self, index, old):
+        """Generator: consensus flavor of rejoin — the restarted (or
+        demoted-zombie) machine becomes the slot's new data follower,
+        snapshots from the elected leader, and arms its election timer.
+        """
+        if not self.network.is_down(old.name):
+            # A zombie being demoted, not a crash: abandon the halted
+            # incarnation's frozen handlers the same way a crash does.
+            self.network.set_down(old.name)
+        self.network.reincarnate(old.name)
+        follower = self._make_follower(index, old.name,
+                                       self.witnesses[index].name)
+        leader = self.mnodes[index]
+        self.standbys[index] = follower
+        if leader.shipper is not None and hasattr(leader.shipper,
+                                                  "attach_data_member"):
+            leader.shipper.attach_data_member(follower.name)
+        yield from follower.catch_up(leader.name)
+        if self._consensus_running:
+            follower.start_elections()
+        return follower
+
     def restart_mnode(self, index):
         """Generator: restart the crashed former occupant of slot
         ``index`` from its durable WAL.
@@ -282,7 +438,10 @@ class FalconCluster:
         promoted_away = self.shared.mnode_names[index] != old.name
         if promoted_away:
             role = "standby"
-            node = yield from self._rejoin_standby(index, old)
+            if self.config.consensus:
+                node = yield from self._rejoin_follower(index, old)
+            else:
+                node = yield from self._rejoin_standby(index, old)
         else:
             role = "primary"
             node = yield from self._resume_primary(index, old, payloads)
@@ -319,7 +478,31 @@ class FalconCluster:
         self.retired_mnodes.append(old)
         standby = (self.standbys[index] if index < len(self.standbys)
                    else None)
-        if standby is not None and old.shipper is not None:
+        if self.config.consensus:
+            # Resume leading under a *bumped* term: an elected successor
+            # cannot exist (the slot never moved on), but the bump makes
+            # any concurrent claim under the old term provably stale.
+            # The whole durable log becomes the new base — entries the
+            # group already holds are below or at it (a shipped entry
+            # was fsynced first), so members above the base dup-skip
+            # and members below it resync by snapshot (follower) or
+            # adopt the base (witness).
+            term = self.coordinator.next_term(index)
+            anchor, base = old._ship_anchor, old._ship_base
+            entries, _ = old.wal.replay_entries()
+            shippable = [(etrm, payload) for lsn, etrm, payload in entries
+                         if lsn > anchor and payload]
+            base_lsn = base + len(shippable) - 1
+            base_term = (shippable[-1][0] if shippable
+                         else getattr(old.shipper, "base_term", 0))
+            shipper = node.attach_group(
+                self.witnesses[index].name,
+                standby_name=None if standby is None else standby.name,
+                term=term, base_lsn=base_lsn, base_term=base_term,
+            )
+            if self._consensus_running:
+                shipper.start()
+        elif standby is not None and old.shipper is not None:
             # Map durable WAL records back onto shipping LSNs: every
             # replicable transaction after the old ship anchor occupied
             # one LSN, starting at the old base.  Whatever the standby
@@ -415,6 +598,25 @@ class FalconCluster:
         if restart:
             for index in sorted(self._crashed):
                 records.append(self.run_process(self.restart_mnode(index)))
+        if self.config.consensus:
+            # Demote alive zombies: leaders deposed while partitioned
+            # (not crashed).  Their halted incarnation is already
+            # retired; the machine reincarnates as the slot's new data
+            # follower so the group regains its 2-of-3 data quorum.
+            zombies, self._zombies = self._zombies, []
+            for slot, name in zombies:
+                if self.standbys[slot] is not None:
+                    continue  # a crash-restart already refilled the slot
+                old = next(m for m in self.retired_mnodes
+                           if m.name == name)
+                self.run_process(self._rejoin_follower(slot, old))
+            if self._consensus_running:
+                # Let the groups settle — heartbeats re-establish match
+                # positions and push the commit horizon to every member
+                # — then stop the standing timers so the drain that
+                # follows can actually go quiescent.
+                self.run_for(10 * self.config.consensus_heartbeat_us)
+                self.stop_consensus_timers()
         return records
 
     def quiesce(self, budget_us=None):
@@ -425,11 +627,17 @@ class FalconCluster:
     def start_failure_detection(self, **kwargs):
         """Start the coordinator's heartbeat failure detector; detected
         deaths trigger :meth:`fail_over` automatically.  Returns the
-        :class:`~repro.faults.FailureDetector`."""
+        :class:`~repro.faults.FailureDetector`.
+
+        Under consensus the detector is observe-only (``on_failure``
+        stays ``None``): recovery is decided by election timeouts at
+        the followers, not ordained by the coordinator — the detector
+        keeps feeding its detection-latency metrics for comparison."""
         from repro.faults import FailureDetector
 
         self.detector = FailureDetector(
-            self.coordinator, self.shared, on_failure=self.fail_over,
+            self.coordinator, self.shared,
+            on_failure=None if self.config.consensus else self.fail_over,
             **kwargs,
         )
         self.detector.start()

@@ -53,6 +53,16 @@ class Coordinator(NamespaceReplicaMixin, Node):
         self.rebalance_log = []
         #: One record per completed failover (timeline + lost window).
         self.failover_log = []
+        #: Consensus-mode membership registry: slot -> {"term", "leader"}.
+        #: Under consensus the coordinator no longer *ordains* promotion;
+        #: it only validates term monotonicity on leader claims and
+        #: remembers who currently leads each directory slot.
+        self.consensus_registry = {}
+        #: State-surgery hook installed by the cluster in consensus mode:
+        #: ``hook(slot, term, claim) -> (new_node, lost_txns)``.  Called
+        #: synchronously from the claim handler, like ``promote`` in
+        #: :meth:`fail_over`.
+        self.install_leader = None
 
     def handle(self, message):
         handler = getattr(self, "_on_" + message.kind, None)
@@ -447,21 +457,7 @@ class Coordinator(NamespaceReplicaMixin, Node):
             return record
         new_node, lost_txns = promote(index)
         promoted_at = self.env.now
-        survivors = [
-            name for name in self.shared.mnode_names
-            if name != new_node.name
-        ]
-        if survivors:
-            yield self.env.all_of([
-                self.call(peer, "invalidate_owner", {"owner": index})
-                for peer in survivors
-            ])
-        own_stale = [
-            key for key, record in self.dentries.scan()
-            if self.index.locate(key[0], key[1]) == index
-        ]
-        yield from self.apply_invalidation(own_stale)
-        orphans_removed = yield from self.fsck()
+        orphans_removed = yield from self._repair_slot(index, new_node.name)
         record = {
             "index": index,
             "failed": failed_name,
@@ -475,6 +471,94 @@ class Coordinator(NamespaceReplicaMixin, Node):
         self.failover_log.append(record)
         self.metrics.counter("failovers").inc()
         return record
+
+    def _repair_slot(self, index, new_name):
+        """Generator: repair the cluster around slot ``index``'s new
+        primary — survivors drop their replica dentries for the shard,
+        the coordinator drops its own, and an fsck sweep collects
+        orphans from any lost window.  Returns orphans removed."""
+        survivors = [
+            name for name in self.shared.mnode_names if name != new_name
+        ]
+        if survivors:
+            yield self.env.all_of([
+                self.call(peer, "invalidate_owner", {"owner": index})
+                for peer in survivors
+            ])
+        own_stale = [
+            key for key, record in self.dentries.scan()
+            if self.index.locate(key[0], key[1]) == index
+        ]
+        yield from self.apply_invalidation(own_stale)
+        orphans_removed = yield from self.fsck()
+        return orphans_removed
+
+    # ------------------------------------------------------------------
+    # consensus membership registry (the demoted coordinator role)
+    # ------------------------------------------------------------------
+
+    def next_term(self, slot):
+        """Synchronously bump and return the slot's term.
+
+        Used when a crashed leader restarts in place: redo replay
+        resurrects it with its old log, but it must never again append
+        under a term an elected successor may have claimed meanwhile.
+        """
+        entry = self.consensus_registry.setdefault(
+            slot, {"term": 1, "leader": self.shared.mnode_name(slot)}
+        )
+        entry["term"] += 1
+        entry["leader"] = self.shared.mnode_name(slot)
+        return entry["term"]
+
+    def register_leader(self, slot, term, leader):
+        """Record an initial (or surgically installed) leadership."""
+        self.consensus_registry[slot] = {"term": term, "leader": leader}
+
+    def _on_leader_claim(self, message):
+        """An elected candidate registering its leadership.
+
+        The coordinator validates only *term monotonicity* — consensus
+        safety lives in the vote rule, not here.  A valid claim runs the
+        cluster's install hook synchronously (the candidate becomes the
+        slot's primary before we reply, so the reply doubles as the
+        installation ack), then repairs the cluster around the new
+        primary exactly as ordained failover does.
+        """
+        p = message.payload
+        slot, term = p["slot"], p["term"]
+        entry = self.consensus_registry.setdefault(
+            slot, {"term": 1, "leader": self.shared.mnode_name(slot)}
+        )
+        if term <= entry["term"]:
+            # A stale claim (the candidate lost a race, or a zombie is
+            # re-asserting an old term).  Tell it the current term so it
+            # can step back down.
+            self.respond(message, {"ok": False, "term": entry["term"]})
+            return
+        detected_at = self.env.now
+        if self.install_leader is None:
+            raise RuntimeError("leader_claim without an install hook")
+        deposed = entry["leader"]
+        new_node, lost_txns = self.install_leader(slot, term, p)
+        entry["term"] = term
+        entry["leader"] = new_node.name
+        orphans_removed = yield from self._repair_slot(slot, new_node.name)
+        record = {
+            "index": slot,
+            "failed": deposed,
+            "promoted": new_node.name,
+            "elected": True,
+            "term": term,
+            "detected_at": detected_at,
+            "promoted_at": detected_at,
+            "recovered_at": self.env.now,
+            "lost_txns": lost_txns,
+            "orphans_removed": orphans_removed,
+        }
+        self.failover_log.append(record)
+        self.metrics.counter("elections").inc()
+        self.respond(message, {"ok": True, "term": term})
 
     def fsck(self):
         """Generator: sweep and delete unreachable inodes cluster-wide.

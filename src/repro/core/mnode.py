@@ -171,6 +171,55 @@ class MNode(NamespaceReplicaMixin, Node):
                              else anchor)
         self._ship_base = start_lsn if base is None else base
 
+    def attach_group(self, witness_name, standby_name=None, term=1,
+                     base_lsn=0, base_term=0, anchor=None):
+        """Attach this MNode as the *leader* of a consensus group.
+
+        Replaces the plain log shipper with a
+        :class:`~repro.storage.consensus.ReplicatedLog`: every committed
+        transaction becomes a term-stamped entry, operations acknowledge
+        only after quorum, and the serve path is fenced by the leader
+        lease.  ``base_lsn``/``base_term`` anchor the log at the
+        snapshot horizon the leader's tables reflect (election install
+        or redo recovery); ``anchor`` pins the WAL-transaction count
+        that horizon corresponds to, exactly like :meth:`attach_standby`.
+        """
+        from repro.storage.consensus import ReplicatedLog
+
+        cfg = self.shared.config
+        self.shipper = ReplicatedLog(
+            self, witness_name, standby_name=standby_name, term=term,
+            base_lsn=base_lsn, base_term=base_term,
+            lease_us=cfg.lease_us, heartbeat_us=cfg.consensus_heartbeat_us,
+        )
+        self.wal.term = term
+        self._ship_anchor = (self.wal.appended_txns if anchor is None
+                             else anchor)
+        self._ship_base = base_lsn + 1
+        return self.shipper
+
+    def _serving_as_leader(self):
+        """False when a consensus lease fences this node: it is deposed,
+        or its lease lapsed (it may be the minority side of a partition
+        and must not answer even reads — a successor could already be
+        serving newer state)."""
+        shipper = self.shipper
+        if shipper is None or not hasattr(shipper, "leading"):
+            return True
+        return shipper.leading(self.clock.now_us())
+
+    def _quorum_barrier(self):
+        """Generator: park until the shipper's latest entry is quorum-
+        committed.  True = safe to acknowledge; False = quorum is
+        unreachable (deposed, or the lease lapsed mid-wait) and the
+        operation must answer ENOTLEADER instead of acking a write a
+        majority never saw.  Trivially True outside consensus mode."""
+        shipper = self.shipper
+        if shipper is None or not hasattr(shipper, "wait_quorum"):
+            return True
+        ok = yield from shipper.wait_quorum()
+        return ok
+
     def _txn(self, ctx=None):
         return Transaction(self.env, self.wal, self.costs,
                            on_commit=self._ship_committed, ctx=ctx,
@@ -308,13 +357,24 @@ class MNode(NamespaceReplicaMixin, Node):
                 outcomes.append((plan, self._apply(plan, txn)))
             except RpcFailure as failure:
                 outcomes.append((plan, failure))
+        quorum_ok = True
         if txn.write_count:
             yield from txn.commit()
+            # Quorum commit: the batch's entry must be durably appended
+            # by a majority before anyone is told it happened.  Grants
+            # stay held across the wait so no concurrent reader observes
+            # state that a successor leader might not have.
+            quorum_ok = yield from self._quorum_barrier()
         for grant in grants:
             self.locks.release(grant)
         for plan, outcome in outcomes:
             if isinstance(outcome, RpcFailure):
                 self._respond_error(plan.message, outcome)
+            elif not quorum_ok:
+                self._respond_error(
+                    plan.message,
+                    RpcFailure(RpcError.ENOTLEADER, self.name),
+                )
             else:
                 self._ops_ctr.inc(plan.op)
                 self._respond_ok(plan.message, outcome)
@@ -332,6 +392,15 @@ class MNode(NamespaceReplicaMixin, Node):
             # The client already gave up on this op; don't do its work.
             self._respond_error(
                 message, RpcFailure(RpcError.ETIMEDOUT, message.kind)
+            )
+            return None
+        if not self._serving_as_leader():
+            # Lease fence: a deposed (or possibly-partitioned) leader
+            # answers nothing — not even reads, which could otherwise
+            # return state a successor has already overwritten.  No
+            # hint: the client re-resolves through the directory.
+            self._respond_error(
+                message, RpcFailure(RpcError.ENOTLEADER, self.name)
             )
             return None
         if message.kind == "lookup":
@@ -675,6 +744,16 @@ class MNode(NamespaceReplicaMixin, Node):
         return
         yield  # pragma: no cover
 
+    def _on_append_ack(self, message):
+        """Consensus member ack: advance its match index, move the
+        commit horizon, renew the lease — or fence this leader for good
+        when the ack carries a higher term (a successor exists)."""
+        shipper = self.shipper
+        if shipper is not None and hasattr(shipper, "on_ack"):
+            shipper.on_ack(message.payload)
+        return
+        yield  # pragma: no cover
+
     def _on_snapshot(self, message):
         """Base-backup fetch for a (re)joining standby: a copy of the
         replicated tables plus the shipping LSN the copy reflects.  The
@@ -696,8 +775,14 @@ class MNode(NamespaceReplicaMixin, Node):
         yield from self.execute(
             self.costs.index_lookup_us + 0.02 * count, ctx=message.ctx
         )
+        reply = {"tables": entries, "lsn": lsn}
+        if self.shipper is not None and hasattr(self.shipper, "last_term"):
+            # Consensus: the follower resets its log base to this
+            # snapshot point, so it needs the term at that position.
+            reply["term"] = (self.shipper.last_term if lsn
+                             == self.shipper.last_lsn else 0)
         self.respond(
-            message, {"tables": entries, "lsn": lsn},
+            message, reply,
             size=self.costs.rpc_response_bytes
             + self.costs.wal_record_bytes * count,
         )
@@ -854,6 +939,10 @@ class MNode(NamespaceReplicaMixin, Node):
             yield from txn.commit()
             self.inval_seq[("d",) + key] += 1
             self._track_name(key, -1)
+            # The delete is applied locally either way; only the *ack*
+            # is gated on quorum.
+            if not (yield from self._quorum_barrier()):
+                raise RpcFailure(RpcError.ENOTLEADER, self.name)
             self.metrics.counter("ops").inc("rmdir")
             self.respond(message, {"ok": True})
         except RpcFailure as failure:
@@ -897,6 +986,8 @@ class MNode(NamespaceReplicaMixin, Node):
                     uid=record.uid, gid=record.gid,
                 ))
             yield from txn.commit()
+            if not (yield from self._quorum_barrier()):
+                raise RpcFailure(RpcError.ENOTLEADER, self.name)
             self.metrics.counter("ops").inc("chmod")
             self.respond(message, {"ok": True})
         except RpcFailure as failure:
@@ -1019,6 +1110,18 @@ class MNode(NamespaceReplicaMixin, Node):
             yield from self._redo_rename(
                 message.payload.get("actions") or [], message.ctx
             )
+        # Acking a decided commit tells the coordinator's completer to
+        # stop re-delivering — so under consensus the ack must wait for
+        # quorum, or a minority leader would absorb the decision and a
+        # later elected leader would never see these actions.  On
+        # failure the completer retries against the slot, which the
+        # election install re-points at the new leader (whose
+        # _redo_rename applies the actions idempotently).
+        if not (yield from self._quorum_barrier()):
+            self._respond_error(
+                message, RpcFailure(RpcError.ENOTLEADER, self.name)
+            )
+            return
         self.respond(message, {"ok": True})
 
     def _redo_rename(self, actions, ctx):
@@ -1084,6 +1187,11 @@ class MNode(NamespaceReplicaMixin, Node):
         """Resolve the directory locally, then scatter a child scan to all
         MNodes (file inodes for one directory live everywhere)."""
         payload = message.payload
+        if not self._serving_as_leader():
+            self._respond_error(
+                message, RpcFailure(RpcError.ENOTLEADER, self.name)
+            )
+            return
         try:
             components = split_path(payload["path"])
             resolved = yield from self.resolve_dir(components,

@@ -67,6 +67,26 @@ class FalconConfig:
     #: gray link degradation.  Event-driven: the timer only exists while
     #: the unacked window is non-empty, so quiescence still drains.
     ship_retry_us: float = 0.0
+    #: Quorum-replicated metadata tier (requires ``replication``): each
+    #: directory slot becomes a consensus group — leader (the MNode),
+    #: one data-holding voter (the standby) and one vote-only witness.
+    #: Commits acknowledge only after a majority has durably appended,
+    #: leadership moves by election instead of coordinator ordination,
+    #: and the serve path is fenced by leader leases.
+    consensus: bool = False
+    #: Follower election timeout base, microseconds: a follower that
+    #: hears nothing from its leader for a randomized duration in
+    #: ``[election_timeout_us, 2 * election_timeout_us]`` starts an
+    #: election (per-follower seeded randomization breaks ties).
+    election_timeout_us: float = 4000.0
+    #: Leader lease duration, microseconds.  A leader extends its lease
+    #: every time a quorum acknowledges a heartbeat; once the lease
+    #: lapses it stops acknowledging operations (ENOTLEADER) until a
+    #: quorum answers again — the fast-fail half of zombie fencing (the
+    #: safety half is quorum commit itself).
+    lease_us: float = 3000.0
+    #: Leader heartbeat (empty AppendEntries) cadence, microseconds.
+    consensus_heartbeat_us: float = 1000.0
     seed: int = 0
 
 

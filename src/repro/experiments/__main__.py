@@ -19,6 +19,7 @@ from repro.experiments import (
     cache_sweep,
     corner_cases,
     data_path,
+    election,
     failover,
     grayfail,
     labeling,
@@ -58,6 +59,9 @@ EXPERIMENTS = {
     "fig16": (labeling, {}, {"num_tasks": 400, "threads": 128}),
     "fig17": (training, {},
               {"gpu_counts": (8, 32, 64), "num_files": 2500}),
+    "election": (election, {},
+                 {"threads": 4, "duration_us": 25000.0,
+                  "warm_us": 7000.0}),
     "failover": (failover, {},
                  {"threads": 6, "duration_us": 20000.0,
                   "warm_us": 5000.0}),

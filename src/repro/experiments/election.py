@@ -1,0 +1,188 @@
+"""Leader election vs ordained promotion: availability and durability.
+
+Not a paper figure — the paper's MNodes inherit coordinator-driven
+primary/standby failover (§4.3); this repo's consensus tier replaces it
+with quorum-replicated groups (leader + data follower + witness) whose
+recovery is decided by election timeouts at the followers.  This
+experiment crashes the leader of one metadata group mid-workload under
+**both** recovery regimes and reports, side by side:
+
+* the availability gap — crash to the slot serving again (detection +
+  promotion for the baseline, election timeout + vote + claim for the
+  consensus tier) plus the worst single-op stall a client saw;
+* healthy-phase commit latency (p50/p99 of creates before the crash) —
+  the price of quorum acknowledgement over async shipping;
+* durability of acknowledgements: every create the client saw succeed
+  is looked up again after healing.  Under consensus the count of lost
+  acked writes is **asserted zero** (quorum commit means an ack implies
+  a majority held the record); the promotion baseline reports its
+  lost-unshipped window honestly.
+
+Everything is deterministic: the same seed yields the same crash time,
+victim, gap and loss.
+"""
+
+from repro.core import FalconCluster, FalconConfig
+from repro.faults import FaultInjector
+from repro.metrics import percentile
+from repro.net.rpc import RpcFailure
+
+
+def measure(mode="consensus", num_mnodes=3, num_storage=2, threads=8,
+            num_dirs=3, duration_us=35000.0, warm_us=9000.0,
+            rpc_timeout_us=400.0, seed=0):
+    """Run one crash-and-recover scenario under ``mode`` ("consensus"
+    or "promotion"); returns a result dict."""
+    if mode not in ("consensus", "promotion"):
+        raise ValueError("mode must be 'consensus' or 'promotion', "
+                         "got {!r}".format(mode))
+    consensus = mode == "consensus"
+    cluster = FalconCluster(FalconConfig(
+        num_mnodes=num_mnodes, num_storage=num_storage, replication=True,
+        consensus=consensus, rpc_timeout_us=rpc_timeout_us,
+        retry_jitter=0.25, ship_retry_us=1200.0, seed=seed,
+    ))
+    env = cluster.env
+    fs = cluster.fs()
+    for d in range(num_dirs):
+        fs.mkdir("/w{}".format(d))
+    cluster.run_for(5000.0)  # drain setup shipments
+
+    cluster.start_failure_detection()
+    if consensus:
+        cluster.start_consensus()
+    injector = FaultInjector(cluster)
+    crash_at = env.now + warm_us
+    victim = injector.crash_mnode_at(crash_at)
+
+    client = cluster.add_client(mode="libfs")
+    end_at = env.now + duration_us
+    records = []
+    acked_creates = []
+
+    def worker(wid):
+        i = 0
+        last = None
+        while env.now < end_at:
+            creating = last is None or i % 2 == 0
+            if creating:
+                path = "/w{}/f{}-{}".format(wid % num_dirs, wid, i)
+                op = client.create(path, exclusive=False)
+                nxt = path
+            else:
+                op = client.getattr(last)
+                nxt = last
+            start = env.now
+            ok = True
+            try:
+                yield from op
+            except RpcFailure:
+                ok = False
+            records.append((start, env.now, ok, creating))
+            if creating and ok:
+                acked_creates.append(path)
+            last = nxt
+            i += 1
+
+    workers = [env.process(worker(w)) for w in range(threads)]
+    env.run(until=env.all_of(workers))
+    cluster.heal()  # restarts the crashed machine (rejoins as follower)
+    cluster.run_for(20000.0)  # drain: catch-up, invalidations
+
+    log = cluster.coordinator.failover_log
+    recoveries = [r for r in log if not r.get("suppressed")
+                  and not r.get("deferred")]
+    if not recoveries:
+        raise RuntimeError("the slot never recovered (run too short?)")
+    recovery = recoveries[0]
+    if consensus and not recovery.get("elected"):
+        raise AssertionError(
+            "consensus mode recovered by ordained promotion: {!r}"
+            .format(recovery))
+    detection = cluster.detector.log
+
+    # Every acknowledged create must still resolve after healing.
+    lost_acked = 0
+    probe = cluster.add_client(mode="libfs")
+
+    def sweep():
+        nonlocal lost_acked
+        for path in acked_creates:
+            try:
+                yield from probe.getattr(path)
+            except RpcFailure:
+                lost_acked += 1
+
+    cluster.run_process(sweep())
+    if consensus and lost_acked:
+        raise AssertionError(
+            "{} quorum-acknowledged creates vanished across the "
+            "election — an ack without a surviving majority record"
+            .format(lost_acked))
+
+    recovered_at = recovery["recovered_at"]
+    phases = {
+        "before": [r for r in records if r[1] < crash_at],
+        "during": [r for r in records
+                   if r[1] >= crash_at and r[0] <= recovered_at],
+        "after": [r for r in records if r[0] > recovered_at],
+    }
+    overlapping = [end - start for start, end, _, _ in records
+                   if start <= crash_at <= end]
+    return {
+        "mode": mode,
+        "victim": victim,
+        "crash_at_us": crash_at,
+        "detect_us": (detection[0]["declared_at"] - crash_at
+                      if detection else None),
+        "gap_us": recovered_at - crash_at,
+        "max_stall_us": max(overlapping) if overlapping else 0.0,
+        "lost_txns": recovery["lost_txns"],
+        "lost_acked": lost_acked,
+        "acked": len(acked_creates),
+        "elections": sum(1 for r in log if r.get("elected")),
+        "promotions": sum(1 for r in log
+                          if r.get("promoted") and not r.get("elected")
+                          and not r.get("suppressed")),
+        "phases": phases,
+        "cluster": cluster,
+    }
+
+
+def run(modes=("promotion", "consensus"), **kwargs):
+    rows = []
+    for mode in modes:
+        result = measure(mode=mode, **kwargs)
+        before = [e - s for s, e, _, creating
+                  in result["phases"]["before"] if creating]
+        during = result["phases"]["during"]
+        errors = sum(1 for _, _, ok, _ in during if not ok)
+        rows.append({
+            "mode": mode,
+            "commit_p50_us": percentile(before, 50) if before else 0.0,
+            "commit_p99_us": percentile(before, 99) if before else 0.0,
+            "detect_us": (round(result["detect_us"], 1)
+                          if result["detect_us"] is not None else "-"),
+            "gap_us": round(result["gap_us"], 1),
+            "max_stall_us": round(result["max_stall_us"], 1),
+            "errs_during": errors,
+            "acked": result["acked"],
+            "lost_acked": result["lost_acked"],
+            "lost_txns": result["lost_txns"],
+            "elections": result["elections"],
+            "promotions": result["promotions"],
+        })
+    return rows
+
+
+def format_rows(rows):
+    from repro.experiments.common import format_table
+
+    return format_table(
+        rows,
+        ["mode", "commit_p50_us", "commit_p99_us", "detect_us", "gap_us",
+         "max_stall_us", "errs_during", "acked", "lost_acked",
+         "lost_txns", "elections", "promotions"],
+        title="Leader crash: quorum election vs ordained promotion "
+              "(lost_acked asserted 0 under consensus)",
+    )

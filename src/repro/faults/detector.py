@@ -11,6 +11,12 @@ the same slot resolves to the live replacement.
 Detection latency is therefore bounded by roughly
 ``miss_threshold * interval + timeout`` — the availability-gap floor
 the failover experiment measures against.
+
+Under the consensus tier (``config.consensus``) the detector runs
+**observe-only**: ``on_failure`` stays ``None``, so declarations are
+logged and counted but never ordain a promotion — recovery is decided
+by election timeouts at the data followers instead, and the detection
+metrics remain comparable across the two recovery regimes.
 """
 
 from collections import defaultdict

@@ -342,6 +342,19 @@ class FaultInjector:
             client.dcache.clear()
         return invalidated
 
+    def _everyone_but(self, isolated):
+        """Every live node name outside ``isolated`` — mnodes, standbys,
+        witnesses (consensus mode), coordinator, storage, clients."""
+        cluster = self.cluster
+        return [
+            node.name
+            for node in (cluster.mnodes + cluster.standbys
+                         + list(getattr(cluster, "witnesses", []))
+                         + [cluster.coordinator]
+                         + cluster.storage + cluster.clients)
+            if node is not None and node.name not in isolated
+        ]
+
     # -- randomized schedules -------------------------------------------
 
     def crash_random_mnode_between(self, lo_us, hi_us):
@@ -374,6 +387,12 @@ class FaultInjector:
              "coordinator", "duration_us": d, "offset_us": o,
              "drift_ppm": ppm}
             {"kind": "stampede",   "at_us": t}
+            {"kind": "leader_partition", "at_us": t, "index": i,
+             "duration_us": d}
+            {"kind": "split_brain", "at_us": t, "index": i,
+             "duration_us": d}
+            {"kind": "asymm_partition", "at_us": t, "index": i,
+             "duration_us": d, "direction": "inbound" | "outbound"}
 
         Every random choice is pinned inside the event (victims at
         generation time, fire-time draws via ``rng_seed``), so cancelling
@@ -434,13 +453,7 @@ class FaultInjector:
                 if (index < len(cluster.standbys)
                         and cluster.standbys[index] is not None):
                     isolated.append(cluster.standbys[index].name)
-                others = [
-                    node.name
-                    for node in (cluster.mnodes + cluster.standbys
-                                 + [cluster.coordinator]
-                                 + cluster.storage + cluster.clients)
-                    if node is not None and node.name not in isolated
-                ]
+                others = self._everyone_but(isolated)
                 cluster.network.partition(isolated, others)
                 self._log("partition", "|".join(isolated), index=index,
                           duration_us=event["duration_us"])
@@ -449,6 +462,83 @@ class FaultInjector:
                     yield self.env.timeout(event["duration_us"])
                     cluster.network.heal(isolated, others)
                     self._log("partition_heal", "|".join(isolated),
+                              index=index)
+
+                self.env.process(heal())
+        elif kind == "leader_partition":
+            def thunk():
+                # Isolate ONLY the slot's current leader (resolved at
+                # fire time — it may be an elected -pN incarnation).
+                # The minority-of-one scenario: the leader can reach no
+                # member, so it must never acknowledge another write;
+                # the follower and witness elect a successor.
+                isolated = [cluster.mnodes[index].name]
+                others = self._everyone_but(isolated)
+                cluster.network.partition(isolated, others)
+                self._log("leader_partition", isolated[0], index=index,
+                          duration_us=event["duration_us"])
+
+                def heal():
+                    yield self.env.timeout(event["duration_us"])
+                    cluster.network.heal(isolated, others)
+                    self._log("leader_partition_heal", isolated[0],
+                              index=index)
+
+                self.env.process(heal())
+        elif kind == "split_brain":
+            def thunk():
+                # Leader + witness on one side, the data follower (and
+                # every client) on the other.  The leader retains a
+                # 2-of-3 quorum through the witness, and the follower
+                # must NOT be electable (the witness refuses its vote:
+                # it hears the live leader).  Availability loss for the
+                # partitioned clients, never a second leader.
+                isolated = [cluster.mnodes[index].name]
+                if index < len(cluster.witnesses):
+                    isolated.append(cluster.witnesses[index].name)
+                others = self._everyone_but(isolated)
+                cluster.network.partition(isolated, others)
+                self._log("split_brain", "|".join(isolated), index=index,
+                          duration_us=event["duration_us"])
+
+                def heal():
+                    yield self.env.timeout(event["duration_us"])
+                    cluster.network.heal(isolated, others)
+                    self._log("split_brain_heal", "|".join(isolated),
+                              index=index)
+
+                self.env.process(heal())
+        elif kind == "asymm_partition":
+            def thunk():
+                # Directed link loss inside the slot's consensus group.
+                # "inbound": member->leader traffic is lost — members
+                # still hear appends (no election) but the leader never
+                # hears acks, so its lease lapses and it must stop
+                # acknowledging (availability gap, no promotion).
+                # "outbound": leader->member traffic is lost — members
+                # go silent and elect while the old leader, deaf by
+                # lease lapse, fences itself.
+                leader = [cluster.mnodes[index].name]
+                members = []
+                if (index < len(cluster.standbys)
+                        and cluster.standbys[index] is not None):
+                    members.append(cluster.standbys[index].name)
+                if index < len(cluster.witnesses):
+                    members.append(cluster.witnesses[index].name)
+                direction = event.get("direction", "outbound")
+                if direction == "inbound":
+                    srcs, dsts = members, leader
+                else:
+                    srcs, dsts = leader, members
+                cluster.network.partition_directed(srcs, dsts)
+                self._log("asymm_partition", leader[0], index=index,
+                          direction=direction,
+                          duration_us=event["duration_us"])
+
+                def heal():
+                    yield self.env.timeout(event["duration_us"])
+                    cluster.network.heal(srcs, dsts)
+                    self._log("asymm_partition_heal", leader[0],
                               index=index)
 
                 self.env.process(heal())

@@ -24,6 +24,15 @@ class RpcError:
     EREDIRECT = 1001
     #: Transient retry (e.g. inode blocked during migration).
     ERETRY = 1002
+    #: The receiving replica is not the slot's current leader (its lease
+    #: expired, it was fenced, or it never was one).  Carries no hint:
+    #: the client must *re-resolve* leadership through the cluster
+    #: directory rather than retry the same target.
+    ENOTLEADER = 1003
+    #: The message carried a consensus term older than the receiver's —
+    #: the sender is a deposed leader (or a stale candidate) and must
+    #: step down before anything it says can be believed.
+    ESTALE_TERM = 1004
 
     _NAMES = {
         errno.ENOENT: "ENOENT",
@@ -36,6 +45,8 @@ class RpcError:
         errno.ETIMEDOUT: "ETIMEDOUT",
         1001: "EREDIRECT",
         1002: "ERETRY",
+        1003: "ENOTLEADER",
+        1004: "ESTALE_TERM",
     }
 
     @classmethod

@@ -165,6 +165,18 @@ class Network:
                 self._blocked.add((a, b))
                 self._blocked.add((b, a))
 
+    def partition_directed(self, srcs, dsts):
+        """Block traffic in *one* direction only: ``srcs`` -> ``dsts``.
+
+        An asymmetric partition — the receiver can still talk back.
+        This is the fault that distinguishes a consensus election from
+        heartbeat-ordained promotion: a leader that can send appends but
+        never hear acks must stop serving when its lease lapses, even
+        though every member still sees it as alive."""
+        for a in srcs:
+            for b in dsts:
+                self._blocked.add((a, b))
+
     def heal(self, group_a=None, group_b=None):
         """Undo a partition; with no arguments, heal every partition."""
         if group_a is None and group_b is None:

@@ -25,7 +25,12 @@ from repro.obs.tracer import CAT_RETRY
 from repro.runtime import Interrupt
 
 #: Codes the shared :func:`retry` helper treats as transient by default.
-RETRYABLE = (RpcError.ERETRY, RpcError.EREDIRECT)
+#: ENOTLEADER/ESTALE_TERM are retryable but — unlike EREDIRECT — carry
+#: no destination hint: the retry loop clears the hint, so the next
+#: attempt re-resolves the slot through the cluster directory instead
+#: of blindly retrying the fenced (or deposed) node it just talked to.
+RETRYABLE = (RpcError.ERETRY, RpcError.EREDIRECT,
+             RpcError.ENOTLEADER, RpcError.ESTALE_TERM)
 
 #: Sentinel passed as the interrupt cause by the deadline watchdog.
 DEADLINE_EXPIRED = object()

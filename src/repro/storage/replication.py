@@ -256,13 +256,42 @@ class Standby(Node):
         snapshot arrive as buffered deltas), installs it, fast-forwards
         the applied LSN to the snapshot point, then drains whatever
         buffered shipments the snapshot does not cover.
+
+        Idempotent under duplicated and overlapping deliveries: a
+        second catch-up racing the first returns immediately (the
+        in-flight install decides coverage), and a snapshot *below*
+        the already-applied horizon is *refused* — installing it would
+        rewind ``applied_lsn`` past deltas this standby already applied
+        and acknowledged, which the primary has pruned from its
+        retained history; the rewound gap could then never be refilled
+        and every later promotion would silently lose those acked
+        transactions.  (A snapshot exactly *at* the horizon installs:
+        it is the same state, and a fresh standby facing an idle
+        primary starts with both at zero.)
         """
+        if self.catching_up:
+            return 0
         self.catching_up = True
         try:
             reply = yield self.call(primary_name, "snapshot", {}, ctx=ctx)
         except BaseException:
             self.catching_up = False
             raise
+        if self.promoted or reply["lsn"] < self.applied_lsn:
+            # Stale or duplicate snapshot (an overlapping catch-up
+            # already installed a newer one, or deltas advanced past
+            # this image while it was in flight): keep the newer state.
+            self.catching_up = False
+            self._pending = {
+                lsn: records for lsn, records in self._pending.items()
+                if lsn > self.applied_lsn
+            }
+            applied = self._apply_ready()
+            if applied:
+                yield from self.execute(self.costs.index_insert_us * applied)
+            self.send(primary_name, "wal_ack",
+                      {"applied_lsn": self.applied_lsn})
+            return 0
         tables = {}
         installed = 0
         for table_name, entries in reply["tables"].items():

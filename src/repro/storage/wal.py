@@ -29,26 +29,35 @@ import zlib
 from repro.obs.tracer import CAT_WAL
 
 
-def wal_checksum(lsn, payload):
-    """Deterministic per-record checksum over the logical payload."""
+def wal_checksum(lsn, payload, term=0):
+    """Deterministic per-record checksum over the logical payload.
+
+    ``term`` (the consensus term of the appending leader) folds into the
+    checksum only when nonzero, so records written outside consensus
+    mode — and every pre-existing golden trace — keep their bytes."""
+    if term:
+        return zlib.crc32(repr((term, lsn, payload)).encode("utf-8"))
     return zlib.crc32(repr((lsn, payload)).encode("utf-8"))
 
 
 class WalRecord:
-    """One appended transaction: LSN, logical records, checksum.
+    """One appended transaction: LSN, logical records, term, checksum.
 
     ``payload`` is the transaction's logical record list
     (``(table, key, value-or-None)`` tuples, as produced by
     :meth:`~repro.storage.table.Transaction.export_writes`), or ``None``
     for control records (2PC votes) that carry no redo content.
+    ``term`` is the consensus term under which the record was appended
+    (0 when the log is not part of a replicated consensus group).
     """
 
-    __slots__ = ("lsn", "payload", "nbytes", "_delta")
+    __slots__ = ("lsn", "payload", "nbytes", "term", "_delta")
 
-    def __init__(self, lsn, payload, nbytes):
+    def __init__(self, lsn, payload, nbytes, term=0):
         self.lsn = lsn
         self.payload = payload
         self.nbytes = nbytes
+        self.term = term
         #: XOR distance between the stored and the true checksum.  Zero
         #: means the on-disk image is intact; a mid-flush tear or fault
         #:  injection sets a nonzero delta.  Kept as a delta so the CRC
@@ -66,7 +75,7 @@ class WalRecord:
 
     @property
     def checksum(self):
-        return wal_checksum(self.lsn, self.payload)
+        return wal_checksum(self.lsn, self.payload, self.term)
 
     @property
     def stored(self):
@@ -157,6 +166,10 @@ class WriteAheadLog:
         #: common case — the flush path charges the original cost
         #: expression untouched, keeping golden traces bit-identical).
         self.slow_disk = None
+        #: Consensus term stamped on every appended record; stays 0 (and
+        #: therefore invisible to checksums and goldens) outside a
+        #: replicated consensus group.
+        self.term = 0
 
     # -- appending -------------------------------------------------------
 
@@ -180,7 +193,7 @@ class WriteAheadLog:
             done.callbacks.append(
                 lambda _event, span=span: span.finish(self.env.now)
             )
-        record = WalRecord(self.next_lsn, payload, nbytes)
+        record = WalRecord(self.next_lsn, payload, nbytes, term=self.term)
         self.next_lsn += 1
         self._pending.append((done, record, records))
         if not self._flushing:
@@ -188,14 +201,18 @@ class WriteAheadLog:
             self.env.process(self._flusher())
         return done
 
-    def bootstrap(self, payloads):
+    def bootstrap(self, payloads, terms=None):
         """Install a base image: append ``payloads`` as already-durable
         records (no simulated time).  A promoted or redo-recovered node
         starts from the state its tables were built from — this is the
         base backup its future crash recovery replays before any new
-        records."""
-        for payload in payloads:
-            record = WalRecord(self.next_lsn, payload, self.costs.wal_record_bytes)
+        records.  ``terms`` (optional, parallel to ``payloads``) stamps
+        each record with the consensus term it was originally appended
+        under, so redo recovery preserves term history."""
+        for i, payload in enumerate(payloads):
+            term = terms[i] if terms is not None else self.term
+            record = WalRecord(self.next_lsn, payload,
+                               self.costs.wal_record_bytes, term=term)
             self.next_lsn += 1
             self._segment_append(record)
             self.durable_lsn = record.lsn
@@ -292,6 +309,22 @@ class WriteAheadLog:
                     continue
                 payloads.append((record.lsn, record.payload))
         return payloads, torn
+
+    def replay_entries(self):
+        """Like :meth:`replay` but keeps consensus terms: returns
+        ``(entries, torn)`` where entries are ``(lsn, term, payload)``
+        triples for the verified durable prefix."""
+        entries = []
+        torn = 0
+        broken = False
+        for segment in self.segments:
+            for record in segment.records:
+                if broken or not record.intact:
+                    broken = True
+                    torn += 1
+                    continue
+                entries.append((record.lsn, record.term, record.payload))
+        return entries, torn
 
     # -- readout ---------------------------------------------------------
 

@@ -100,7 +100,8 @@ def test_gray_windows_are_serialized():
 def test_unknown_mix_rejected():
     with pytest.raises(KeyError):
         generate_schedule(0, nemesis_mix="nonsense")
-    assert set(NEMESIS_MIXES) == {"classic", "gray", "mixed"}
+    assert set(NEMESIS_MIXES) == {"classic", "gray", "mixed",
+                                  "election"}
 
 
 # ----------------------------------------------------------------------

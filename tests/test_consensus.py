@@ -1,0 +1,265 @@
+"""Tests for the quorum-replicated metadata tier (consensus groups).
+
+Each directory slot runs a three-member group — leader MNode, one
+data-holding follower, one vote-only witness — with quorum commit,
+leader leases and election-based recovery.  The deterministic scenarios
+here pin the safety properties the checker's tightened oracle asserts
+statistically: most importantly, a minority-partitioned leader must
+never acknowledge a write.
+"""
+
+import pytest
+
+from repro.core import FalconCluster, FalconConfig
+from repro.net.rpc import RpcError, RpcFailure
+from repro.obs import RETRYABLE
+from repro.storage.consensus import ConsensusFollower, ReplicatedLog
+
+
+def _consensus_cluster(**overrides):
+    kwargs = dict(num_mnodes=3, num_storage=2, replication=True,
+                  consensus=True, rpc_timeout_us=400.0,
+                  op_deadline_us=30000.0, retry_jitter=0.25,
+                  ship_retry_us=1200.0, seed=0)
+    kwargs.update(overrides)
+    return FalconCluster(FalconConfig(**kwargs))
+
+
+def _mkdir(cluster, path):
+    client = cluster.add_client(mode="libfs", name="setup-" + path[1:])
+    return cluster.run_process(client.mkdir(path))
+
+
+def _name_owned_by(cluster, parent_ino, slot, prefix):
+    """A filename under ``parent_ino`` that hashes to MNode ``slot``."""
+    for i in range(500):
+        name = "{}{}.dat".format(prefix, i)
+        if cluster.coordinator.index.locate(parent_ino, name) == slot:
+            return name
+    raise RuntimeError("no name found for slot {}".format(slot))
+
+
+def _attempt(cluster, op):
+    """Run a client op generator; capture ack-or-error instead of
+    raising."""
+    outcome = {}
+
+    def runner():
+        try:
+            yield from op
+        except RpcFailure as failure:
+            outcome["error"] = RpcError.name(failure.code)
+        else:
+            outcome["ok"] = True
+
+    cluster.env.process(runner())
+    return outcome
+
+
+def _all_but(cluster, keep):
+    """Every node name in the cluster except ``keep``."""
+    names = ([m.name for m in cluster.mnodes]
+             + [s.name for s in cluster.standbys if s is not None]
+             + [w.name for w in cluster.witnesses]
+             + [cluster.coordinator.name]
+             + [s.name for s in cluster.storage])
+    return [n for n in names if n not in keep]
+
+
+class TestWiring:
+    def test_groups_are_built_per_slot(self):
+        cluster = _consensus_cluster()
+        assert len(cluster.witnesses) == len(cluster.mnodes)
+        for i, mnode in enumerate(cluster.mnodes):
+            assert isinstance(mnode.shipper, ReplicatedLog)
+            assert isinstance(cluster.standbys[i], ConsensusFollower)
+            assert cluster.coordinator.consensus_registry[i] == {
+                "term": 1, "leader": mnode.name,
+            }
+
+    def test_error_taxonomy(self):
+        assert RpcError.name(RpcError.ENOTLEADER) == "ENOTLEADER"
+        assert RpcError.name(RpcError.ESTALE_TERM) == "ESTALE_TERM"
+        assert RpcError.ENOTLEADER in RETRYABLE
+        assert RpcError.ESTALE_TERM in RETRYABLE
+
+    def test_quorum_commit_reaches_members(self):
+        cluster = _consensus_cluster()
+        ino = _mkdir(cluster, "/d")
+        client = cluster.add_client(mode="libfs")
+        name = _name_owned_by(cluster, ino, 0, "q")
+        cluster.run_process(client.create("/d/" + name))
+        cluster.run_for(5000.0)
+        log = cluster.mnodes[0].shipper
+        assert log.commit_lsn >= 1
+        assert log.acked_lsn >= 1
+        # The witness holds positions for everything committed.
+        assert cluster.witnesses[0]._last_lsn() >= log.commit_lsn
+
+
+class TestFencing:
+    def test_stale_term_ack_deposes_the_leader(self):
+        """An ack stamped with a higher term proves a successor exists:
+        the log fences permanently — no serving, no appending."""
+        cluster = _consensus_cluster()
+        log = cluster.mnodes[0].shipper
+        log.on_ack({"term": log.term + 1, "ok": False, "stale": True,
+                    "match_lsn": 0, "echo": None,
+                    "member": log.witness_name})
+        assert log.deposed
+        assert not log.leading(cluster.env.now)
+        assert log.append([("inode", (1, "x"), None)]) is None
+
+    def test_minority_partitioned_leader_never_acks(self):
+        """The acceptance scenario: a client co-partitioned with the old
+        leader must never see a write acknowledged — the leader cannot
+        reach quorum, its lease lapses, and the majority side elects a
+        successor that never held the write."""
+        cluster = _consensus_cluster()
+        env = cluster.env
+        ino = _mkdir(cluster, "/d")
+        client = cluster.add_client(mode="libfs")
+        slot = 0
+        warm = _name_owned_by(cluster, ino, slot, "w")
+        cluster.run_process(client.create("/d/" + warm))
+        cluster.start_failure_detection()
+        cluster.start_consensus()
+
+        leader = cluster.mnodes[slot]
+        minority = [leader.name, client.name]
+        cluster.network.partition(minority, _all_but(cluster, minority))
+        # The election installs the successor under a fresh incarnation
+        # name; blocking it up front keeps the client in the minority
+        # (partitions are name pairs, and the promotion name sequence
+        # is deterministic).
+        cluster.network.partition(minority, [leader.name + "-p1"])
+
+        victim = "/d/" + _name_owned_by(cluster, ino, slot, "m")
+        outcome = _attempt(cluster, client.create(victim))
+        cluster.run_for(40000.0)  # past the op deadline and election
+        assert "ok" not in outcome, outcome
+        # The deposed leader holds the write as an uncommitted suffix:
+        # appended locally, never quorum-committed, never acked.
+        assert leader.shipper.quorum_failures > 0
+        assert leader.shipper.commit_lsn < leader.shipper.last_lsn
+
+        elected = [r for r in cluster.coordinator.failover_log
+                   if r.get("elected")]
+        assert elected and elected[0]["index"] == slot
+        assert cluster.mnodes[slot].name != leader.name
+
+        cluster.heal()
+        cluster.run_for(20000.0)
+        # The unacked write died with the deposed leader's term.
+        probe = _attempt(cluster, client.getattr(victim))
+        cluster.run_for(10000.0)
+        assert probe.get("error") == "ENOENT", probe
+        # ... while the quorum-acked warm-up write survived.
+        survivor = _attempt(cluster, client.getattr("/d/" + warm))
+        cluster.run_for(10000.0)
+        assert survivor.get("ok"), survivor
+        assert env.now > 0
+
+    def test_deaf_leader_fences_instead_of_acking(self):
+        """Inbound asymmetric partition: members still hear the leader
+        (so nobody times out into an election) but their acks are lost.
+        The lease lapses and writes fail rather than ack without
+        quorum."""
+        cluster = _consensus_cluster()
+        ino = _mkdir(cluster, "/d")
+        client = cluster.add_client(mode="libfs")
+        slot = 0
+        cluster.run_process(
+            client.create("/d/" + _name_owned_by(cluster, ino, slot, "w")))
+        cluster.start_failure_detection()
+        cluster.start_consensus()
+
+        leader = cluster.mnodes[slot]
+        members = [cluster.standbys[slot].name,
+                   cluster.witnesses[slot].name]
+        cluster.network.partition_directed(members, [leader.name])
+
+        victim = "/d/" + _name_owned_by(cluster, ino, slot, "x")
+        outcome = _attempt(cluster, client.create(victim))
+        cluster.run_for(40000.0)
+        assert "ok" not in outcome, outcome
+        assert leader.shipper.quorum_failures > 0
+        # Appends kept flowing, so the follower never stood for election.
+        assert not any(r.get("elected")
+                       for r in cluster.coordinator.failover_log)
+        assert cluster.mnodes[slot] is leader
+
+        cluster.heal()
+        cluster.run_for(20000.0)
+        diffs = cluster.replication_divergence()
+        assert not diffs[cluster.mnodes[slot].name]
+
+
+class TestElection:
+    def test_split_brain_leader_keeps_quorum_through_witness(self):
+        """Leader and witness on one side: 2-of-3, so the leader keeps
+        serving — and the isolated follower (witness unreachable) can
+        never be elected."""
+        cluster = _consensus_cluster()
+        ino = _mkdir(cluster, "/d")
+        client = cluster.add_client(mode="libfs")
+        slot = 0
+        cluster.run_process(
+            client.create("/d/" + _name_owned_by(cluster, ino, slot, "w")))
+        cluster.start_failure_detection()
+        cluster.start_consensus()
+
+        leader = cluster.mnodes[slot]
+        side = [leader.name, cluster.witnesses[slot].name, client.name]
+        cluster.network.partition(side, _all_but(cluster, side))
+
+        path = "/d/" + _name_owned_by(cluster, ino, slot, "s")
+        outcome = _attempt(cluster, client.create(path))
+        cluster.run_for(15000.0)
+        assert outcome.get("ok"), outcome
+        assert not any(r.get("elected")
+                       for r in cluster.coordinator.failover_log)
+        assert cluster.standbys[slot].elections_won == 0
+        assert cluster.mnodes[slot] is leader
+
+        cluster.heal()
+        cluster.run_for(20000.0)
+        diffs = cluster.replication_divergence()
+        assert not diffs[cluster.mnodes[slot].name]
+
+    def test_leader_crash_elects_follower_and_machine_rejoins(self):
+        cluster = _consensus_cluster()
+        ino = _mkdir(cluster, "/d")
+        client = cluster.add_client(mode="libfs")
+        slot = 0
+        cluster.run_process(
+            client.create("/d/" + _name_owned_by(cluster, ino, slot, "w")))
+        cluster.start_failure_detection()
+        cluster.start_consensus()
+
+        old_name = cluster.mnodes[slot].name
+        cluster.crash_mnode(slot)
+        cluster.run_for(20000.0)
+
+        elected = [r for r in cluster.coordinator.failover_log
+                   if r.get("elected")]
+        assert elected and elected[0]["index"] == slot
+        assert elected[0]["failed"] == old_name
+        assert cluster.coordinator.consensus_registry[slot]["term"] > 1
+        # The new leader serves quorum-committed writes.
+        outcome = _attempt(
+            cluster,
+            client.create("/d/" + _name_owned_by(cluster, ino, slot, "n")))
+        cluster.run_for(10000.0)
+        assert outcome.get("ok"), outcome
+
+        # The crashed machine restarts into the follower role.
+        cluster.run_process(cluster.restart_mnode(slot))
+        cluster.run_for(5000.0)
+        follower = cluster.standbys[slot]
+        assert follower is not None and follower.name == old_name
+
+        cluster.heal()
+        cluster.run_for(20000.0)
+        diffs = cluster.replication_divergence()
+        assert not diffs[cluster.mnodes[slot].name]
