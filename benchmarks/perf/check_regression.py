@@ -13,10 +13,14 @@ Two checks per workload:
   simulation's behaviour changed, not its speed.  Regenerate the
   baseline (``--write-baseline``) only alongside an intentional change
   that the golden-trace test also acknowledges.
-* **events_per_sec** must not regress more than ``--tolerance``
-  (default 25%, also settable via ``BENCH_TOLERANCE``).  Speedups and
-  small regressions pass; a committed baseline uses minimum-observed
-  numbers so shared-runner noise stays inside the tolerance.
+* the throughput statistic must not regress more than ``--tolerance``
+  (default 25%, also settable via ``BENCH_TOLERANCE``).  When both the
+  result and the baseline carry ``events_per_sec_median`` (bench
+  ``--repeat N``, schema >= 2) the gate uses the **median** — far less
+  noisy than a single observation; otherwise it falls back to the
+  best-of-run ``events_per_sec``.  Speedups and small regressions pass;
+  a committed baseline uses minimum-observed numbers so shared-runner
+  noise stays inside the tolerance.
 """
 
 import argparse
@@ -34,6 +38,9 @@ def load(path):
         return json.load(handle)
 
 
+MEDIAN = "events_per_sec_median"
+
+
 def check(result, baseline, tolerance):
     failures = []
     for name, want in sorted(baseline["workloads"].items()):
@@ -46,28 +53,34 @@ def check(result, baseline, tolerance):
                 "{}: event count changed: {} != baseline {} "
                 "(determinism break or config drift)".format(
                     name, got["events"], want["events"]))
-        floor = want["events_per_sec"] * (1.0 - tolerance)
-        ratio = got["events_per_sec"] / want["events_per_sec"]
-        status = "ok" if got["events_per_sec"] >= floor else "REGRESSION"
-        print("{:<22} {:>12,.0f} ev/s  baseline {:>12,.0f}  "
+        metric = (MEDIAN if MEDIAN in got and MEDIAN in want
+                  else "events_per_sec")
+        floor = want[metric] * (1.0 - tolerance)
+        ratio = got[metric] / want[metric]
+        status = "ok" if got[metric] >= floor else "REGRESSION"
+        print("{:<22} {:>12,.0f} ev/s ({})  baseline {:>12,.0f}  "
               "ratio {:.2f}x  {}".format(
-                  name, got["events_per_sec"], want["events_per_sec"],
-                  ratio, status))
+                  name, got[metric],
+                  "median" if metric == MEDIAN else "best",
+                  want[metric], ratio, status))
         if status != "ok":
             failures.append(
-                "{}: {:,.0f} ev/s is below the {:.0%}-tolerance floor "
-                "{:,.0f}".format(name, got["events_per_sec"], tolerance,
-                                 floor))
+                "{}: {:,.0f} ev/s ({}) is below the {:.0%}-tolerance "
+                "floor {:,.0f}".format(name, got[metric], metric,
+                                       tolerance, floor))
     return failures
 
 
 def write_baseline(result, path):
     payload = load(path)
     for name, got in result["workloads"].items():
-        payload["workloads"][name] = {
+        entry = {
             "events": got["events"],
             "events_per_sec": int(got["events_per_sec"]),
         }
+        if MEDIAN in got:
+            entry[MEDIAN] = int(got[MEDIAN])
+        payload["workloads"][name] = entry
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

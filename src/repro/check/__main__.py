@@ -4,6 +4,13 @@
     explore seeds 0..49; on the first failure, shrink it and write a
     seed file with the minimal reproducer, then exit 2.
 
+``python -m repro.check run --seeds 200 --jobs 8``
+    same contract, seeds fanned out across 8 worker processes.  The
+    verdict stream, the first failing seed (always the lowest in seed
+    order) and the written seed file are byte-identical to ``--jobs 1``:
+    results come back through an ordered merge and shrinking stays
+    serial in the parent.
+
 ``python -m repro.check repro <seed-file>``
     replay a written seed file (the minimal schedule by default, the
     original with ``--original``); exit 1 if violations reproduce.
@@ -21,6 +28,7 @@ import time
 from repro.check.runner import run_schedule
 from repro.check.schedule import NEMESIS_MIXES, generate_schedule
 from repro.check.shrink import shrink
+from repro.check.worker import explore_seed
 
 
 def _schedule_kwargs(args):
@@ -36,8 +44,7 @@ def _schedule_kwargs(args):
     }
 
 
-def _summarize(result):
-    stats = result["stats"]
+def _summarize(stats):
     return ("{} ops ({} ok, {} failed), {} nemeses, "
             "{} promotions, t={:.0f}us").format(
         stats["ops_total"], stats["ops_ok"], stats["ops_failed"],
@@ -45,51 +52,121 @@ def _summarize(result):
         stats["final_now_us"])
 
 
+def _per_minute(count, seconds):
+    """Rate per minute, or ``None`` when no wall time was observed
+    (a sub-resolution run has no honest rate — don't invent one)."""
+    if seconds <= 0:
+        return None
+    return count * 60.0 / seconds
+
+
+def _format_rate(rate):
+    return "n/a" if rate is None else "{:.1f}".format(rate)
+
+
+def _explore(tasks, jobs):
+    """Yield one verdict record per task, in seed order.
+
+    Serial (``jobs <= 1``) runs inline; parallel runs fan out over a
+    persistent :class:`~repro.parallel.WorkerPool` whose ordered merge
+    yields the identical record stream.  A worker-side infrastructure
+    failure (crash or escaped exception — ``run_schedule`` converts
+    simulation failures into violations, so this is checker breakage)
+    surfaces as an ``error`` record.
+    """
+    if jobs <= 1:
+        for task in tasks:
+            yield explore_seed(task)
+        return
+    from repro.parallel import WorkerPool
+
+    with WorkerPool(min(jobs, len(tasks))) as pool:
+        for result in pool.imap(explore_seed, tasks):
+            if result.ok:
+                yield result.value
+            else:
+                yield {"seed": tasks[result.index][0], "error": result.error}
+
+
 def cmd_run(args):
     started = time.monotonic()
-    for seed in range(args.start_seed, args.start_seed + args.seeds):
-        schedule = generate_schedule(seed, **_schedule_kwargs(args))
-        result = run_schedule(schedule)
-        if not result["violations"]:
-            print("seed {:4d}: ok   {}".format(seed, _summarize(result)))
-            continue
-        print("seed {:4d}: FAIL {}".format(seed, _summarize(result)))
-        for violation in result["violations"]:
-            print("  [{}] {}".format(violation["invariant"],
-                                     violation["message"]))
-        report = {
-            "seed": seed,
-            "violations": result["violations"],
-            "stats": result["stats"],
-            "history": result["history"],
-            "schedule": schedule,
-            "minimal": None,
-        }
-        if not args.no_shrink:
-            print("shrinking (budget {} runs)...".format(
-                args.max_shrink_runs))
-            minimal, runs, min_result = shrink(
-                schedule, max_runs=args.max_shrink_runs)
-            print("shrunk to {} ops + {} nemesis events in {} runs"
-                  .format(len(minimal["ops"]), len(minimal["nemeses"]),
-                          runs))
-            report["minimal"] = minimal
-            report["minimal_violations"] = min_result["violations"]
-            report["minimal_history"] = min_result["history"]
-            report["shrink_runs"] = runs
-        os.makedirs(args.out, exist_ok=True)
-        path = os.path.join(args.out, "seed-{}.json".format(seed))
-        with open(path, "w") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print("seed file: {}".format(path))
-        print("reproduce: python -m repro.check repro {}".format(path))
-        return 2
-    elapsed_min = (time.monotonic() - started) / 60.0
-    rate = args.seeds / elapsed_min if elapsed_min > 0 else float("inf")
-    print("{} seeds clean ({:.1f} schedules/minute)".format(
-        args.seeds, rate))
-    return 0
+    schedule_kwargs = _schedule_kwargs(args)
+    tasks = [(seed, schedule_kwargs)
+             for seed in range(args.start_seed,
+                               args.start_seed + args.seeds)]
+    explored = 0
+    failure = None
+    for record in _explore(tasks, args.jobs):
+        if "error" in record:
+            print("seed {:4d}: checker infrastructure failure"
+                  .format(record["seed"]), file=sys.stderr)
+            print(record["error"], file=sys.stderr)
+            return 3
+        explored += 1
+        seed = record["seed"]
+        if record["failed"]:
+            print("seed {:4d}: FAIL {}".format(
+                seed, _summarize(record["result"]["stats"])))
+            for violation in record["result"]["violations"]:
+                print("  [{}] {}".format(violation["invariant"],
+                                         violation["message"]))
+            failure = record
+            break
+        print("seed {:4d}: ok   {}".format(seed,
+                                           _summarize(record["stats"])))
+        if args.heartbeat and explored % args.heartbeat == 0 \
+                and explored < len(tasks):
+            rate = _per_minute(explored, time.monotonic() - started)
+            print("# {}/{} seeds done, all clean, {} schedules/minute"
+                  .format(explored, len(tasks), _format_rate(rate)),
+                  file=sys.stderr)
+
+    # Exploration-only wall clock: captured before any shrinking, so
+    # the reported rate measures seed throughput, never debug work.
+    explore_rate = _per_minute(explored, time.monotonic() - started)
+
+    if failure is None:
+        print("{} seeds clean ({} schedules/minute)".format(
+            args.seeds, _format_rate(explore_rate)))
+        return 0
+
+    seed = failure["seed"]
+    result = failure["result"]
+    schedule = result["schedule"]
+    report = {
+        "seed": seed,
+        "violations": result["violations"],
+        "stats": result["stats"],
+        "history": result["history"],
+        "schedule": schedule,
+        "minimal": None,
+    }
+    if not args.no_shrink:
+        # Shrinking is serial in the parent, by design: ddmin replays
+        # depend on each candidate's verdict, and a single process
+        # keeps the shrink path bit-identical at every --jobs value.
+        print("shrinking (budget {} runs)...".format(
+            args.max_shrink_runs))
+        minimal, runs, min_result = shrink(
+            schedule, max_runs=args.max_shrink_runs)
+        print("shrunk to {} ops + {} nemesis events in {} runs"
+              .format(len(minimal["ops"]), len(minimal["nemeses"]),
+                      runs))
+        report["minimal"] = minimal
+        report["minimal_violations"] = min_result["violations"]
+        report["minimal_history"] = min_result["history"]
+        report["shrink_runs"] = runs
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, "seed-{}.json".format(seed))
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("seed file: {}".format(path))
+    print("reproduce: python -m repro.check repro {}".format(path))
+    print("# explored {} seeds ({} schedules/minute, exploration only)"
+          .format(explored, _format_rate(explore_rate)),
+          file=sys.stderr)
+    return 2
 
 
 def cmd_repro(args):
@@ -99,7 +176,7 @@ def cmd_repro(args):
     if not args.original and report.get("minimal"):
         schedule = report["minimal"]
     result = run_schedule(schedule)
-    print(_summarize(result))
+    print(_summarize(result["stats"]))
     if not result["violations"]:
         print("no violations (did not reproduce)")
         return 0
@@ -142,6 +219,15 @@ def main(argv=None):
     run_parser.add_argument("--out", default="check-artifacts")
     run_parser.add_argument("--no-shrink", action="store_true")
     run_parser.add_argument("--max-shrink-runs", type=int, default=150)
+    run_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for seed exploration (default 1; the "
+             "verdict stream and any seed file are identical at every "
+             "value)")
+    run_parser.add_argument(
+        "--heartbeat", type=int, default=25,
+        help="progress line to stderr every N clean seeds "
+             "(0 disables)")
     _add_schedule_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 

@@ -1,0 +1,38 @@
+"""The checker's per-seed task, shaped for the worker pool.
+
+``explore_seed`` is the unit of work `python -m repro.check run` fans
+out: module-level (picklable by reference), pure (the record depends
+only on the task), and compact — a clean seed ships back just the
+summary-line stats, a failing seed ships the full result so the parent
+can write the seed file and shrink *serially* without re-running.
+
+Both the serial (``--jobs 1``) and parallel paths call this same
+function, which is what makes their verdict streams byte-identical.
+"""
+
+from repro.check.runner import run_schedule
+from repro.check.schedule import generate_schedule
+
+#: The stats the CLI's one-line summary needs (keep tiny: this is the
+#: whole payload for a clean seed).
+SUMMARY_KEYS = ("ops_total", "ops_ok", "ops_failed", "nemesis_fired",
+                "promotions", "final_now_us")
+
+
+def explore_seed(task):
+    """Run one seed; return a picklable verdict record.
+
+    ``task`` is ``(seed, schedule_kwargs)``.  The schedule is generated
+    *inside* the task so only the integer seed and the knob dict cross
+    the process boundary.
+    """
+    seed, schedule_kwargs = task
+    schedule = generate_schedule(seed, **schedule_kwargs)
+    result = run_schedule(schedule)
+    if result["violations"]:
+        return {"seed": seed, "failed": True, "result": result}
+    return {
+        "seed": seed,
+        "failed": False,
+        "stats": {key: result["stats"][key] for key in SUMMARY_KEYS},
+    }

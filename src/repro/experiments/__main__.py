@@ -4,10 +4,12 @@ Run any paper experiment by name and print its table::
 
     python -m repro.experiments fig13            # default scale
     python -m repro.experiments fig10 --quick    # reduced scale
+    python -m repro.experiments grayfail --jobs 8   # point-parallel sweep
     python -m repro.experiments --list
 """
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -77,7 +79,7 @@ EXPERIMENTS = {
                   {"num_dirs": 16, "files_per_dir": 25, "threads": 96}),
     "breakdown": (breakdown, {}, {"num_ops": 40}),
     "bench": (bench, {},
-              {"repeat": 1, "num_ops": 800, "threads": 32,
+              {"repeat": 3, "num_ops": 800, "threads": 32,
                "num_files": 300, "num_gpus": 8, "num_clients": 4,
                "duration_us": 15000.0}),
 }
@@ -97,6 +99,13 @@ def main(argv=None):
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top-25 "
                              "cumulative hot spots")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sweeps whose points "
+                             "are independent (default 1; output is "
+                             "identical at any value)")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="repetitions for experiments that support "
+                             "it (bench: median-of-N reporting)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -111,7 +120,18 @@ def main(argv=None):
     except KeyError:
         parser.error("unknown experiment {!r}; use --list".format(
             args.experiment))
-    kwargs = quick_kwargs if args.quick else default_kwargs
+    kwargs = dict(quick_kwargs if args.quick else default_kwargs)
+    accepted = inspect.signature(module.run).parameters
+    if args.jobs != 1:
+        if "jobs" not in accepted:
+            parser.error("{} does not support --jobs (its points are "
+                         "not independent)".format(args.experiment))
+        kwargs["jobs"] = args.jobs
+    if args.repeat is not None:
+        if "repeat" not in accepted:
+            parser.error("{} does not support --repeat".format(
+                args.experiment))
+        kwargs["repeat"] = args.repeat
     start = time.time()
     if args.profile:
         import cProfile

@@ -44,9 +44,20 @@ def measure(label, overrides, num_ops=1200, threads=256, num_mnodes=4,
     }
 
 
-def run(configs=CONFIGS, **kwargs):
-    rows = [measure(label, overrides, **kwargs)
-            for label, overrides in configs]
+def _config_row(task):
+    """One ablation configuration → its row (module-level for the
+    shared ``--jobs`` pool; ``relative`` needs every row, so it is
+    derived in the parent, in config order)."""
+    label, overrides, kwargs = task
+    return measure(label, overrides, **kwargs)
+
+
+def run(configs=CONFIGS, jobs=1, **kwargs):
+    from repro.experiments.common import parallel_map
+
+    rows = parallel_map(
+        [(label, overrides, kwargs) for label, overrides in configs],
+        _config_row, jobs=jobs)
     full = rows[0]["mkdir_per_sec"]
     for row in rows:
         row["relative"] = row["mkdir_per_sec"] / full if full else 0.0

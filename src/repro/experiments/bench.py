@@ -10,16 +10,19 @@ workloads exercise the kernel's distinct hot paths:
 * ``failover_sweep`` — the MNode crash-and-promote scenario: fault
   injection, retries, heartbeat timers, redo shipping.
 
-Each workload runs ``repeat`` times and reports the *best* wall clock
-(noise on a shared machine only ever adds time).  The events metric is
+Each workload runs ``repeat`` times (``--jobs N`` fans the repetitions
+out over the worker pool) and reports both the *best* wall clock (noise
+on a shared machine only ever adds time) and the **median** — the less
+noisy statistic ``benchmarks/perf/check_regression.py`` gates on.  The
+events metric is
 :attr:`~repro.sim.engine.Environment.events_scheduled` — deterministic
 for a fixed seed, so a changed event count means changed simulation
-behaviour, not noise.  Results land in ``BENCH_perf.json`` (schema
-documented in ``EXPERIMENTS.md``); ``benchmarks/perf/check_regression.py``
-compares that file against the committed baseline in CI.
+behaviour, not noise (asserted identical across repetitions).  Results
+land in ``BENCH_perf.json`` (schema documented in ``EXPERIMENTS.md``).
 """
 
 import json
+import statistics
 import time
 
 from repro.experiments import failover
@@ -30,8 +33,9 @@ from repro.workloads.trees import flat_burst_tree, private_dirs_tree
 #: Default output path (repo root when run from it, as CI does).
 DEFAULT_OUT = "BENCH_perf.json"
 
-#: Version of the BENCH_perf.json layout.
-SCHEMA_VERSION = 1
+#: Version of the BENCH_perf.json layout.  v2 added the median-of-N
+#: fields (``wall_s_median`` / ``events_per_sec_median``).
+SCHEMA_VERSION = 2
 
 
 def metadata_saturation(num_ops=4000, threads=64, seed=0):
@@ -113,35 +117,62 @@ WORKLOADS = {
 }
 
 
-def run(repeat=3, out=DEFAULT_OUT, seed=0, **overrides):
-    """Run every workload ``repeat`` times; keep the best wall clock.
+def _run_workload(task):
+    """One (workload, kwargs) repetition — the pool's unit of work."""
+    name, kwargs = task
+    fn, _ = WORKLOADS[name]
+    return fn(**kwargs)
+
+
+def run(repeat=3, out=DEFAULT_OUT, seed=0, jobs=1, **overrides):
+    """Run every workload ``repeat`` times; report best + median.
 
     ``overrides`` are scale kwargs routed to the workload that accepts
     them (e.g. ``num_ops=800`` only affects ``metadata_saturation``).
+    ``jobs > 1`` runs the repetitions in parallel worker processes;
+    each repetition times itself, and aggregation (best/median, in
+    workload order) happens in the parent, so only the wall-clock noise
+    profile changes — the deterministic event counts cannot.
     Writes ``out`` (set ``out=None`` to skip) and returns the table rows.
     """
-    rows = []
-    report = {}
-    for name, (fn, accepted) in WORKLOADS.items():
+    from repro.experiments.common import parallel_map
+
+    tasks = []
+    for name, (_fn, accepted) in WORKLOADS.items():
         kwargs = {k: v for k, v in overrides.items() if k in accepted}
         kwargs["seed"] = seed
-        best = None
-        for _ in range(repeat):
-            result = fn(**kwargs)
-            if best is None or result["wall_s"] < best["wall_s"]:
-                best = result
+        tasks.extend((name, kwargs) for _ in range(repeat))
+    results = parallel_map(tasks, _run_workload, jobs=jobs)
+
+    rows = []
+    report = {}
+    for name in WORKLOADS:
+        reps = [result for (task_name, _), result in zip(tasks, results)
+                if task_name == name]
+        events = {r["events"] for r in reps}
+        if len(events) != 1:
+            raise AssertionError(
+                "{}: event counts differ across repetitions ({}) — "
+                "the workload is not deterministic".format(
+                    name, sorted(events)))
+        best = min(reps, key=lambda r: r["wall_s"])
+        wall_median = statistics.median(r["wall_s"] for r in reps)
         events_per_sec = best["events"] / best["wall_s"]
+        median_per_sec = best["events"] / wall_median
         rows.append({
             "workload": name,
             "events": best["events"],
             "wall_s": round(best["wall_s"], 4),
             "events_per_sec": round(events_per_sec),
+            "median_ev_per_s": round(median_per_sec),
             "sim_us": round(best["sim_us"], 3),
         })
         report[name] = {
             "events": best["events"],
             "wall_s": round(best["wall_s"], 4),
             "events_per_sec": round(events_per_sec, 1),
+            "wall_s_median": round(wall_median, 4),
+            "events_per_sec_median": round(median_per_sec, 1),
             "sim_us": round(best["sim_us"], 3),
             "detail": best["detail"],
         }
@@ -162,6 +193,7 @@ def run(repeat=3, out=DEFAULT_OUT, seed=0, **overrides):
 def format_rows(rows):
     return format_table(
         rows,
-        ["workload", "events", "wall_s", "events_per_sec", "sim_us"],
-        title="Simulator throughput (best of N repetitions)",
+        ["workload", "events", "wall_s", "events_per_sec",
+         "median_ev_per_s", "sim_us"],
+        title="Simulator throughput (best and median of N repetitions)",
     )

@@ -1,4 +1,5 @@
-"""Shared experiment utilities: cluster builders and table rendering."""
+"""Shared experiment utilities: cluster builders, table rendering, and
+the shared ``--jobs`` fan-out for point-parallel sweeps."""
 
 from repro.baselines import CephCluster, JuiceCluster, LustreCluster
 from repro.core import FalconCluster, FalconConfig
@@ -64,6 +65,29 @@ def prefill_dcache(client, tree, path_ino, rng=None):
             pid, basename(dpath),
             InodeAttrs(ino=path_ino[dpath], is_dir=True, mode=0o755),
         )
+
+
+def parallel_map(tasks, fn, jobs=1):
+    """Run ``fn`` over ``tasks``, returning results **in task order**.
+
+    The shared ``--jobs`` plumbing for every sweep: ``jobs <= 1`` runs
+    inline (the bit-identical serial reference path — no pool, no
+    pickling); ``jobs > 1`` fans out over a persistent worker pool.
+    Each simulated point is an independent cluster lifetime keyed only
+    by its task, and every row is assembled inside ``fn`` (a pure,
+    picklable dict), so the merged row list — and therefore every
+    rendered table and output file — is identical at any ``jobs``.
+
+    ``fn`` must be module-level and each task picklable; a failed task
+    raises :class:`repro.parallel.ParallelError` with its traceback
+    after the remaining tasks drain.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    from repro.parallel import pmap
+
+    return pmap(tasks, fn, jobs=jobs)
 
 
 def format_table(rows, columns=None, title=None):

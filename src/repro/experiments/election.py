@@ -149,30 +149,38 @@ def measure(mode="consensus", num_mnodes=3, num_storage=2, threads=8,
     }
 
 
-def run(modes=("promotion", "consensus"), **kwargs):
-    rows = []
-    for mode in modes:
-        result = measure(mode=mode, **kwargs)
-        before = [e - s for s, e, _, creating
-                  in result["phases"]["before"] if creating]
-        during = result["phases"]["during"]
-        errors = sum(1 for _, _, ok, _ in during if not ok)
-        rows.append({
-            "mode": mode,
-            "commit_p50_us": percentile(before, 50) if before else 0.0,
-            "commit_p99_us": percentile(before, 99) if before else 0.0,
-            "detect_us": (round(result["detect_us"], 1)
-                          if result["detect_us"] is not None else "-"),
-            "gap_us": round(result["gap_us"], 1),
-            "max_stall_us": round(result["max_stall_us"], 1),
-            "errs_during": errors,
-            "acked": result["acked"],
-            "lost_acked": result["lost_acked"],
-            "lost_txns": result["lost_txns"],
-            "elections": result["elections"],
-            "promotions": result["promotions"],
-        })
-    return rows
+def _point_row(task):
+    """One recovery-regime sweep point → its pure, picklable row
+    (module-level so the shared ``--jobs`` pool can ship it; the serial
+    path calls the same function, keeping output identical)."""
+    mode, kwargs = task
+    result = measure(mode=mode, **kwargs)
+    before = [e - s for s, e, _, creating
+              in result["phases"]["before"] if creating]
+    during = result["phases"]["during"]
+    errors = sum(1 for _, _, ok, _ in during if not ok)
+    return {
+        "mode": mode,
+        "commit_p50_us": percentile(before, 50) if before else 0.0,
+        "commit_p99_us": percentile(before, 99) if before else 0.0,
+        "detect_us": (round(result["detect_us"], 1)
+                      if result["detect_us"] is not None else "-"),
+        "gap_us": round(result["gap_us"], 1),
+        "max_stall_us": round(result["max_stall_us"], 1),
+        "errs_during": errors,
+        "acked": result["acked"],
+        "lost_acked": result["lost_acked"],
+        "lost_txns": result["lost_txns"],
+        "elections": result["elections"],
+        "promotions": result["promotions"],
+    }
+
+
+def run(modes=("promotion", "consensus"), jobs=1, **kwargs):
+    from repro.experiments.common import parallel_map
+
+    return parallel_map([(mode, kwargs) for mode in modes], _point_row,
+                        jobs=jobs)
 
 
 def format_rows(rows):

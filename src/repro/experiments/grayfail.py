@@ -168,35 +168,47 @@ def measure(kind="degrade_link", severity=0.15, num_mnodes=3,
     }
 
 
+def _point_row(task):
+    """One (kind, severity) sweep point → its pure, picklable row.
+
+    Module-level so the shared ``--jobs`` pool can ship it to a worker;
+    the serial path calls the identical function, which is what makes
+    ``--jobs N`` output byte-identical to ``--jobs 1``.
+    """
+    kind, severity, kwargs = task
+    result = measure(kind=kind, severity=severity, **kwargs)
+    during = [e - s for s, e, _ in result["phases"]["during"]]
+    after = [e - s for s, e, _ in result["phases"]["after"]]
+    errors = sum(1 for _, _, ok in result["phases"]["during"]
+                 if not ok)
+    return {
+        "kind": kind,
+        "severity": severity,
+        "ops_during": len(during),
+        "errors": errors,
+        "p50_us": percentile(during, 50) if during else 0.0,
+        "p99_us": percentile(during, 99) if during else 0.0,
+        "p99_after_us": percentile(after, 99) if after else 0.0,
+        "declared": result["declared"],
+        "detect_us": (round(result["detect_us"], 1)
+                      if result["detect_us"] is not None else "-"),
+        "suppressed": result["suppressed"],
+        "lost_msgs": result["lost_msgs"],
+        "resent": result["resent_records"],
+        "diverged": result["divergence"],
+    }
+
+
 def run(kinds=("slow_disk", "degrade_link", "skew_clock", "stampede"),
-        severities=None, **kwargs):
-    rows = []
+        severities=None, jobs=1, **kwargs):
+    from repro.experiments.common import parallel_map
+
+    tasks = []
     for kind in kinds:
         ladder = (severities[kind] if severities is not None
                   else SEVERITIES[kind])
-        for severity in ladder:
-            result = measure(kind=kind, severity=severity, **kwargs)
-            during = [e - s for s, e, _ in result["phases"]["during"]]
-            after = [e - s for s, e, _ in result["phases"]["after"]]
-            errors = sum(1 for _, _, ok in result["phases"]["during"]
-                         if not ok)
-            rows.append({
-                "kind": kind,
-                "severity": severity,
-                "ops_during": len(during),
-                "errors": errors,
-                "p50_us": percentile(during, 50) if during else 0.0,
-                "p99_us": percentile(during, 99) if during else 0.0,
-                "p99_after_us": percentile(after, 99) if after else 0.0,
-                "declared": result["declared"],
-                "detect_us": (round(result["detect_us"], 1)
-                              if result["detect_us"] is not None else "-"),
-                "suppressed": result["suppressed"],
-                "lost_msgs": result["lost_msgs"],
-                "resent": result["resent_records"],
-                "diverged": result["divergence"],
-            })
-    return rows
+        tasks.extend((kind, severity, kwargs) for severity in ladder)
+    return parallel_map(tasks, _point_row, jobs=jobs)
 
 
 def format_rows(rows):

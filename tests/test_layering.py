@@ -18,9 +18,11 @@ import pytest
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: Layers that must stay environment-agnostic.
+#: Layers that must stay environment-agnostic.  ``parallel`` is pure
+#: stdlib multiprocessing: it ships pickled tasks to workers and must
+#: never bind to a kernel (workers import whatever the task needs).
 GUARDED = ["core", "storage", "net", "obs", "runtime", "serve", "metrics",
-           "vfs"]
+           "vfs", "parallel"]
 
 #: Exact sim modules that are kernel-free and therefore allowed.
 ALLOWED_SIM = {"repro.sim.rng"}
