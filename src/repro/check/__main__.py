@@ -205,7 +205,9 @@ def _add_schedule_args(parser):
     parser.add_argument(
         "--nemesis-mix", choices=sorted(NEMESIS_MIXES), default="mixed",
         help="fault family: classic (crash/corrupt/hang/partition), "
-             "gray (slow disk/lossy link/clock skew/stampede), or mixed")
+             "gray (slow disk/lossy link/clock skew/stampede), mixed, "
+             "election (consensus tier), or migrate (online slot "
+             "handoffs under live traffic, mixed with crash/gray)")
 
 
 def main(argv=None):

@@ -344,8 +344,12 @@ def promotion_risk_windows(cluster, nemesis_log):
         ]
         if not candidates:
             continue
-        windows.append((record["index"],
-                        max(candidates) - SHIP_MARGIN_US, promoted_at))
+        lo = max(candidates) - SHIP_MARGIN_US
+        # One window per hash slot hosted by the promoted node.  The
+        # record carries the hosted set under elastic slot maps; absent
+        # (static layout, legacy records) the identity slot stands in.
+        for slot in record.get("slots", (record["index"],)):
+            windows.append((slot, lo, promoted_at))
     return windows
 
 

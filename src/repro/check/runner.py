@@ -109,6 +109,8 @@ def run_schedule(schedule):
         op_deadline_us=cfg["op_deadline_us"],
         retry_jitter=cfg.get("retry_jitter", 0.0),
         ship_retry_us=cfg.get("ship_retry_us", 0.0),
+        num_slots=cfg.get("num_slots", 0),
+        broken_handoff=cfg.get("broken_handoff", False),
         seed=schedule["seed"],
     )
     cluster = FalconCluster(config)
@@ -336,6 +338,12 @@ def run_schedule(schedule):
         "failovers_deferred": sum(
             1 for r in cluster.coordinator.failover_log
             if r.get("deferred")),
+        "migrations": {
+            status: sum(1 for r in cluster.coordinator.migration_log
+                        if r["status"] == status)
+            for status in ("committed", "aborted")
+        },
+        "slot_map_epoch": cluster.shared.slot_map.epoch,
         "restarts": {
             role: sum(1 for r in cluster.restart_log if r["role"] == role)
             for role in ("primary", "standby")

@@ -70,12 +70,29 @@ ELECTION_NEMESIS_MIX = (
     ("crash", 25),
 )
 
+#: Elastic-namespace nemeses: online slot migrations under live
+#: traffic, mixed with dead and gray faults (``corrupt_wal`` stays out:
+#: its taint accounting is keyed by physical node, not hash slot).
+#: Runs with this mix hash over more slots than nodes (see
+#: :func:`generate_schedule`) so every node hosts several and a handoff
+#: moves real load.  NO excusal attaches to a migration: every acked op
+#: must survive every handoff, bit-exactly.
+MIGRATE_NEMESIS_MIX = (
+    ("migrate_slot", 35),
+    ("crash", 20),
+    ("partition", 15),
+    ("hang", 10),
+    ("slow_disk", 10),
+    ("degrade_link", 10),
+)
+
 #: Selectable nemesis families (the ``--nemesis-mix`` CLI knob).
 NEMESIS_MIXES = {
     "classic": NEMESIS_MIX,
     "gray": GRAY_NEMESIS_MIX,
     "mixed": NEMESIS_MIX + GRAY_NEMESIS_MIX,
     "election": ELECTION_NEMESIS_MIX,
+    "migrate": MIGRATE_NEMESIS_MIX,
 }
 
 CHMOD_MODES = (0o600, 0o640, 0o644, 0o660, 0o664)
@@ -94,6 +111,10 @@ def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
     """
     rng = random.Random(seed)
     mix = NEMESIS_MIXES[nemesis_mix]
+    # The migrate family hashes over more slots than nodes so every
+    # node hosts several and a handoff moves a real share of the
+    # namespace; other families keep the static identity layout.
+    num_slots = 3 * num_mnodes if nemesis_mix == "migrate" else 0
     num_dirs = 3
     dirs = ["/d{}".format(i) for i in range(num_dirs)]
     subdirs = [
@@ -266,6 +287,23 @@ def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
                 "direction": rng.choice(("inbound", "outbound")),
             })
             busy_until = start + duration + 6000.0
+        elif kind == "migrate_slot":
+            # Slot and destination are pinned NOW, from the schedule
+            # RNG — nothing is drawn at run time, so the shrinker can
+            # drop any subset and replay the survivors bit-identically.
+            # The destination may equal the current owner (ownership at
+            # fire time is unknowable at generation); the injector
+            # logs a no-op and moves on.
+            nemeses.append({
+                "group": group, "kind": "migrate_slot",
+                "at_us": round(start, 3),
+                "slot": rng.randrange(num_slots),
+                "dest": rng.randrange(num_mnodes),
+            })
+            # Generous settling margin: snapshot/install/fence/activate
+            # round trips plus bounded retries before the next fault
+            # window opens.
+            busy_until = start + 9000.0
         else:  # stampede
             nemeses.append({
                 "group": group, "kind": "stampede",
@@ -295,6 +333,9 @@ def generate_schedule(seed, num_ops=80, num_clients=3, num_mnodes=3,
             "nemesis_mix": nemesis_mix,
             "budget_us": budget_us,
             "quiesce_budget_us": quiesce_budget_us,
+            # Elastic slot count (0 = one slot per MNode, the static
+            # identity layout every other family keeps).
+            "num_slots": num_slots,
         },
         "preload_dirs": dirs,
         "ops": ops,

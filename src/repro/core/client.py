@@ -54,7 +54,14 @@ class FalconClient(Node):
         self.shared = shared
         self.mode = mode
         self.xt = ExceptionTable()
-        self.index = HybridIndex(shared.config.num_mnodes, self.xt)
+        self.index = HybridIndex(shared.num_slots, self.xt)
+        #: Private, possibly stale copy of the cluster slot map.  Never
+        #: read from ``shared`` after construction: a request routed by
+        #: a stale epoch bounces with ``EMOVED`` carrying the
+        #: reassignment, and :meth:`_on_moved_hint` patches this copy —
+        #: the elastic-namespace analogue of lazy exception-table
+        #: refresh.
+        self.slot_map = shared.slot_map.copy()
         self.rng = shared.streams.stream("client." + name)
         #: Dedicated stream for backoff jitter, consulted by the shared
         #: retry helper only when ``config.retry_jitter`` is nonzero —
@@ -166,7 +173,7 @@ class FalconClient(Node):
                 target_name = hint
             else:
                 target, _ = self.index.client_target(name, self.rng)
-                target_name = self.shared.mnode_name(target)
+                target_name = self._resolve_slot(target)
             return self._request(target_name, "readdir", {"path": path},
                                  ctx=ctx)
 
@@ -385,14 +392,28 @@ class FalconClient(Node):
                 target_name = hint
             elif op == "lookup" and "pid" in payload:
                 target = self.index.locate(payload["pid"], name)
-                target_name = self.shared.mnode_name(target)
+                target_name = self._resolve_slot(target)
             else:
                 target, _ = self.index.client_target(name, self.rng)
-                target_name = self.shared.mnode_name(target)
+                target_name = self._resolve_slot(target)
             payload["xt_version"] = self.xt.version
             return self._request(target_name, op, payload, ctx)
 
         return retry(self, ctx, attempt, retryable=self._retryable())
+
+    def _resolve_slot(self, slot):
+        """Name of the node hosting ``slot`` per the client's *private*
+        slot map.  A stale answer is safe: the old host forwards or
+        bounces ``EMOVED``, which patches the map for the retry."""
+        return self.shared.node_name(self.slot_map.node_of(slot))
+
+    def _on_moved_hint(self, detail):
+        """Absorb an ``EMOVED`` bounce (called by the shared retry
+        helper): adopt the advertised reassignment if its epoch is ahead
+        of the private map's."""
+        if self.slot_map.patch(detail["slot"], detail["node"],
+                               detail["epoch"]):
+            self.metrics.counter("slot_map_patches").inc()
 
     def _retryable(self):
         """Failure codes the retry loop recovers from.  Timeouts are

@@ -133,6 +133,33 @@ class FalconCluster:
     def shrink_exception_table(self):
         return self.run_process(self.coordinator.shrink())
 
+    def add_mnode(self):
+        """Scale out: attach a fresh MNode to the ring (elastic
+        namespace).  The new node hosts **no** directory slots until the
+        coordinator migrates some onto it (``migrate_slot`` /
+        ``rebalance_slots``), so joining is invisible to clients — the
+        slot map is untouched and no placement changes until a handoff
+        commits.  Returns the new node's physical index.
+        """
+        if self.config.consensus:
+            raise RuntimeError(
+                "scale-out under consensus groups is not supported")
+        index = len(self.mnodes)
+        self.shared.mnode_names.append("mnode-{}".format(index))
+        node = MNode(self.env, self.network, self.shared, index)
+        self.mnodes.append(node)
+        self.config.num_mnodes = len(self.mnodes)
+        if self.config.replication:
+            from repro.storage.replication import Standby
+
+            standby = Standby(self.env, self.network,
+                              node.name + "-standby")
+            node.attach_standby(standby.name)
+            self.standbys.append(standby)
+        elif self.standbys:
+            self.standbys.append(None)
+        return index
+
     def inode_distribution(self):
         """Per-MNode inode counts (files + directories)."""
         return [len(mnode.inodes) for mnode in self.mnodes]
@@ -202,6 +229,11 @@ class FalconCluster:
             node.inodes = tables["inode"]
         if "dentry" in tables:
             node.dentries = tables["dentry"]
+        if "meta" in tables:
+            node.meta = tables["meta"]
+        # Durable handoff markers override the slot-map seed: a fenced
+        # or pending slot stays that way across the promotion.
+        node._restore_slot_state()
         self._rebuild_owned_state(node)
         # Base-backup the installed tables into the promoted node's WAL
         # so the new primary is itself restartable: a later crash
@@ -211,6 +243,8 @@ class FalconCluster:
              for key, record in node.inodes.scan()]
             + [[("dentry", key, record.copy())]
                for key, record in node.dentries.scan()]
+            + [[("meta", key, value.copy())]
+               for key, value in node.meta.scan()]
         )
         self.mnodes[index] = node
         # The dead original can never be resumed in place now that the
@@ -353,12 +387,17 @@ class FalconCluster:
             node.inodes = tables["inode"]
         if "dentry" in tables:
             node.dentries = tables["dentry"]
+        if "meta" in tables:
+            node.meta = tables["meta"]
+        node._restore_slot_state()
         self._rebuild_owned_state(node)
         node.wal.bootstrap(
             [[("inode", key, record.copy())]
              for key, record in node.inodes.scan()]
             + [[("dentry", key, record.copy())]
                for key, record in node.dentries.scan()]
+            + [[("meta", key, value.copy())]
+               for key, value in node.meta.scan()]
         )
         self.mnodes[slot] = node
         # The deposed leader: crashed, or an alive zombie on the
@@ -462,7 +501,8 @@ class FalconCluster:
         shipping with the surviving standby."""
         self.network.reincarnate(old.name)
         node = MNode(self.env, self.network, self.shared, index)
-        tables = {"inode": node.inodes, "dentry": node.dentries}
+        tables = {"inode": node.inodes, "dentry": node.dentries,
+                  "meta": node.meta}
         for _, payload in payloads:
             if not payload:
                 continue
@@ -473,6 +513,9 @@ class FalconCluster:
                 else:
                     table.put(key, value.copy())
         node.wal.bootstrap([payload for _, payload in payloads])
+        # Replayed handoff markers (fenced-away / mid-install slots)
+        # override the slot-map seed before ownership is rebuilt.
+        node._restore_slot_state()
         self._rebuild_owned_state(node)
         self.mnodes[index] = node
         self.retired_mnodes.append(old)
@@ -554,7 +597,7 @@ class FalconCluster:
         — the failure detector keeps re-declaring the slot until either
         the crashed machine restarts in place or a standby reappears.
         Promoting nothing would otherwise crash the control plane."""
-        failed_name = self.shared.mnode_name(index)
+        failed_name = self.shared.node_name(index)
         if self.network.is_down(failed_name) and (
                 index >= len(self.standbys)
                 or self.standbys[index] is None):
@@ -694,12 +737,13 @@ class FalconCluster:
         Returns a ``path -> ino`` map.
         """
         index = self.coordinator.index
+        slot_map = self.shared.slot_map
         path_ino = {"/": ROOT_INO}
         for dpath in tree.dirs:
             pid = path_ino[parent_path(dpath)]
             name = basename(dpath)
             ino = self.shared.allocator.allocate()
-            owner = self.mnodes[index.locate(pid, name)]
+            owner = self.mnodes[slot_map.node_of(index.locate(pid, name))]
             key = (pid, name)
             owner.inodes.put(key, InodeRecord(ino=ino, is_dir=True,
                                               mode=0o755))
@@ -720,7 +764,7 @@ class FalconCluster:
             pid = path_ino[parent_path(fpath)]
             name = basename(fpath)
             ino = self.shared.allocator.allocate()
-            owner = self.mnodes[index.locate(pid, name)]
+            owner = self.mnodes[slot_map.node_of(index.locate(pid, name))]
             key = (pid, name)
             owner.inodes.put(key, InodeRecord(ino=ino, is_dir=False,
                                               size=size))

@@ -40,7 +40,7 @@ class Coordinator(NamespaceReplicaMixin, Node):
         self.shared = shared
         self.init_replica()
         self.xt = ExceptionTable()
-        self.index = HybridIndex(shared.config.num_mnodes, self.xt)
+        self.index = HybridIndex(shared.num_slots, self.xt)
         self._txids = count(1)
         #: Serializes rename 2PC rounds (prevents cross-rename deadlock).
         self._rename_mutex = env.resource(capacity=1)
@@ -53,6 +53,17 @@ class Coordinator(NamespaceReplicaMixin, Node):
         self.rebalance_log = []
         #: One record per completed failover (timeline + lost window).
         self.failover_log = []
+        #: Active slot handoffs: slot -> in-progress migration record.
+        #: Failover is deferred for any node acting as a handoff source
+        #: or destination — promoting mid-handoff would resurrect a
+        #: fenced slot from the standby's pre-fence state.
+        self.migrations = {}
+        #: One record per finished (committed or aborted) slot handoff.
+        self.migration_log = []
+        #: Serializes slot handoffs: one saga owns the epoch at a time,
+        #: so the fence-advertised epoch is exactly the one the final
+        #: ``assign`` installs.
+        self._migration_mutex = env.resource(capacity=1)
         #: Consensus-mode membership registry: slot -> {"term", "leader"}.
         #: Under consensus the coordinator no longer *ordains* promotion;
         #: it only validates term monotonicity on leader claims and
@@ -437,7 +448,30 @@ class Coordinator(NamespaceReplicaMixin, Node):
         than its standby, so replacing it would manufacture data loss.
         """
         detected_at = self.env.now
-        failed_name = self.shared.mnode_name(index)
+        failed_name = self.shared.node_name(index)
+        involved = (self.migrations_involving(index)
+                    if self.network.is_down(failed_name) else [])
+        if involved:
+            # The node is mid-handoff (source or destination of an
+            # active slot migration).  Promotion now would install the
+            # standby's pre-fence image and resurrect (or erase) the
+            # migrating slot, so recovery is deferred: the detector
+            # keeps re-declaring the node until the saga finishes
+            # (committed, aborted, or completed by re-delivery once the
+            # node restarts), and only then does failover proceed.
+            record = {
+                "index": index,
+                "failed": failed_name,
+                "promoted": None,
+                "deferred": True,
+                "migrating_slot": involved[0],
+                "detected_at": detected_at,
+                "lost_txns": 0,
+                "orphans_removed": 0,
+            }
+            self.failover_log.append(record)
+            self.metrics.counter("failovers_deferred_migration").inc()
+            return record
         if not self.network.is_down(failed_name):
             # Redo won the race: the restarted node already owns the
             # slot with its durable state intact.
@@ -457,6 +491,11 @@ class Coordinator(NamespaceReplicaMixin, Node):
             return record
         new_node, lost_txns = promote(index)
         promoted_at = self.env.now
+        # Hash slots hosted at promotion time: the oracle's loss windows
+        # must cover every slot the promoted standby now serves, not
+        # just the identity slot.  Stable between crash and promotion —
+        # migrations involving a down node are deferred above.
+        hosted = sorted(self.shared.slot_map.slots_of(index))
         orphans_removed = yield from self._repair_slot(index, new_node.name)
         record = {
             "index": index,
@@ -467,31 +506,269 @@ class Coordinator(NamespaceReplicaMixin, Node):
             "recovered_at": self.env.now,
             "lost_txns": lost_txns,
             "orphans_removed": orphans_removed,
+            "slots": hosted,
         }
         self.failover_log.append(record)
         self.metrics.counter("failovers").inc()
         return record
 
     def _repair_slot(self, index, new_name):
-        """Generator: repair the cluster around slot ``index``'s new
-        primary — survivors drop their replica dentries for the shard,
-        the coordinator drops its own, and an fsck sweep collects
-        orphans from any lost window.  Returns orphans removed."""
+        """Generator: repair the cluster around node ``index``'s new
+        primary — survivors drop their replica dentries for every
+        directory slot the node hosts, the coordinator drops its own,
+        and an fsck sweep collects orphans from any lost window.
+        Returns orphans removed."""
+        slots = set(self.shared.slot_map.slots_of(index))
         survivors = [
             name for name in self.shared.mnode_names if name != new_name
         ]
-        if survivors:
+        if survivors and slots:
             yield self.env.all_of([
-                self.call(peer, "invalidate_owner", {"owner": index})
+                self.call(peer, "invalidate_owner",
+                          {"slots": sorted(slots)})
                 for peer in survivors
             ])
         own_stale = [
             key for key, record in self.dentries.scan()
-            if self.index.locate(key[0], key[1]) == index
+            if self.index.locate(key[0], key[1]) in slots
         ]
         yield from self.apply_invalidation(own_stale)
         orphans_removed = yield from self.fsck()
         return orphans_removed
+
+    # ------------------------------------------------------------------
+    # elastic namespace: online slot handoff
+    # ------------------------------------------------------------------
+
+    def migrations_involving(self, node_index):
+        """Slots whose active handoff has ``node_index`` as source or
+        destination (failover against either is deferred)."""
+        return sorted(
+            slot for slot, rec in self.migrations.items()
+            if node_index in (rec["src"], rec["dst"])
+        )
+
+    def _slot_call(self, node_index, kind, payload, attempts=1):
+        """Generator: one migration-step RPC to physical node
+        ``node_index``, bounded by the per-attempt RPC timeout when the
+        cluster configures one.  Retries up to ``attempts`` times with
+        backoff, re-resolving the node's current name each try, then
+        re-raises — the caller aborts the saga."""
+        timeout_us = self.shared.config.rpc_timeout_us or None
+        backoff = 1000.0
+        for attempt in range(attempts):
+            target = self.shared.node_name(node_index)
+            try:
+                if timeout_us is None:
+                    reply = yield self.call(target, kind, payload)
+                else:
+                    reply = yield from deadline_call(
+                        self, NULL_CONTEXT, target, kind, payload,
+                        timeout_us=timeout_us,
+                    )
+                return reply
+            except RpcFailure:
+                if attempt == attempts - 1:
+                    raise
+                yield self.env.timeout(backoff)
+                backoff = min(backoff * 2, 8000.0)
+
+    def _slot_deliver(self, node_index, kind, payload):
+        """Generator: re-deliver a *decided* migration step until the
+        node acknowledges it.
+
+        Used past the saga's point of no return (activate, purge):
+        these steps are idempotent on the receiver and must eventually
+        apply — aborting instead would erase writes the destination may
+        already have acknowledged to clients.  Re-resolves the node's
+        name per attempt so delivery follows a crash-restart."""
+        timeout_us = self.shared.config.rpc_timeout_us or None
+        backoff = 1000.0
+        while True:
+            target = self.shared.node_name(node_index)
+            try:
+                if timeout_us is None:
+                    reply = yield self.call(target, kind, payload)
+                else:
+                    reply = yield from deadline_call(
+                        self, NULL_CONTEXT, target, kind, payload,
+                        timeout_us=timeout_us,
+                    )
+                return reply
+            except RpcFailure:
+                yield self.env.timeout(backoff)
+                backoff = min(backoff * 2, 8000.0)
+
+    def _slot_abort(self, slot, src, dst, record, discard_dst,
+                    burn_epoch=False):
+        """Generator: roll a failed handoff back to the source.
+
+        The destination discards its partial copy (idempotent if the
+        install never landed) and the source reclaims hosting
+        (idempotent if the fence never landed).  Both are re-delivered
+        until acknowledged: an un-rolled-back fence would leave the
+        slot unhosted everywhere.  When the fence may have exposed the
+        advertised epoch to clients, ``burn_epoch`` re-assigns the slot
+        to its source, superseding any ``EMOVED`` hint a client adopted
+        before the abort."""
+        record["status"] = "aborted"
+        record["aborted_phase"] = record["phase"]
+        if discard_dst:
+            yield from self._slot_deliver(dst, "slot_discard",
+                                          {"slot": slot})
+        yield from self._slot_deliver(src, "slot_reclaim", {"slot": slot})
+        if burn_epoch:
+            # Two bumps, not one: the first lands exactly on the epoch
+            # the fence advertised, and patches only apply on a
+            # *strictly newer* per-slot version — a client that adopted
+            # the advertised hint must still accept this correction.
+            self.shared.slot_map.assign(slot, src)
+            record["epoch"] = self.shared.slot_map.assign(slot, src)
+        self.metrics.counter("slot_migrations_aborted").inc()
+
+    def migrate_slot(self, slot, dest, reason="manual"):
+        """Generator: move directory slot ``slot`` to physical node
+        ``dest`` under live traffic.  Handoffs are serialized; returns
+        the migration record (``status`` "committed" or "aborted"), or
+        None for a no-op request."""
+        mutex = self._migration_mutex.request()
+        yield mutex
+        try:
+            record = yield from self._migrate_slot_body(slot, dest,
+                                                        reason)
+        finally:
+            self._migration_mutex.release(mutex)
+        return record
+
+    def _migrate_slot_body(self, slot, dest, reason):
+        """Generator: the handoff saga.
+
+        1. **snapshot** — the source copies the slot's inode records
+           and starts capturing subsequent committed writes (a delta).
+        2. **install** — the destination durably applies the snapshot
+           and marks the slot *pending* (bounces requests ``ERETRY``).
+        3. **fence** — the source atomically stops hosting the slot,
+           drains in-flight writers, durably marks it *moved* and
+           returns the captured delta; from here it bounces requests
+           with ``EMOVED`` naming the destination and the epoch the
+           move will install.
+        4. **activate** — the destination applies the delta and marks
+           the slot *active* in one transaction, then serves it.  This
+           is the point of no return: activation is re-delivered until
+           acknowledged (never aborted — the destination may already
+           have acked client writes).
+        5. The authoritative slot map adopts the assignment (epoch
+           bump = exactly the fence-advertised epoch, since sagas are
+           serialized), and the source purges its dead copy.
+
+        A failure in steps 1-3 aborts: destination discards, source
+        reclaims, and — after a fence may have leaked the advertised
+        epoch — the epoch is burned by re-assigning the slot to its
+        source."""
+        src = self.shared.slot_map.node_of(slot)
+        if (dest == src or not 0 <= dest < len(self.shared.mnode_names)
+                or not 0 <= slot < self.shared.num_slots):
+            return None
+        record = {
+            "slot": slot, "src": src, "dst": dest, "reason": reason,
+            "started_at": self.env.now, "status": "running",
+            "phase": "snapshot",
+        }
+        self.migrations[slot] = record
+        try:
+            try:
+                reply = yield from self._slot_call(
+                    src, "slot_snapshot", {"slot": slot}, attempts=4)
+            except RpcFailure:
+                yield from self._slot_abort(slot, src, dest, record,
+                                            discard_dst=False)
+                return record
+            record["phase"] = "install"
+            try:
+                yield from self._slot_call(
+                    dest, "slot_install",
+                    {"slot": slot, "entries": reply["entries"],
+                     "markers": reply.get("markers", [])},
+                    attempts=4)
+            except RpcFailure:
+                yield from self._slot_abort(slot, src, dest, record,
+                                            discard_dst=True)
+                return record
+            record["phase"] = "fence"
+            advertised = self.shared.slot_map.epoch + 1
+            try:
+                # Single attempt by design: a retried fence would
+                # return an *empty* delta (the capture is consumed by
+                # the first fence) and silently drop the real one.
+                reply = yield from self._slot_call(
+                    src, "slot_fence",
+                    {"slot": slot, "node": dest, "epoch": advertised})
+            except RpcFailure:
+                yield from self._slot_abort(slot, src, dest, record,
+                                            discard_dst=True,
+                                            burn_epoch=True)
+                return record
+            record["fenced_at"] = self.env.now
+            record["delta_txns"] = len(reply["delta"])
+            record["phase"] = "activate"
+            yield from self._slot_deliver(
+                dest, "slot_activate",
+                {"slot": slot, "delta": reply["delta"]})
+            record["activated_at"] = self.env.now
+            record["epoch"] = self.shared.slot_map.assign(slot, dest)
+            record["status"] = "committed"
+            record["phase"] = "purge"
+            yield from self._slot_deliver(src, "slot_purge",
+                                          {"slot": slot})
+            record["phase"] = "done"
+            self.metrics.counter("slot_migrations").inc()
+            return record
+        finally:
+            self.migrations.pop(slot, None)
+            record["finished_at"] = self.env.now
+            self.migration_log.append(record)
+
+    def rebalance_slots(self, max_moves=8, reason="rebalance"):
+        """Generator: migrate whole directory slots off the most loaded
+        nodes onto the least loaded until every node is within the
+        (1/n + epsilon) bound, the move budget runs out, or no single
+        slot strictly improves the maximum.  This is the elastic
+        counterpart of :meth:`rebalance`: that one re-hashes individual
+        hot *filenames* through the exception table; this one moves
+        *slots* between nodes (e.g. onto freshly added ones) without
+        touching placement hashing at all.  Returns the committed
+        migration records."""
+        moves = []
+        for _ in range(max_moves):
+            stats = yield from self._gather_stats()
+            counts = [s["inode_count"] for s in stats]
+            total = sum(counts)
+            if total == 0:
+                break
+            imax = max(range(len(counts)), key=counts.__getitem__)
+            imin = min(range(len(counts)), key=counts.__getitem__)
+            if counts[imax] <= self._bound(total):
+                break
+            gap = counts[imax] - counts[imin]
+            slot_counts = stats[imax].get("slot_counts", {})
+            hosted = stats[imax].get("hosted_slots", [])
+            chosen = None
+            for cnt, slot in sorted(
+                    ((slot_counts.get(slot, 0), slot)
+                     for slot in hosted), reverse=True):
+                if 0 < cnt < gap:
+                    # Largest slot that still strictly improves the
+                    # maximum: dest ends below the source's old count.
+                    chosen = slot
+                    break
+            if chosen is None:
+                break
+            record = yield from self.migrate_slot(chosen, imin,
+                                                  reason=reason)
+            if record is None or record.get("status") != "committed":
+                break
+            moves.append(record)
+        return moves
 
     # ------------------------------------------------------------------
     # consensus membership registry (the demoted coordinator role)

@@ -95,7 +95,14 @@ class ExceptionTable:
 
 
 class HybridIndex:
-    """Placement logic shared by clients, MNodes and the coordinator."""
+    """Placement logic shared by clients, MNodes and the coordinator.
+
+    ``num_nodes`` is the number of directory *slots* hashed over.  In
+    the static layout there is one slot per MNode and the slot index is
+    the node index; under the elastic namespace the cluster slot map
+    (:class:`repro.core.shared.SlotMap`) resolves slot -> current host,
+    so everything this index returns is a slot.
+    """
 
     def __init__(self, num_nodes, table=None):
         if num_nodes < 1:

@@ -59,7 +59,7 @@ class _Plan:
     """A validated, resolved request ready for batch execution."""
 
     __slots__ = ("message", "op", "payload", "pid", "name", "chain",
-                 "lock_specs", "cpu_us")
+                 "lock_specs", "cpu_us", "slot")
 
     def __init__(self, message, pid, name, chain):
         self.message = message
@@ -70,6 +70,7 @@ class _Plan:
         self.chain = chain
         self.lock_specs = {}
         self.cpu_us = 0.0
+        self.slot = None
 
     @property
     def inode_key(self):
@@ -81,16 +82,45 @@ class MNode(NamespaceReplicaMixin, Node):
 
     def __init__(self, env, network, shared, index):
         super().__init__(
-            env, network, shared.mnode_name(index),
+            env, network, shared.node_name(index),
             cores=shared.config.server_cores,
         )
         self.shared = shared
         self.my_index = index
         self.init_replica()
         self.inodes = Table("inode")
+        #: Durable node-local control records.  ``("slot", i)`` rows
+        #: persist handoff state ("moved"/"pending"/"active") so a
+        #: crash-restart mid-migration reconstructs the fence instead of
+        #: resurrecting a handed-off slot from the stale map seed.
+        self.meta = Table("meta")
         self.wal = WriteAheadLog(env, self.costs, self.metrics)
         self.xt = ExceptionTable()
-        self.index = HybridIndex(shared.config.num_mnodes, self.xt)
+        self.index = HybridIndex(shared.num_slots, self.xt)
+        #: Directory slots this node currently hosts (serves
+        #: authoritatively).  Seeded from the cluster slot map so a
+        #: promoted or restarted incarnation starts with the slots its
+        #: predecessor ended with.
+        self.hosted_slots = set(shared.slot_map.slots_of(index))
+        #: slot -> {"node", "epoch"}: slots handed off (or mid-handoff)
+        #: to another node; requests bounce with EMOVED carrying the
+        #: destination so clients patch their private slot maps.
+        self.moved_slots = {}
+        #: Slots whose snapshot is installed but whose fenced delta has
+        #: not been applied yet — requests bounce ERETRY until
+        #: activation (the handoff-safety invariant the planted
+        #: ``broken_handoff`` bug violates).
+        self.pending_slots = set()
+        #: slot -> captured logical records: while a slot is being
+        #: migrated away, every commit touching it is also appended
+        #: here; the fence returns (and stops) this capture atomically.
+        self._slot_capture = {}
+        #: slot -> number of in-flight local writers (planned batch ops
+        #: and staged control-plane mutations); the fence drains this
+        #: to zero, with capture still running, before collecting.
+        self._slot_writers = defaultdict(int)
+        #: slot -> live local inode-record count (planner statistics).
+        self.slot_inode_counts = defaultdict(int)
         #: filename -> number of local inodes with that name (load stats).
         self.filename_counts = defaultdict(int)
         #: filename -> set of parent ids (secondary index for migration).
@@ -150,7 +180,71 @@ class MNode(NamespaceReplicaMixin, Node):
         yield from handler(message)
 
     def _owns_dentry(self, key):
-        return self.index.locate(key[0], key[1]) == self.my_index
+        slot = self.index.locate(key[0], key[1])
+        return slot in self.hosted_slots and slot not in self.moved_slots
+
+    def _slot_of(self, key):
+        """Directory slot owning inode key ``(pid, name)``."""
+        return self.index.locate(key[0], key[1])
+
+    def _slot_failure(self, slot, name):
+        """The bounce for a request addressed to a slot this node does
+        not serve: EMOVED with the destination hint when the slot was
+        handed off, ERETRY while its delta is still in flight here."""
+        moved = self.moved_slots.get(slot)
+        if moved is not None:
+            return RpcFailure(RpcError.EMOVED, {
+                "slot": slot, "node": moved["node"],
+                "epoch": moved["epoch"],
+            })
+        if slot in self.pending_slots:
+            return RpcFailure(RpcError.ERETRY, name)
+        return None
+
+    def _restore_slot_state(self):
+        """Reconcile slot hosting with the durable handoff markers after
+        state surgery (redo restart or promotion): a fenced slot stays
+        fenced across a crash, an adopted slot stays adopted, and an
+        installed-but-never-activated slot stays pending — the slot-map
+        seed in the constructor knows none of this."""
+        for key, state in list(self.meta.scan()):
+            if key[0] != "slot":
+                continue
+            slot = key[1]
+            if state["state"] == "moved":
+                self.hosted_slots.discard(slot)
+                self.moved_slots[slot] = {"node": state["node"],
+                                          "epoch": state["epoch"]}
+            elif state["state"] == "pending":
+                self.hosted_slots.discard(slot)
+                self.pending_slots.add(slot)
+            elif state["state"] == "active":
+                self.hosted_slots.add(slot)
+                self.moved_slots.pop(slot, None)
+                self.pending_slots.discard(slot)
+
+    def _check_hosted(self, key):
+        """Raise the slot bounce unless this node currently serves
+        ``key``'s slot; returns the slot (for writer registration).
+        Callers must not yield between this check and registering in
+        ``_slot_writers`` — the fence relies on that atomicity."""
+        slot = self._slot_of(key)
+        if slot not in self.hosted_slots:
+            failure = self._slot_failure(slot, key)
+            if failure is None:
+                # No handoff marker of our own: the request was simply
+                # misdirected (e.g. a client that absorbed the fence
+                # hint of a handoff that later aborted).  Answer with
+                # the cluster directory's current word on the slot so
+                # the sender can never wedge on a dead-end target.
+                owner = self.shared.slot_map.node_of(slot)
+                if owner != self.my_index:
+                    failure = RpcFailure(RpcError.EMOVED, {
+                        "slot": slot, "node": owner,
+                        "epoch": self.shared.slot_map.version_of(slot),
+                    })
+            raise failure or RpcFailure(RpcError.ERETRY, key)
+        return slot
 
     def attach_standby(self, standby_name, start_lsn=1, anchor=None,
                        base=None):
@@ -233,6 +327,32 @@ class MNode(NamespaceReplicaMixin, Node):
         # snapshot its catch-up installs.
         if self.shipper is not None:
             self.shipper.ship(txn)
+        if self._slot_capture:
+            # Slot handoff in progress: tee every committed write that
+            # belongs to a captured slot into its migration delta.  This
+            # hook sees *every* durable commit path (batches, renames,
+            # fsck, coordinator-executed ops), so nothing that commits
+            # here before the fence collects can be missing at the
+            # destination.
+            for table, key, value in txn.export_writes():
+                if table == "meta":
+                    # Rename-applied markers are slot-scoped durable
+                    # state and must travel with the handoff: a stale
+                    # commit re-delivery after the flip resolves to the
+                    # *destination*, which can only no-op it if the
+                    # marker moved too.  Handoff markers ("slot", ...)
+                    # describe this node and never move.
+                    if key[0] != "rename":
+                        continue
+                    buf = self._slot_capture.get(key[1])
+                    if buf is not None:
+                        buf.append((table, key, value))
+                    continue
+                if table not in ("inode", "dentry"):
+                    continue
+                buf = self._slot_capture.get(self._slot_of(key))
+                if buf is not None:
+                    buf.append((table, key, value))
 
     # ------------------------------------------------------------------
     # batch execution (concurrent request merging, §4.4)
@@ -330,10 +450,15 @@ class MNode(NamespaceReplicaMixin, Node):
 
         # -- revalidate: a concurrent invalidation between resolution and
         # locking forces a client retry (rare; namespace changes only).
+        # Surviving plans register as slot writers in the same no-yield
+        # block, so a slot fence firing after this instant waits for
+        # them (and one firing before it already failed them above).
         live = []
         for plan in plans:
             if self._plan_still_valid(plan):
                 live.append(plan)
+                if plan.slot is not None:
+                    self._slot_writers[plan.slot] += 1
             else:
                 self._respond_error(
                     plan.message, RpcFailure(RpcError.ERETRY, plan.name)
@@ -344,40 +469,47 @@ class MNode(NamespaceReplicaMixin, Node):
             return
 
         # -- aggregate CPU charge: coalesced locks + per-op work + one txn.
-        costs = self.costs
-        cpu = len(grants) * (costs.lock_acquire_us + costs.lock_release_us)
-        cpu += sum(plan.cpu_us for plan in live)
-        cpu += costs.txn_begin_us + costs.txn_commit_us
-        yield from self.execute(cpu, ctx=bctx)
+        try:
+            costs = self.costs
+            cpu = len(grants) * (costs.lock_acquire_us
+                                 + costs.lock_release_us)
+            cpu += sum(plan.cpu_us for plan in live)
+            cpu += costs.txn_begin_us + costs.txn_commit_us
+            yield from self.execute(cpu, ctx=bctx)
 
-        txn = self._txn(ctx=bctx)
-        outcomes = []
-        for plan in live:
-            try:
-                outcomes.append((plan, self._apply(plan, txn)))
-            except RpcFailure as failure:
-                outcomes.append((plan, failure))
-        quorum_ok = True
-        if txn.write_count:
-            yield from txn.commit()
-            # Quorum commit: the batch's entry must be durably appended
-            # by a majority before anyone is told it happened.  Grants
-            # stay held across the wait so no concurrent reader observes
-            # state that a successor leader might not have.
-            quorum_ok = yield from self._quorum_barrier()
-        for grant in grants:
-            self.locks.release(grant)
-        for plan, outcome in outcomes:
-            if isinstance(outcome, RpcFailure):
-                self._respond_error(plan.message, outcome)
-            elif not quorum_ok:
-                self._respond_error(
-                    plan.message,
-                    RpcFailure(RpcError.ENOTLEADER, self.name),
-                )
-            else:
-                self._ops_ctr.inc(plan.op)
-                self._respond_ok(plan.message, outcome)
+            txn = self._txn(ctx=bctx)
+            outcomes = []
+            for plan in live:
+                try:
+                    outcomes.append((plan, self._apply(plan, txn)))
+                except RpcFailure as failure:
+                    outcomes.append((plan, failure))
+            quorum_ok = True
+            if txn.write_count:
+                yield from txn.commit()
+                # Quorum commit: the batch's entry must be durably
+                # appended by a majority before anyone is told it
+                # happened.  Grants stay held across the wait so no
+                # concurrent reader observes state that a successor
+                # leader might not have.
+                quorum_ok = yield from self._quorum_barrier()
+            for grant in grants:
+                self.locks.release(grant)
+            for plan, outcome in outcomes:
+                if isinstance(outcome, RpcFailure):
+                    self._respond_error(plan.message, outcome)
+                elif not quorum_ok:
+                    self._respond_error(
+                        plan.message,
+                        RpcFailure(RpcError.ENOTLEADER, self.name),
+                    )
+                else:
+                    self._ops_ctr.inc(plan.op)
+                    self._respond_ok(plan.message, outcome)
+        finally:
+            for plan in live:
+                if plan.slot is not None:
+                    self._slot_writers[plan.slot] -= 1
 
     def _plan(self, message):
         """Generator: validate routing and resolve the parent directory.
@@ -421,10 +553,16 @@ class MNode(NamespaceReplicaMixin, Node):
             return None
         name = components[-1]
 
-        # -- routing validation against the local exception table.  A
-        # client with a stale table is corrected by forwarding (§4.2.1).
+        # -- routing validation against the local exception table and
+        # slot map.  A client with a stale table is corrected by
+        # forwarding (§4.2.1); one holding a stale slot map is bounced
+        # with EMOVED carrying the destination (elastic namespace).
         route_kind, target = self.index.route(name)
-        if route_kind != ROUTE_PATHWALK and target != self.my_index:
+        if route_kind != ROUTE_PATHWALK and target not in self.hosted_slots:
+            failure = self._slot_failure(target, name)
+            if failure is not None:
+                self._respond_error(message, failure)
+                return None
             # Misdirected (stale client table): decoding it here was not
             # amortizable, and the correct node pays dispatch again.
             yield from self.execute(self.costs.dispatch_us)
@@ -439,7 +577,11 @@ class MNode(NamespaceReplicaMixin, Node):
 
         if route_kind == ROUTE_PATHWALK:
             target = self.index.hash_parent_name(resolved.ino, name)
-            if target != self.my_index:
+            if target not in self.hosted_slots:
+                failure = self._slot_failure(target, name)
+                if failure is not None:
+                    self._respond_error(message, failure)
+                    return None
                 yield from self.execute(self.costs.dispatch_us)
                 self._forward(message, target)
                 return None
@@ -463,6 +605,7 @@ class MNode(NamespaceReplicaMixin, Node):
             return None
 
         plan = _Plan(message, resolved.ino, name, resolved.chain)
+        plan.slot = target
         for dkey, _, _ in resolved.chain:
             plan.lock_specs.setdefault(dkey, LockMode.SHARED)
         ikey = ("i", plan.pid, name)
@@ -480,13 +623,18 @@ class MNode(NamespaceReplicaMixin, Node):
         payload = message.payload
         pid, name = payload["pid"], payload["name"]
         target = self.index.locate(pid, name)
-        if target != self.my_index:
+        if target not in self.hosted_slots:
+            failure = self._slot_failure(target, name)
+            if failure is not None:
+                self._respond_error(message, failure)
+                return None
             self._forward(message, target)
             return None
         if name in self.migrating:
             self._respond_error(message, RpcFailure(RpcError.ERETRY, name))
             return None
         plan = _Plan(message, pid, name, [])
+        plan.slot = target
         plan.lock_specs[("i", pid, name)] = LockMode.SHARED
         plan.cpu_us = self.costs.index_lookup_us
         return plan
@@ -508,6 +656,10 @@ class MNode(NamespaceReplicaMixin, Node):
 
     def _plan_still_valid(self, plan):
         if plan.name in self.migrating:
+            return False
+        if plan.slot is not None and plan.slot not in self.hosted_slots:
+            # The slot was fenced (or handed off) between planning and
+            # lock grant; the retry re-plans and gets the EMOVED hint.
             return False
         for dkey, record, seq in plan.chain:
             if self.inval_seq[dkey] != seq or record.state == INVALID:
@@ -591,6 +743,10 @@ class MNode(NamespaceReplicaMixin, Node):
         self.filename_counts[name] += delta
         if self.filename_counts[name] <= 0:
             del self.filename_counts[name]
+        slot = self._slot_of(key)
+        self.slot_inode_counts[slot] += delta
+        if self.slot_inode_counts[slot] <= 0:
+            del self.slot_inode_counts[slot]
         if delta > 0:
             self._name_parents[name].add(pid)
         else:
@@ -765,6 +921,8 @@ class MNode(NamespaceReplicaMixin, Node):
                       for key, record in self.inodes.scan()],
             "dentry": [(key, record.copy())
                        for key, record in self.dentries.scan()],
+            "meta": [(key, value.copy())
+                     for key, value in self.meta.scan()],
         }
         # The LSN must be read at the same instant as the table copy:
         # transactions committing while the copy cost elapses below are
@@ -794,11 +952,17 @@ class MNode(NamespaceReplicaMixin, Node):
         shard may be stale relative to the standby's state (anything
         from the lost-unshipped window), so they are conservatively
         marked INVALID and lazily refetched from the promoted owner.
+        The payload names the failed node's *slots* (a node hosts
+        several under the elastic namespace).
         """
-        owner = message.payload["owner"]
+        payload = message.payload
+        if "slots" in payload:
+            slots = set(payload["slots"])
+        else:
+            slots = {payload["owner"]}
         keys = [
             key for key, record in self.dentries.scan()
-            if self.index.locate(key[0], key[1]) == owner
+            if self.index.locate(key[0], key[1]) in slots
             and record.state == VALID
         ]
         yield from self.apply_invalidation(keys)
@@ -825,22 +989,35 @@ class MNode(NamespaceReplicaMixin, Node):
         keys = [tuple(key) for key in message.payload["keys"]]
         txn = self._txn(ctx=message.ctx)
         removed = []
-        for key in keys:
-            record = self.inodes.get(key)
-            if record is None:
-                continue
-            txn.delete(self.inodes, key)
-            if record.is_dir:
-                txn.delete(self.dentries, key)
-                self.inval_seq[("d",) + key] += 1
-            removed.append(key)
-        yield from self.execute(
-            self.costs.index_delete_us * max(1, len(removed))
-        )
-        if txn.write_count:
-            yield from txn.commit()
-        else:
-            txn.abort()
+        writer_slots = set()
+        try:
+            for key in keys:
+                record = self.inodes.get(key)
+                if record is None:
+                    continue
+                slot = self._slot_of(key)
+                if slot in self.moved_slots or slot in self.pending_slots:
+                    # Mid-slot-handoff: the slot's records travel with
+                    # the handoff saga; its current host sweeps them.
+                    continue
+                if slot not in writer_slots:
+                    writer_slots.add(slot)
+                    self._slot_writers[slot] += 1
+                txn.delete(self.inodes, key)
+                if record.is_dir:
+                    txn.delete(self.dentries, key)
+                    self.inval_seq[("d",) + key] += 1
+                removed.append(key)
+            yield from self.execute(
+                self.costs.index_delete_us * max(1, len(removed))
+            )
+            if txn.write_count:
+                yield from txn.commit()
+            else:
+                txn.abort()
+        finally:
+            for slot in writer_slots:
+                self._slot_writers[slot] -= 1
         for key in removed:
             self._track_name(key, -1)
         self.metrics.counter("fsck_removed").inc(amount=len(removed))
@@ -907,7 +1084,13 @@ class MNode(NamespaceReplicaMixin, Node):
         igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE,
                                     ctx=ctx)
         yield igrant.event
+        slot = None
         try:
+            # Registered as a slot writer in the same no-yield block as
+            # the hosted check: a fence either sees this writer and
+            # drains it, or fenced first and the check bounces us.
+            slot = self._check_hosted(key)
+            self._slot_writers[slot] += 1
             yield from self.execute(self.costs.index_lookup_us, ctx=ctx)
             record = self.inodes.get(key)
             if record is None:
@@ -948,6 +1131,8 @@ class MNode(NamespaceReplicaMixin, Node):
         except RpcFailure as failure:
             self._respond_error(message, failure)
         finally:
+            if slot is not None:
+                self._slot_writers[slot] -= 1
             self.locks.release(igrant)
             self.locks.release(dgrant)
 
@@ -963,7 +1148,10 @@ class MNode(NamespaceReplicaMixin, Node):
         igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE,
                                     ctx=ctx)
         yield igrant.event
+        slot = None
         try:
+            slot = self._check_hosted(key)
+            self._slot_writers[slot] += 1
             record = self.inodes.get(key)
             if record is None:
                 raise RpcFailure(RpcError.ENOENT, payload["path"])
@@ -993,6 +1181,8 @@ class MNode(NamespaceReplicaMixin, Node):
         except RpcFailure as failure:
             self._respond_error(message, failure)
         finally:
+            if slot is not None:
+                self._slot_writers[slot] -= 1
             self.locks.release(igrant)
             self.locks.release(dgrant)
 
@@ -1019,13 +1209,28 @@ class MNode(NamespaceReplicaMixin, Node):
             self.locks.release(dgrant)
             self.respond(message, {"ok": False, "expired": True})
             return
+        slot = self._slot_of(key)
+        if slot not in self.hosted_slots:
+            # The slot migrated away while we were queued on the locks
+            # (or the coordinator resolved a stale map).  Refusing with
+            # the bounce makes the coordinator abort and the client
+            # re-resolve to the slot's new home.
+            self.locks.release(igrant)
+            self.locks.release(dgrant)
+            self._respond_error(message, self._slot_failure(slot, key)
+                                or RpcFailure(RpcError.ERETRY, key))
+            return
+        # Staged writers pin the slot until the decision applies or the
+        # transaction aborts: a fence waits for the 2PC to finish, so
+        # the decided actions land at the source and ride the capture.
+        self._slot_writers[slot] += 1
         yield from self.execute(self.costs.index_lookup_us, ctx=message.ctx)
         record = self.inodes.get(key)
         ok = record is not None if action == "delete" else record is None
         staged = self._staged.setdefault(txid, [])
         staged.append({
             "action": action, "key": key, "grants": [igrant, dgrant],
-            "record": payload.get("record"),
+            "record": payload.get("record"), "slot": slot,
         })
         # Persist the vote.
         yield self.wal.commit(self.costs.wal_record_bytes, ctx=message.ctx)
@@ -1040,10 +1245,23 @@ class MNode(NamespaceReplicaMixin, Node):
             response["record"] = inode_to_wire(record)
         self.respond(message, response)
 
-    def _apply_rename(self, staged, ctx):
+    def _apply_rename(self, staged, ctx, txid):
         """Generator: apply a decided rename's staged actions in one
-        transaction and release the staged locks."""
+        transaction and release the staged locks.
+
+        The same transaction durably marks each touched slot's half of
+        ``txid`` as applied: a commit whose *acknowledgement* is lost
+        (not the commit itself) spawns a coordinator completer that
+        re-delivers the decision — and by the time that re-delivery
+        lands, a later acked rename or unlink may have legitimately
+        vacated the keys, so the redo guards alone cannot tell "never
+        applied" from "applied, then superseded".  Only receiver-side
+        memory can; it rides the WAL (redo restart), log shipping
+        (promotion) and the slot handoff (capture tee + snapshot), so
+        every future incarnation of the slot remembers."""
         txn = self._txn(ctx=ctx)
+        for slot in sorted({entry["slot"] for entry in staged}):
+            txn.put(self.meta, ("rename", slot, txid), {"applied": True})
         for entry in staged:
             key = entry["key"]
             if entry["action"] == "delete":
@@ -1069,6 +1287,9 @@ class MNode(NamespaceReplicaMixin, Node):
         for entry in staged:
             for grant in entry["grants"]:
                 self.locks.release(grant)
+            slot = entry.get("slot")
+            if slot is not None:
+                self._slot_writers[slot] -= 1
 
     def _resolve_in_doubt(self, txid, deadline):
         """Process: terminate a prepared rename whose decision never
@@ -1093,23 +1314,36 @@ class MNode(NamespaceReplicaMixin, Node):
             if staged is None:
                 return
             if reply["state"] == "commit":
-                yield from self._apply_rename(staged, NULL_CONTEXT)
+                yield from self._apply_rename(staged, NULL_CONTEXT, txid)
             else:
                 self._release_staged(staged)
             return
 
     def _on_rename_commit(self, message):
-        staged = self._staged.pop(message.payload["txid"], None)
+        txid = message.payload["txid"]
+        actions = message.payload.get("actions") or []
+        staged = self._staged.pop(txid, None)
         if staged is not None:
-            yield from self._apply_rename(staged, message.ctx)
+            yield from self._apply_rename(staged, message.ctx, txid)
+        elif self._rename_applied(txid, actions):
+            # Already durably applied here (or by a predecessor whose
+            # state this node inherited): the completer's re-delivery
+            # must be a pure no-op ack.  Re-running the redo guards
+            # instead would resurrect state a *later* acked rename or
+            # unlink legitimately removed — the guards see a free key
+            # and cannot know the insert already happened once.
+            pass
         else:
-            # No staged state for this txid: either the decision was
-            # already applied (a completer re-delivery) or this node
-            # lost its prepared half across a crash/promotion.  Redo
-            # from the actions the commit carries, idempotently.
-            yield from self._redo_rename(
-                message.payload.get("actions") or [], message.ctx
-            )
+            # No staged state and no applied marker: this node lost its
+            # prepared half across a crash/promotion.  Redo from the
+            # actions the commit carries, idempotently.
+            try:
+                yield from self._redo_rename(txid, actions, message.ctx)
+            except RpcFailure as failure:
+                # The key's slot migrated away: the completer re-resolves
+                # the slot to its new home and re-delivers there.
+                self._respond_error(message, failure)
+                return
         # Acking a decided commit tells the coordinator's completer to
         # stop re-delivering — so under consensus the ack must wait for
         # quorum, or a minority leader would absorb the decision and a
@@ -1124,7 +1358,19 @@ class MNode(NamespaceReplicaMixin, Node):
             return
         self.respond(message, {"ok": True})
 
-    def _redo_rename(self, actions, ctx):
+    def _rename_applied(self, txid, actions):
+        """True when every half this commit carries is already durably
+        marked applied for ``txid`` on this node's slots."""
+        if not actions:
+            return False
+        return all(
+            self.meta.get(
+                ("rename", self._slot_of(tuple(action["key"])), txid)
+            ) is not None
+            for action in actions
+        )
+
+    def _redo_rename(self, txid, actions, ctx):
         """Generator: apply a decided rename's actions without staged
         state, taking fresh locks per action.
 
@@ -1133,7 +1379,10 @@ class MNode(NamespaceReplicaMixin, Node):
         insert only while the key is free — an op acknowledged after the
         decision (a re-create of the source name, a create that took the
         destination after promotion dropped the prepare) wins over the
-        redo, never the other way around."""
+        redo, never the other way around.  Each action commits with its
+        slot's applied marker for ``txid`` — even when a guard skips the
+        data write, the decision is terminally resolved here and a later
+        re-delivery must not get another chance at the key."""
         for action in actions:
             key = tuple(action["key"])
             igrant = self.locks.acquire(("i",) + key, LockMode.EXCLUSIVE,
@@ -1142,21 +1391,28 @@ class MNode(NamespaceReplicaMixin, Node):
             dgrant = self.locks.acquire(("d",) + key, LockMode.EXCLUSIVE,
                                         ctx=ctx)
             yield dgrant.event
+            slot = None
             try:
+                slot = self._check_hosted(key)
+                self._slot_writers[slot] += 1
+                marker = ("rename", slot, txid)
+                if self.meta.get(marker) is not None:
+                    continue
                 current = self.inodes.get(key)
-                txn = None
+                txn = self._txn(ctx=ctx)
+                txn.put(self.meta, marker, {"applied": True})
+                applied = None
                 if action["action"] == "delete":
                     if current is not None and current.ino == action["ino"]:
-                        txn = self._txn(ctx=ctx)
                         txn.delete(self.inodes, key)
                         if current.is_dir:
                             txn.delete(self.dentries, key)
                             self.inval_seq[("d",) + key] += 1
                         self._track_name(key, -1)
+                        applied = "delete"
                 else:
                     record = inode_from_wire(action["record"])
                     if current is None:
-                        txn = self._txn(ctx=ctx)
                         txn.put(self.inodes, key, record)
                         if record.is_dir:
                             txn.put(self.dentries, key, DentryRecord(
@@ -1164,11 +1420,13 @@ class MNode(NamespaceReplicaMixin, Node):
                                 uid=record.uid, gid=record.gid,
                             ))
                         self._track_name(key, +1)
-                if txn is not None:
-                    yield from txn.commit()
-                    self.metrics.counter("rename_redos").inc(
-                        action["action"])
+                        applied = "insert"
+                yield from txn.commit()
+                if applied is not None:
+                    self.metrics.counter("rename_redos").inc(applied)
             finally:
+                if slot is not None:
+                    self._slot_writers[slot] -= 1
                 self.locks.release(igrant)
                 self.locks.release(dgrant)
 
@@ -1215,10 +1473,13 @@ class MNode(NamespaceReplicaMixin, Node):
             self.costs.index_lookup_us + 0.02 * len(local),
             ctx=message.ctx,
         )
-        entries = list(local)
+        # De-duplicate: during a slot handoff's install window the same
+        # inode is (briefly, correctly) present on both the source and
+        # the pending destination.
+        entries = set(map(tuple, local))
         for reply in replies:
-            entries.extend(reply["entries"])
-        entries.sort()
+            entries.update(map(tuple, reply["entries"]))
+        entries = sorted(entries)
         self.metrics.counter("ops").inc("readdir")
         self._respond_ok(message, {"entries": entries})
 
@@ -1254,6 +1515,10 @@ class MNode(NamespaceReplicaMixin, Node):
         self.respond(message, {
             "inode_count": len(self.inodes),
             "top_filenames": top,
+            # Per-slot live record counts + the hosted set: the slot-
+            # migration planner's raw material.
+            "slot_counts": dict(self.slot_inode_counts),
+            "hosted_slots": sorted(self.hosted_slots),
         })
 
     def _on_name_count(self, message):
@@ -1294,24 +1559,41 @@ class MNode(NamespaceReplicaMixin, Node):
         parents = sorted(self._name_parents.get(name, ()))
         entries = []
         txn = self._txn()
-        for pid in parents:
-            key = (pid, name)
-            record = self.inodes.get(key)
-            if record is None:
-                continue
-            entries.append({"key": list(key),
-                            "record": inode_to_wire(record)})
-            txn.delete(self.inodes, key)
-            if record.is_dir:
-                txn.delete(self.dentries, key)
-                self.inval_seq[("d",) + key] += 1
-        yield from self.execute(
-            self.costs.index_delete_us * max(1, len(entries))
-        )
-        if txn.write_count:
-            yield from txn.commit()
-        else:
-            txn.abort()
+        writer_slots = set()
+        try:
+            for pid in parents:
+                key = (pid, name)
+                record = self.inodes.get(key)
+                if record is None:
+                    continue
+                slot = self._slot_of(key)
+                if slot in self.moved_slots or slot in self.pending_slots:
+                    # Mid-slot-handoff copies: the fenced (or still
+                    # installing) slot's records travel with the slot
+                    # saga, not with the filename migration.  Note the
+                    # slot here is the key's *post-xt-change* slot — a
+                    # merely non-hosted slot is the normal collect case
+                    # (the table change just re-homed the name).
+                    continue
+                if slot not in writer_slots:
+                    writer_slots.add(slot)
+                    self._slot_writers[slot] += 1
+                entries.append({"key": list(key),
+                                "record": inode_to_wire(record)})
+                txn.delete(self.inodes, key)
+                if record.is_dir:
+                    txn.delete(self.dentries, key)
+                    self.inval_seq[("d",) + key] += 1
+            yield from self.execute(
+                self.costs.index_delete_us * max(1, len(entries))
+            )
+            if txn.write_count:
+                yield from txn.commit()
+            else:
+                txn.abort()
+        finally:
+            for slot in writer_slots:
+                self._slot_writers[slot] -= 1
         for entry in entries:
             self._track_name(tuple(entry["key"]), -1)
         self.respond(
@@ -1322,24 +1604,318 @@ class MNode(NamespaceReplicaMixin, Node):
     def _on_migrate_install(self, message):
         entries = message.payload["entries"]
         txn = self._txn()
+        writer_slots = set()
+        try:
+            for entry in entries:
+                key = tuple(entry["key"])
+                slot = self._slot_of(key)
+                if slot in self.hosted_slots and slot not in writer_slots:
+                    writer_slots.add(slot)
+                    self._slot_writers[slot] += 1
+                record = inode_from_wire(entry["record"])
+                txn.put(self.inodes, key, record)
+                if record.is_dir:
+                    txn.put(self.dentries, key, DentryRecord(
+                        ino=record.ino, mode=record.mode,
+                        uid=record.uid, gid=record.gid,
+                    ))
+                self._track_name(key, +1)
+            yield from self.execute(
+                self.costs.index_insert_us * max(1, len(entries))
+            )
+            if txn.write_count:
+                yield from txn.commit()
+            else:
+                txn.abort()
+        finally:
+            for slot in writer_slots:
+                self._slot_writers[slot] -= 1
+        self.respond(message, {"ok": True})
+
+    # ------------------------------------------------------------------
+    # control plane: online slot handoff (elastic namespace)
+    # ------------------------------------------------------------------
+
+    def _on_slot_snapshot(self, message):
+        """Source step 1 of an online slot handoff: atomically copy
+        every inode record in the slot and open the delta capture.
+
+        The copy and the capture start in one no-yield instant, so
+        every commit lands in exactly one of them — the analogue of
+        :meth:`_on_snapshot` reading the ship LSN at copy time."""
+        slot = message.payload["slot"]
+        entries = [
+            {"key": list(key), "record": inode_to_wire(record)}
+            for key, record in self.inodes.scan()
+            if self._slot_of(key) == slot
+        ]
+        # The slot's rename-applied markers ride along: the destination
+        # inherits the duty of no-op-acking stale commit re-deliveries.
+        markers = [
+            {"key": list(key), "record": dict(value)}
+            for key, value in self.meta.scan()
+            if key[0] == "rename" and key[1] == slot
+        ]
+        self._slot_capture[slot] = []
+        yield from self.execute(
+            self.costs.index_lookup_us + 0.02 * len(entries),
+            ctx=message.ctx,
+        )
+        self.respond(
+            message, {"slot": slot, "entries": entries,
+                      "markers": markers},
+            size=self.costs.rpc_response_bytes + 64 * len(entries),
+        )
+
+    def _on_slot_install(self, message):
+        """Destination step 2: durably install the source's snapshot.
+
+        The slot stays *pending* — requests bounce ERETRY — until
+        ``slot_activate`` applies the fenced delta.  Directory dentries
+        are reconstructed from the inode records: this node is about to
+        become their owner, so its replica entries must be
+        authoritative, not fetched from the (retiring) source."""
+        payload = message.payload
+        slot = payload["slot"]
+        entries = payload["entries"]
+        self.pending_slots.add(slot)
+        txn = self._txn(ctx=message.ctx)
+        # Durable marker: a crash between install and activate restarts
+        # with the slot *pending*, never serving the delta-less copy.
+        txn.put(self.meta, ("slot", slot), {"state": "pending"})
+        for marker in payload.get("markers", ()):
+            txn.put(self.meta, tuple(marker["key"]),
+                    dict(marker["record"]))
         for entry in entries:
             key = tuple(entry["key"])
             record = inode_from_wire(entry["record"])
+            if txn.get(self.inodes, key) is None:
+                self._track_name(key, +1)
             txn.put(self.inodes, key, record)
             if record.is_dir:
                 txn.put(self.dentries, key, DentryRecord(
                     ino=record.ino, mode=record.mode,
                     uid=record.uid, gid=record.gid,
                 ))
-            self._track_name(key, +1)
         yield from self.execute(
-            self.costs.index_insert_us * max(1, len(entries))
+            self.costs.index_insert_us * max(1, len(entries)),
+            ctx=message.ctx,
         )
         if txn.write_count:
             yield from txn.commit()
         else:
             txn.abort()
+        if self.shared.config.broken_handoff:
+            # PLANTED BUG (test-only): start serving as soon as the
+            # snapshot lands, without waiting for the fenced delta —
+            # any write the source acknowledged during the capture
+            # window is invisible here (and clobbered when the stale
+            # activate arrives).  The migration nemesis must catch it.
+            self.pending_slots.discard(slot)
+            self.hosted_slots.add(slot)
+            self.moved_slots.pop(slot, None)
+        self.respond(message, {"ok": True, "installed": len(entries)})
+
+    def _on_slot_fence(self, message):
+        """Source step 3: the fence.  Stop serving the slot in one
+        no-yield instant — every later request bounces EMOVED with the
+        destination hint — drain the in-flight local writers, then
+        return the captured delta, closing the capture atomically."""
+        payload = message.payload
+        slot = payload["slot"]
+        self.hosted_slots.discard(slot)
+        self.moved_slots[slot] = {
+            "node": payload["node"], "epoch": payload["epoch"],
+        }
+        # Writers registered before the fence drain to zero with the
+        # capture still running, so their commits are in the delta; no
+        # new writer can register (the hosted check above bounces it).
+        while self._slot_writers.get(slot, 0) > 0:
+            yield self.env.timeout(50.0)
+        self._slot_writers.pop(slot, None)
+        delta = self._slot_capture.pop(slot, [])
+        entries = []
+        for table, key, value in delta:
+            if value is None:
+                wire = None
+            elif table == "inode":
+                wire = inode_to_wire(value)
+            elif table == "meta":
+                wire = dict(value)
+            else:
+                wire = dentry_to_wire(value)
+            entries.append({"table": table, "key": list(key),
+                            "record": wire})
+        # Durable fence marker *before* the delta leaves this node: a
+        # restart must come back fenced, not resurrect the slot from
+        # the (not yet flipped) map and serve state the destination is
+        # about to supersede.
+        txn = self._txn(ctx=message.ctx)
+        txn.put(self.meta, ("slot", slot), {
+            "state": "moved", "node": payload["node"],
+            "epoch": payload["epoch"],
+        })
+        yield from txn.commit()
+        yield from self.execute(
+            self.costs.index_lookup_us + 0.02 * len(entries),
+            ctx=message.ctx,
+        )
+        self.respond(
+            message, {"ok": True, "delta": entries},
+            size=self.costs.rpc_response_bytes + 64 * len(entries),
+        )
+
+    def _on_slot_activate(self, message):
+        """Destination step 4: durably apply the fenced delta, then
+        start serving.  The ordering is the handoff-safety invariant:
+        every write the source ever acknowledged for this slot is
+        applied here before the first request is."""
+        payload = message.payload
+        slot = payload["slot"]
+        if slot in self.hosted_slots:
+            # Already serving.  Unreachable under the correct protocol
+            # (the slot is pending until this handler runs); only the
+            # broken_handoff ablation lands here — it activated at
+            # install time and now drops the delta on the floor.
+            self.respond(message, {"ok": True, "applied": 0})
+            return
+        txn = self._txn(ctx=message.ctx)
+        # Durable adoption marker, committed atomically with the delta:
+        # a restart after this commit serves the slot; before it, the
+        # slot is still pending and the re-delivered activate applies.
+        txn.put(self.meta, ("slot", slot), {"state": "active"})
+        applied = 0
+        for entry in payload["delta"]:
+            key = tuple(entry["key"])
+            if entry["table"] == "inode":
+                current = txn.get(self.inodes, key)
+                if entry["record"] is None:
+                    if current is not None:
+                        txn.delete(self.inodes, key)
+                        self._track_name(key, -1)
+                else:
+                    if current is None:
+                        self._track_name(key, +1)
+                    txn.put(self.inodes, key,
+                            inode_from_wire(entry["record"]))
+            elif entry["table"] == "meta":
+                # A rename-applied marker committed at the source
+                # during the capture window.
+                if entry["record"] is None:
+                    txn.delete(self.meta, key)
+                else:
+                    txn.put(self.meta, key, dict(entry["record"]))
+            else:
+                if entry["record"] is None:
+                    txn.delete(self.dentries, key)
+                else:
+                    txn.put(self.dentries, key,
+                            dentry_from_wire(entry["record"]))
+            applied += 1
+        yield from self.execute(
+            self.costs.index_insert_us * max(1, applied), ctx=message.ctx
+        )
+        if txn.write_count:
+            yield from txn.commit()
+        else:
+            txn.abort()
+        self.pending_slots.discard(slot)
+        self.hosted_slots.add(slot)
+        # A slot migrating *back* clears the tombstone from its earlier
+        # handoff; clients whose maps still point elsewhere recover via
+        # server-side forwarding.
+        self.moved_slots.pop(slot, None)
+        self.metrics.counter("slots_adopted").inc()
+        self.respond(message, {"ok": True, "applied": applied})
+
+    def _on_slot_reclaim(self, message):
+        """Source-side abort: the destination died mid-handoff.  Resume
+        serving from local state — nothing was lost, every write this
+        node acknowledged is still durably here (the purge never ran).
+        Idempotent: safe to re-deliver, safe on a restarted incarnation
+        that never fenced."""
+        slot = message.payload["slot"]
+        self.moved_slots.pop(slot, None)
+        self._slot_capture.pop(slot, None)
+        self.pending_slots.discard(slot)
+        self.hosted_slots.add(slot)
+        if self.meta.get(("slot", slot)) is not None:
+            txn = self._txn(ctx=message.ctx)
+            txn.delete(self.meta, ("slot", slot))
+            yield from txn.commit()
         self.respond(message, {"ok": True})
+
+    def _on_slot_discard(self, message):
+        """Destination-side abort: the saga failed before the map flip.
+        Delete the installed copy — the placement audit must never find
+        the same key authoritative on two nodes."""
+        slot = message.payload["slot"]
+        self.pending_slots.discard(slot)
+        self.hosted_slots.discard(slot)
+        removed = 0
+        txn = self._txn(ctx=message.ctx)
+        txn.delete(self.meta, ("slot", slot))
+        for key, _ in list(self.meta.scan()):
+            if key[0] == "rename" and key[1] == slot:
+                txn.delete(self.meta, key)
+        for key, record in list(self.inodes.scan()):
+            if self._slot_of(key) != slot:
+                continue
+            txn.delete(self.inodes, key)
+            if record.is_dir:
+                txn.delete(self.dentries, key)
+            self._track_name(key, -1)
+            removed += 1
+        yield from self.execute(
+            self.costs.index_delete_us * max(1, removed), ctx=message.ctx
+        )
+        if txn.write_count:
+            yield from txn.commit()
+        else:
+            txn.abort()
+        self.respond(message, {"ok": True, "removed": removed})
+
+    def _on_slot_purge(self, message):
+        """Source final step, after the authoritative map flip: delete
+        the migrated slot's inode records — the destination owns them
+        now.  Directory dentries stay behind as ordinary replica cache
+        (no longer authoritative: the slot is not hosted here)."""
+        slot = message.payload["slot"]
+        removed = 0
+        txn = self._txn(ctx=message.ctx)
+        # The slot's rename-applied markers went with the handoff (the
+        # destination answers stale commit re-deliveries now); drop the
+        # dead local copies alongside the records.
+        for key, _ in list(self.meta.scan()):
+            if key[0] == "rename" and key[1] == slot:
+                txn.delete(self.meta, key)
+        for key, record in list(self.inodes.scan()):
+            if self._slot_of(key) != slot:
+                continue
+            txn.delete(self.inodes, key)
+            self._track_name(key, -1)
+            removed += 1
+        yield from self.execute(
+            self.costs.index_delete_us * max(1, removed), ctx=message.ctx
+        )
+        if txn.write_count:
+            yield from txn.commit()
+        else:
+            txn.abort()
+        self.metrics.counter("slot_purged").inc(amount=removed)
+        self.respond(message, {"ok": True, "removed": removed})
+
+
+def dentry_to_wire(record):
+    """Serialize a :class:`DentryRecord` for a handoff delta."""
+    return {"ino": record.ino, "mode": record.mode, "uid": record.uid,
+            "gid": record.gid, "state": record.state}
+
+
+def dentry_from_wire(data):
+    return DentryRecord(ino=data["ino"], mode=data["mode"],
+                        uid=data["uid"], gid=data["gid"],
+                        state=data.get("state", VALID))
 
 
 def exception_table_to_wire(table):

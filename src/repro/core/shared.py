@@ -1,4 +1,14 @@
-"""Cluster-wide configuration and shared context."""
+"""Cluster-wide configuration and shared context.
+
+Also home of the **epoch-stamped slot map**: hybrid indexing hashes a
+directory name to a *slot*, and the slot map says which physical MNode
+currently hosts that slot.  Statically the map is the identity
+(slot ``i`` lives on node ``i``) and nothing behaves differently from a
+fixed ring; online migration reassigns one slot at a time, bumping the
+map's epoch, and stale-epoch requests bounce with ``EMOVED`` until the
+client refreshes its private copy — the elastic-namespace analogue of
+the lazy exception-table refresh.
+"""
 
 from dataclasses import dataclass
 
@@ -6,6 +16,100 @@ from repro.core.records import InodeAllocator
 from repro.net.costs import CostModel
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.rng import RandomStreams
+
+
+class SlotMap:
+    """Versioned slot -> MNode-index assignment.
+
+    The authoritative copy lives on :class:`ClusterShared` and is only
+    mutated by the coordinator (the epoch authority); clients hold
+    private copies that go stale and are patched lazily from ``EMOVED``
+    bounces.  Every reassignment bumps ``epoch`` by one, so "my epoch is
+    older than the slot's move" is decidable from the integer alone.
+    """
+
+    __slots__ = ("owners", "epoch", "versions")
+
+    def __init__(self, owners, epoch=0, versions=None):
+        #: ``owners[slot]`` is the physical node index hosting ``slot``.
+        self.owners = list(owners)
+        self.epoch = epoch
+        #: ``versions[slot]`` is the epoch at which ``slot`` last moved
+        #: (0 = the seed assignment).  Patches are judged per slot: a
+        #: client that absorbed a high-epoch hint for one slot must
+        #: still accept an older hint about a *different* slot it has
+        #: never heard about.
+        self.versions = (list(versions) if versions is not None
+                         else [0] * len(self.owners))
+
+    @classmethod
+    def identity(cls, num_slots):
+        return cls(range(num_slots))
+
+    @property
+    def num_slots(self):
+        return len(self.owners)
+
+    def node_of(self, slot):
+        return self.owners[slot]
+
+    def slots_of(self, node_index):
+        """Every slot currently hosted by physical node ``node_index``."""
+        return [slot for slot, owner in enumerate(self.owners)
+                if owner == node_index]
+
+    def assign(self, slot, node_index):
+        """Reassign ``slot`` to ``node_index`` and bump the epoch."""
+        self.owners[slot] = node_index
+        self.epoch += 1
+        self.versions[slot] = self.epoch
+        return self.epoch
+
+    def version_of(self, slot):
+        """Epoch at which ``slot`` last changed owner (0 = seed)."""
+        return self.versions[slot]
+
+    def copy(self):
+        return SlotMap(self.owners, self.epoch, self.versions)
+
+    def update_from(self, other):
+        """Merge ``other``'s assignment slot by slot: adopt every slot
+        ``other`` knows a strictly newer move for.  A global-epoch gate
+        would be wrong here — two maps can share an epoch while each
+        holds patches the other lacks."""
+        changed = False
+        for slot, version in enumerate(other.versions):
+            if version > self.versions[slot]:
+                self.owners[slot] = other.owners[slot]
+                self.versions[slot] = version
+                changed = True
+        if other.epoch > self.epoch:
+            self.epoch = other.epoch
+        return changed
+
+    def patch(self, slot, node_index, epoch):
+        """Apply one EMOVED hint: adopt the single reassignment when the
+        advertised epoch is ahead of what we know *about that slot* (a
+        newer hint for the same slot supersedes)."""
+        if epoch > self.versions[slot]:
+            self.owners[slot] = node_index
+            self.versions[slot] = epoch
+            if epoch > self.epoch:
+                self.epoch = epoch
+            return True
+        return False
+
+    def to_wire(self):
+        return {"owners": list(self.owners), "epoch": self.epoch,
+                "versions": list(self.versions)}
+
+    @classmethod
+    def from_wire(cls, wire):
+        return cls(wire["owners"], wire["epoch"], wire.get("versions"))
+
+    def __repr__(self):
+        return "SlotMap(epoch={}, owners={})".format(self.epoch,
+                                                     self.owners)
 
 
 @dataclass
@@ -87,6 +191,15 @@ class FalconConfig:
     lease_us: float = 3000.0
     #: Leader heartbeat (empty AppendEntries) cadence, microseconds.
     consensus_heartbeat_us: float = 1000.0
+    #: Directory slots in the hybrid index (0 = one per MNode, the
+    #: static layout).  More slots than nodes gives migration something
+    #: to move: each slot is the unit of online handoff and nodes host
+    #: several.
+    num_slots: int = 0
+    #: Test-only: activate a migrated slot at the destination as soon as
+    #: the snapshot installs, WITHOUT waiting for the fenced delta — the
+    #: planted handoff bug the checker's migration nemesis must catch.
+    broken_handoff: bool = False
     seed: int = 0
 
 
@@ -104,13 +217,29 @@ class ClusterShared:
         self.mnode_names = [
             "mnode-{}".format(i) for i in range(config.num_mnodes)
         ]
+        #: Slot count for hybrid indexing; defaults to one per MNode so
+        #: the identity slot map reproduces the static ring exactly.
+        self.num_slots = config.num_slots or config.num_mnodes
+        #: Authoritative slot -> node assignment (coordinator-mutated).
+        #: Identity when slots == nodes; round-robin wrap when the
+        #: elastic config hashes over more slots than nodes.
+        self.slot_map = SlotMap(
+            i % config.num_mnodes for i in range(self.num_slots)
+        )
         self.storage_names = [
             "osd-{}".format(i) for i in range(config.num_storage)
         ]
         self.coordinator_name = "coordinator"
 
-    def mnode_name(self, index):
-        return self.mnode_names[index]
+    def mnode_name(self, slot):
+        """Name of the MNode currently hosting directory slot ``slot``,
+        per the authoritative slot map.  Server-side resolution only —
+        clients consult their own (possibly stale) map copies."""
+        return self.mnode_names[self.slot_map.node_of(slot)]
+
+    def node_name(self, node_index):
+        """Name of physical node ``node_index`` (slot-map independent)."""
+        return self.mnode_names[node_index]
 
     def storage_for(self, ino, block_index):
         """Data placement: hash of (file id, block offset) — §4.1."""

@@ -63,6 +63,7 @@ def cluster_violations(cluster):
 def _audit(cluster, counts):
     """Generator over violation dicts; fills ``counts`` as it goes."""
     index = cluster.coordinator.index
+    slot_map = cluster.shared.slot_map
     mnodes = cluster.mnodes
 
     # Gather the authoritative inode map: key -> (record, holder index).
@@ -87,7 +88,7 @@ def _audit(cluster, counts):
         ino_seen.add(record.ino)
         if record.is_dir:
             dir_inos.add(record.ino)
-        expected = index.locate(pid, name)
+        expected = slot_map.node_of(index.locate(pid, name))
         migrating = any(name in mnode.migrating for mnode in mnodes)
         if expected != holder_index and not migrating:
             yield _violation(
@@ -141,7 +142,7 @@ def _audit(cluster, counts):
     for key, (record, holder_index) in inodes.items():
         if not record.is_dir:
             continue
-        owner = mnodes[index.locate(*key)]
+        owner = mnodes[slot_map.node_of(index.locate(*key))]
         dentry = owner.dentries.get(key)
         if dentry is None or dentry.state != VALID:
             if not any(key[1] in mnode.migrating for mnode in mnodes):
@@ -219,5 +220,32 @@ def runtime_violations(cluster):
             violations.append(_violation(
                 "rename-mutex", "coordinator rename mutex busy after drain "
                 "({} holders/waiters)", busy,
+            ))
+    active = getattr(cluster.coordinator, "migrations", None)
+    if active:
+        violations.append(_violation(
+            "migration-leak",
+            "slot handoffs still registered after drain: {}",
+            sorted(active), slots=sorted(active),
+        ))
+    for mnode in cluster.mnodes:
+        if getattr(mnode, "halted", False):
+            continue
+        pending = sorted(getattr(mnode, "pending_slots", ()))
+        if pending:
+            violations.append(_violation(
+                "pending-slot-leak",
+                "{} still holds undischarged pending slots {}",
+                mnode.name, pending, node=mnode.name, slots=pending,
+            ))
+        writers = {
+            slot: n for slot, n
+            in getattr(mnode, "_slot_writers", {}).items() if n
+        }
+        if writers:
+            violations.append(_violation(
+                "slot-writer-leak",
+                "{} has leaked slot writer counts {}",
+                mnode.name, writers, node=mnode.name,
             ))
     return violations

@@ -29,6 +29,7 @@ from repro.experiments import (
     memory_budget,
     metadata_latency,
     metadata_scaling,
+    rebalance,
     restart,
     sensitivity,
     straggler,
@@ -71,6 +72,9 @@ EXPERIMENTS = {
                  {"kinds": ("degrade_link", "stampede"),
                   "threads": 4, "duration_us": 20000.0,
                   "warm_us": 5000.0, "fault_duration_us": 6000.0}),
+    "rebalance": (rebalance, {},
+                  {"end_mnodes": 8, "num_slots": 16, "threads": 4,
+                   "num_dirs": 4, "stage_us": 8000.0}),
     "restart": (restart, {},
                 {"seeds": (0,), "threads": 6, "duration_us": 20000.0,
                  "warm_us": 5000.0}),

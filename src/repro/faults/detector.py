@@ -93,7 +93,10 @@ class FailureDetector:
                     self.env.process(self._ping(index))
 
     def _ping(self, index):
-        target = self.shared.mnode_name(index)
+        # Physical-node resolution, not slot resolution: liveness is a
+        # property of machines, and under an elastic slot map the two
+        # diverge (a node may host any number of slots, including none).
+        target = self.shared.node_name(index)
         try:
             yield from deadline_call(
                 self.node, NULL_CONTEXT, target, "ping", {},

@@ -618,6 +618,35 @@ class FaultInjector:
             def thunk():
                 invalidated = self._stampede()
                 self._log("stampede", "all", invalidated=invalidated)
+        elif kind == "migrate_slot":
+            def thunk():
+                # Online slot handoff under whatever chaos the rest of
+                # the schedule injects.  Slot and destination were drawn
+                # at generation time; a no-op draw (the slot already
+                # lives on the destination) is logged and skipped so
+                # dropping other events never perturbs this one.  The
+                # saga itself runs on the coordinator and must commit or
+                # roll back cleanly under ALL interleavings — migration
+                # introduces no oracle excusals.
+                coordinator = cluster.coordinator
+                slot = event["slot"]
+                dest = event["dest"]
+                if cluster.shared.slot_map.node_of(slot) == dest:
+                    self._log("migrate_noop", "slot-{}".format(slot),
+                              slot=slot, dest=dest)
+                    return
+                self._log("migrate_slot", "slot-{}".format(slot),
+                          slot=slot, dest=dest)
+
+                def proc():
+                    record = yield from coordinator.migrate_slot(
+                        slot, dest, reason="nemesis")
+                    if record is not None:
+                        self._log("migrate_done", "slot-{}".format(slot),
+                                  slot=slot, dest=dest,
+                                  status=record["status"])
+
+                self.env.process(proc())
         elif kind == "corrupt_wal":
             draw = random.Random(event["rng_seed"])
 

@@ -33,6 +33,12 @@ class RpcError:
     #: the sender is a deposed leader (or a stale candidate) and must
     #: step down before anything it says can be believed.
     ESTALE_TERM = 1004
+    #: The addressed directory slot migrated away from this node.  The
+    #: detail carries ``{"slot", "node", "epoch"}`` — the destination
+    #: node index and the slot-map epoch that installed it — so the
+    #: client can patch its local slot map and retry without a full
+    #: re-fetch (the elastic-namespace analogue of EREDIRECT).
+    EMOVED = 1005
 
     _NAMES = {
         errno.ENOENT: "ENOENT",
@@ -47,6 +53,7 @@ class RpcError:
         1002: "ERETRY",
         1003: "ENOTLEADER",
         1004: "ESTALE_TERM",
+        1005: "EMOVED",
     }
 
     @classmethod

@@ -29,8 +29,12 @@ from repro.runtime import Interrupt
 #: no destination hint: the retry loop clears the hint, so the next
 #: attempt re-resolves the slot through the cluster directory instead
 #: of blindly retrying the fenced (or deposed) node it just talked to.
+#: EMOVED is retryable-with-hint of a third kind: its detail is an
+#: epoch-stamped slot reassignment that the node's ``_on_moved_hint``
+#: hook (clients patch their private slot map there) absorbs before the
+#: re-resolve — the hint updates *state*, not the next attempt's target.
 RETRYABLE = (RpcError.ERETRY, RpcError.EREDIRECT,
-             RpcError.ENOTLEADER, RpcError.ESTALE_TERM)
+             RpcError.ENOTLEADER, RpcError.ESTALE_TERM, RpcError.EMOVED)
 
 #: Sentinel passed as the interrupt cause by the deadline watchdog.
 DEADLINE_EXPIRED = object()
@@ -119,6 +123,11 @@ def retry(node, ctx, attempt_fn, policy=None, retryable=RETRYABLE):
                 raise
             failure = exc
             hint = exc.detail if exc.code == RpcError.EREDIRECT else None
+            if (exc.code == RpcError.EMOVED
+                    and isinstance(exc.detail, dict)):
+                moved = getattr(node, "_on_moved_hint", None)
+                if moved is not None:
+                    moved(exc.detail)
         delay = policy.backoff_us(attempt, rng)
         if delay > 0:
             now = clock.now_us() if clock is not None else node.env.now_us()

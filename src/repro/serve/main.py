@@ -87,7 +87,7 @@ async def run_node(args):
     if args.role == "coordinator":
         name = shared.coordinator_name
     else:
-        name = shared.mnode_name(args.index)
+        name = shared.node_name(args.index)
         # Disjoint inode-id stripes: no cross-process coordination.
         shared.allocator = InodeAllocator(start=2 + args.index,
                                           step=args.mnodes)

@@ -370,7 +370,7 @@ def divergence(primary, standby):
 
 def _owned_by(primary, key):
     try:
-        return primary.index.locate(key[0], key[1]) == primary.my_index
+        return primary.index.locate(key[0], key[1]) in primary.hosted_slots
     except AttributeError:
         return True
 

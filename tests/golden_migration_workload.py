@@ -1,0 +1,130 @@
+"""Deterministic slot-migration reference workload for the golden test.
+
+``tests/golden/sim_trace.json`` pins the happy path and
+``tests/golden/failover_trace.json`` pins the crash -> promote path;
+this one pins the **elastic namespace**: a fixed workload runs while
+the coordinator hands two directory slots to new owners under live
+traffic (snapshot -> install -> fence -> activate), clients absorbing
+``EMOVED`` hints along the way.  The digest covers the full checker
+result — every client-visible acknowledgement with exact simulated
+timestamps, the committed migration count, and the final slot-map
+epoch — so any change to the handoff saga, the fence, or the client's
+slot-map patching shows up as a digest mismatch.
+
+``tests/golden/migration_trace.json`` is committed; regenerate (only
+when a PR deliberately changes simulated behaviour) with::
+
+    PYTHONPATH=src python -m tests.golden_migration_workload
+"""
+
+import hashlib
+import json
+
+from repro.check.runner import run_schedule
+
+MIGRATION_GOLDEN_PATH = "tests/golden/migration_trace.json"
+
+_DIRS = ["/d0", "/d1", "/d2"]
+_OP_PLAN = (
+    # (client, kind, path, delay_us) — two clients, ops spanning both
+    # handoffs (fired at t=2500 and t=7000) so acks land before, during
+    # and after each fence window.
+    (0, "create", "/d0/a0.dat", 120.0),
+    (1, "create", "/d1/b0.dat", 140.0),
+    (0, "mkdir", "/d0/sub0", 260.0),
+    (1, "getattr", "/d1/b0.dat", 300.0),
+    (0, "create", "/d1/a1.dat", 420.0),
+    (1, "create", "/d2/b1.dat", 380.0),
+    (0, "getattr", "/d0/a0.dat", 500.0),
+    (1, "unlink", "/d1/b0.dat", 520.0),
+    (0, "create", "/d2/a2.dat", 640.0),
+    (1, "readdir", "/d1", 600.0),
+    (0, "create", "/d0/a3.dat", 700.0),
+    (1, "create", "/d0/b2.dat", 680.0),
+    (0, "rename", ("/d0/a3.dat", "/d0/a3.moved"), 760.0),
+    (1, "getattr", "/d2/b1.dat", 720.0),
+    (0, "create", "/d1/a4.dat", 820.0),
+    (1, "mkdir", "/d2/sub1", 780.0),
+    (0, "readdir", "/d0", 860.0),
+    (1, "create", "/d1/b3.dat", 840.0),
+    (0, "getattr", "/d1/a4.dat", 900.0),
+    (1, "unlink", "/d0/b2.dat", 880.0),
+)
+
+
+def build_migration_schedule():
+    """The fixed two-handoff schedule: 9 slots over 3 nodes, slot 4
+    moves node 1 -> 2 mid-workload, then slot 0 moves node 0 -> 1."""
+    ops = []
+    for op_id, (client, kind, target, delay) in enumerate(_OP_PLAN):
+        op = {"id": op_id, "client": client, "kind": kind,
+              "delay_us": delay}
+        if kind == "rename":
+            op["src"], op["dst"] = target
+        else:
+            op["path"] = target
+        ops.append(op)
+    return {
+        "version": 1,
+        "seed": "golden-migration",
+        "config": {
+            "num_mnodes": 3,
+            "num_storage": 2,
+            "num_clients": 2,
+            "num_slots": 9,
+            "replication": True,
+            "rpc_timeout_us": 400.0,
+            "op_deadline_us": 30000.0,
+            "budget_us": 300000.0,
+            "quiesce_budget_us": 200000.0,
+        },
+        "preload_dirs": _DIRS,
+        "ops": ops,
+        "nemeses": [
+            {"group": 0, "kind": "migrate_slot", "at_us": 2500.0,
+             "slot": 4, "dest": 2},
+            {"group": 1, "kind": "migrate_slot", "at_us": 7000.0,
+             "slot": 0, "dest": 1},
+        ],
+    }
+
+
+def run_migration_golden():
+    """Run the reference migration schedule; return its digest dict."""
+    result = run_schedule(build_migration_schedule())
+    stats = result["stats"]
+    canonical = json.dumps(result, sort_keys=True)
+    digest = {
+        "result_sha256": hashlib.sha256(canonical.encode()).hexdigest(),
+        "history_sha256": hashlib.sha256(
+            json.dumps(result["history"], sort_keys=True).encode()
+        ).hexdigest(),
+        "violations": len(result["violations"]),
+        "ops_ok": stats["ops_ok"],
+        "ops_failed": stats["ops_failed"],
+        "errors": stats["errors"],
+        "migrations": stats["migrations"],
+        "slot_map_epoch": stats["slot_map_epoch"],
+        "quiesced": stats["quiesced"],
+        "final_now_us": stats["final_now_us"],
+        "final_paths": stats["final_paths"],
+    }
+    # The schedule must actually exercise the path it pins down: both
+    # handoffs commit, each bumping the map's epoch twice (fence
+    # advertisement, then the assignment that lands on it).
+    assert digest["violations"] == 0, result["violations"]
+    assert digest["migrations"] == {"committed": 2, "aborted": 0}, stats
+    assert digest["slot_map_epoch"] == 2, stats
+    return digest
+
+
+def main():
+    digest = run_migration_golden()
+    with open(MIGRATION_GOLDEN_PATH, "w") as handle:
+        json.dump(digest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(digest, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -101,7 +101,7 @@ def test_unknown_mix_rejected():
     with pytest.raises(KeyError):
         generate_schedule(0, nemesis_mix="nonsense")
     assert set(NEMESIS_MIXES) == {"classic", "gray", "mixed",
-                                  "election"}
+                                  "election", "migrate"}
 
 
 # ----------------------------------------------------------------------

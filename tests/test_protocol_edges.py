@@ -84,6 +84,86 @@ class TestRenameHazards:
         check_cluster_invariants(cluster)
 
 
+class TestCommitRedelivery:
+    """A decided rename commit whose *acknowledgement* is lost keeps a
+    coordinator completer re-delivering the decision — possibly long
+    after a later acked op legitimately vacated the key.  The
+    participant's durable applied marker must turn every re-delivery
+    into a no-op ack; the redo guards alone see a free key and cannot
+    tell "never applied" from "applied, then superseded"."""
+
+    def _last_commit(self, cluster, fs, dst_path):
+        """The most recent committed txid plus its reconstructed insert
+        half, exactly as a completer would re-deliver it."""
+        from repro.core.mnode import inode_to_wire
+        from repro.vfs.pathwalk import basename
+
+        outcomes = cluster.coordinator._rename_outcomes
+        txid = max(outcomes, key=lambda t: int(t.split("-")[1]))
+        assert outcomes[txid] == "commit"
+        pid = fs.getattr("/d")["ino"]
+        dkey = (pid, basename(dst_path))
+        owner = next(m for m in cluster.mnodes
+                     if m.inodes.get(dkey) is not None)
+        action = {"action": "insert", "key": list(dkey),
+                  "record": inode_to_wire(owner.inodes.get(dkey))}
+        return txid, owner, action
+
+    def _redeliver(self, cluster, owner, txid, action):
+        def deliver():
+            reply = yield cluster.coordinator.call(
+                owner.name, "rename_commit",
+                {"txid": txid, "actions": [action]})
+            return reply
+        return cluster.run_process(deliver())
+
+    def test_stale_redelivery_after_unlink_is_a_noop(self, cluster, fs):
+        fs.mkdir("/d")
+        fs.create("/d/a")
+        fs.rename("/d/a", "/d/b")
+        txid, owner, action = self._last_commit(cluster, fs, "/d/b")
+        fs.unlink("/d/b")
+        reply = self._redeliver(cluster, owner, txid, action)
+        assert reply["ok"]
+        assert not fs.exists("/d/b")
+        check_cluster_invariants(cluster)
+
+    def test_stale_redelivery_after_later_rename_is_a_noop(self, cluster,
+                                                           fs):
+        """The checker-found shape: rename a→b commits but its ack is
+        lost; rename b→c commits fully; the stale re-delivery of a→b's
+        insert must not resurrect b (the ino would be live under two
+        names — an identity violation)."""
+        fs.mkdir("/d")
+        fs.create("/d/a")
+        fs.rename("/d/a", "/d/b")
+        txid, owner, action = self._last_commit(cluster, fs, "/d/b")
+        fs.rename("/d/b", "/d/c")
+        reply = self._redeliver(cluster, owner, txid, action)
+        assert reply["ok"]
+        assert not fs.exists("/d/b")
+        assert fs.exists("/d/c")
+        check_cluster_invariants(cluster)
+
+    def test_applied_marker_survives_redo_restart(self, cluster, fs):
+        """Crash the participant after the apply: the marker rides the
+        WAL, so the rebuilt node still no-op-acks the re-delivery even
+        though the key was vacated after recovery."""
+        fs.mkdir("/d")
+        fs.create("/d/a")
+        fs.rename("/d/a", "/d/b")
+        txid, owner, action = self._last_commit(cluster, fs, "/d/b")
+        index = cluster.mnodes.index(owner)
+        cluster.crash_mnode(index)
+        cluster.run_process(cluster.restart_mnode(index))
+        owner = cluster.mnodes[index]
+        fs.unlink("/d/b")
+        reply = self._redeliver(cluster, owner, txid, action)
+        assert reply["ok"]
+        assert not fs.exists("/d/b")
+        check_cluster_invariants(cluster)
+
+
 class TestConflictCaseOne:
     def test_invalidation_waits_for_inflight_holder(self, cluster):
         """§4.3 case 1: a request already holding the dentry lock blocks
